@@ -1,0 +1,92 @@
+// A1 — grid-density ablation: how many points per decade does the
+// stability plot need before eq. (1.4) holds to a given accuracy? Swept
+// for several damping ratios on the analytic prototype (so the only error
+// is discretization).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/stability_plot.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using namespace acstab;
+
+core::stability_plot plot_at(real zeta, std::size_t ppd, bool direct)
+{
+    const auto t = numeric::rational::second_order_lowpass(zeta, to_omega(1e6));
+    core::sweep_spec sweep;
+    sweep.fstart = 1e3;
+    sweep.fstop = 1e9;
+    sweep.points_per_decade = ppd;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t.magnitude(to_omega(freqs[i]));
+    core::plot_options popt;
+    popt.use_direct_formula = direct;
+    return core::compute_stability_plot(freqs, mag, popt);
+}
+
+void print_ablation()
+{
+    std::puts("==============================================================================");
+    std::puts("A1 — points-per-decade vs peak accuracy (analytic prototype, fn = 1 MHz)");
+    std::puts("     error = |measured peak - (-1/zeta^2)| / (1/zeta^2) in percent");
+    std::puts("==============================================================================");
+    std::puts("zeta   exact peak |  10 ppd    20 ppd    40 ppd    80 ppd   160 ppd");
+    std::puts("------------------------------------------------------------------------------");
+    for (const real zeta : {0.1, 0.2, 0.3, 0.5}) {
+        std::printf("%4.1f   %10.1f |", zeta, -1.0 / (zeta * zeta));
+        for (const std::size_t ppd : {10u, 20u, 40u, 80u, 160u}) {
+            const core::stability_plot plot = plot_at(zeta, ppd, false);
+            const core::stability_peak* peak = plot.dominant_pole();
+            if (peak == nullptr) {
+                std::printf("%9s", "n/a");
+                continue;
+            }
+            const real exact = -1.0 / (zeta * zeta);
+            std::printf("%8.2f%%", 100.0 * std::fabs(peak->value - exact) / std::fabs(exact));
+        }
+        std::puts("");
+    }
+    std::puts("\nfrequency localization error (percent of fn), zeta = 0.2:");
+    for (const std::size_t ppd : {10u, 20u, 40u, 80u, 160u}) {
+        const core::stability_plot plot = plot_at(0.2, ppd, false);
+        const core::stability_peak* peak = plot.dominant_pole();
+        if (peak != nullptr)
+            std::printf("  %3zu ppd: %6.3f%%\n", ppd,
+                        100.0 * std::fabs(peak->freq_hz - 1e6) / 1e6);
+    }
+    std::puts("");
+}
+
+void bm_plot_vs_ppd(benchmark::State& state)
+{
+    const std::size_t ppd = static_cast<std::size_t>(state.range(0));
+    const auto t = numeric::rational::second_order_lowpass(0.2, to_omega(1e6));
+    core::sweep_spec sweep;
+    sweep.points_per_decade = ppd;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t.magnitude(to_omega(freqs[i]));
+    for (auto _ : state) {
+        const auto plot = core::compute_stability_plot(freqs, mag);
+        benchmark::DoNotOptimize(plot.p.data());
+    }
+    state.counters["ppd"] = static_cast<double>(ppd);
+}
+BENCHMARK(bm_plot_vs_ppd)->Arg(10)->Arg(40)->Arg(160);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

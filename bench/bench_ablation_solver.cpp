@@ -1,0 +1,97 @@
+// A2 — solver ablation: dense reference LU vs sparse Gilbert–Peierls on
+// growing RC ladders (complex AC solves), and serial vs threaded
+// all-nodes sweeps. Prints a scaling table; benchmarks both paths.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "circuits/opamp.h"
+#include "circuits/rlc.h"
+#include "core/analyzer.h"
+#include "spice/ac_analysis.h"
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+
+namespace {
+
+using namespace acstab;
+
+double time_ac_ms(spice::circuit& c, spice::solver_kind kind, int repeats)
+{
+    const spice::dc_result op = spice::dc_operating_point(c);
+    std::vector<real> freqs;
+    for (int i = 0; i < 20; ++i)
+        freqs.push_back(1e3 * std::pow(10.0, i * 0.3));
+    spice::ac_options opt;
+    opt.solver = kind;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+        const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution, opt);
+        benchmark::DoNotOptimize(res.solution.data());
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count() / repeats;
+}
+
+void print_ablation()
+{
+    std::puts("==============================================================================");
+    std::puts("A2 — dense vs sparse MNA solves on RC ladders (20-point AC sweep, ms)");
+    std::puts("==============================================================================");
+    std::puts("sections  unknowns   dense [ms]   sparse [ms]   speedup");
+    std::puts("------------------------------------------------------------------------------");
+    for (const std::size_t sections : {10u, 40u, 160u, 640u}) {
+        spice::circuit c;
+        circuits::build_rc_ladder(c, sections);
+        c.finalize();
+        const int repeats = sections > 100 ? 1 : 5;
+        const double dense = time_ac_ms(c, spice::solver_kind::dense, repeats);
+        const double sparse = time_ac_ms(c, spice::solver_kind::sparse, repeats);
+        std::printf("%8zu  %8zu   %10.2f   %11.2f   %7.1fx\n", sections, c.unknown_count(),
+                    dense, sparse, dense / sparse);
+    }
+
+    std::puts("\nserial vs threaded all-nodes sweep on the op-amp buffer (ms):");
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        spice::circuit c;
+        (void)circuits::build_opamp_buffer(c);
+        core::stability_options opt;
+        opt.sweep.points_per_decade = 40;
+        opt.threads = threads;
+        core::stability_analyzer an(c, opt);
+        (void)an.operating_point();
+        const auto start = std::chrono::steady_clock::now();
+        const core::stability_report rep = an.analyze_all_nodes();
+        const auto stop = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(rep.nodes.data());
+        std::printf("  %zu thread(s): %8.1f ms\n", threads,
+                    std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+    std::puts("");
+}
+
+void bm_ladder_ac(benchmark::State& state)
+{
+    spice::circuit c;
+    circuits::build_rc_ladder(c, static_cast<std::size_t>(state.range(0)));
+    const spice::dc_result op = spice::dc_operating_point(c);
+    spice::ac_options opt;
+    opt.solver = state.range(1) == 0 ? spice::solver_kind::dense : spice::solver_kind::sparse;
+    for (auto _ : state) {
+        const spice::ac_result res = spice::ac_sweep(c, {1e6}, op.solution, opt);
+        benchmark::DoNotOptimize(res.solution.data());
+    }
+    state.SetLabel(state.range(1) == 0 ? "dense" : "sparse");
+}
+BENCHMARK(bm_ladder_ac)->Args({40, 0})->Args({40, 1})->Args({320, 0})->Args({320, 1});
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

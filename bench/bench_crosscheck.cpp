@@ -1,0 +1,134 @@
+// X1 — the paper's section-3 consistency claim, all methods side by side:
+//   * stability plot (no loop breaking)        -> fn, zeta, PM, overshoot
+//   * open-loop Bode (loop broken)             -> PM, crossover, f(-180)
+//   * transient step (black box)               -> overshoot, ringing freq
+//   * (G,C) pencil eigenvalues (ground truth)  -> fn, zeta
+// The paper asserts: fn lies between the 0 dB crossover and the -180 deg
+// frequency, and the index-predicted overshoot matches the transient.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/bode.h"
+#include "analysis/pole_zero.h"
+#include "analysis/transient_overshoot.h"
+#include "circuits/opamp.h"
+#include "core/analyzer.h"
+#include "numeric/interpolation.h"
+#include "spice/circuit.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace acstab;
+
+void print_crosscheck()
+{
+    std::puts("==============================================================================");
+    std::puts("X1 — method cross-check on the op-amp buffer (paper section 3)");
+    std::puts("==============================================================================");
+
+    // Stability plot.
+    real fn = 0.0;
+    real pm_est = 0.0;
+    real os_est = 0.0;
+    real zeta_est = 0.0;
+    {
+        spice::circuit c;
+        const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+        core::stability_options opt;
+        opt.sweep.fstart = 1e3;
+        opt.sweep.fstop = 1e9;
+        opt.sweep.points_per_decade = 60;
+        core::stability_analyzer an(c, opt);
+        const core::node_stability ns = an.analyze_node(n.out);
+        fn = ns.dominant.freq_hz;
+        pm_est = ns.phase_margin_est_deg;
+        os_est = ns.overshoot_est_pct;
+        zeta_est = ns.zeta;
+    }
+
+    // Bode.
+    spice::bode_margins bode;
+    {
+        spice::circuit c;
+        const circuits::opamp_nodes n = circuits::build_opamp_open_loop(c);
+        const std::vector<real> freqs = numeric::log_space(1e2, 1e9, 300);
+        const analysis::frequency_response fr
+            = analysis::measure_response(c, "vstim", n.out, freqs);
+        std::vector<cplx> loop(fr.h.size());
+        for (std::size_t i = 0; i < loop.size(); ++i)
+            loop[i] = -fr.h[i];
+        bode = spice::margins(freqs, loop);
+    }
+
+    // Transient.
+    real os_meas = 0.0;
+    real fring = 0.0;
+    {
+        spice::circuit c;
+        circuits::opamp_params p;
+        p.step_volts = 0.01;
+        const circuits::opamp_nodes n = circuits::build_opamp_buffer(c, p);
+        analysis::step_options so;
+        so.tstop = 6e-6;
+        const auto m = analysis::measure_step_response(c, n.out, so);
+        os_meas = m.overshoot_pct;
+        fring = m.ringing_freq_hz;
+    }
+
+    // Pencil ground truth.
+    analysis::pole dom{};
+    {
+        spice::circuit c;
+        (void)circuits::build_opamp_buffer(c);
+        core::stability_analyzer an(c);
+        (void)analysis::dominant_complex_pole(
+            analysis::circuit_poles(c, an.operating_point()), dom);
+    }
+
+    std::puts("method               fn / f_char        PM [deg]   overshoot [%]");
+    std::puts("------------------------------------------------------------------------------");
+    std::printf("stability plot       %-18s %8.1f   %10.1f\n",
+                spice::format_frequency(fn).c_str(), pm_est, os_est);
+    std::printf("open-loop Bode       %-18s %8.1f   %10s\n",
+                spice::format_frequency(bode.unity_freq_hz).c_str(), bode.phase_margin_deg,
+                "-");
+    std::printf("transient step       %-18s %8s   %10.1f\n",
+                spice::format_frequency(fring).c_str(), "-", os_meas);
+    std::printf("(G,C) pencil         %-18s %8.1f   %10s\n",
+                spice::format_frequency(dom.freq_hz).c_str(), 100.0 * dom.zeta, "-");
+    std::puts("------------------------------------------------------------------------------");
+    std::printf("consistency: crossover %s  <  fn %s  <  f(-180) %s : %s\n",
+                spice::format_frequency(bode.unity_freq_hz).c_str(),
+                spice::format_frequency(fn).c_str(),
+                spice::format_frequency(bode.phase_cross_freq_hz).c_str(),
+                (bode.unity_freq_hz < fn && fn < bode.phase_cross_freq_hz) ? "PASS" : "FAIL");
+    std::printf("overshoot prediction: %.1f %% predicted vs %.1f %% measured (|err| = %.1f)\n",
+                os_est, os_meas, os_est > os_meas ? os_est - os_meas : os_meas - os_est);
+    std::printf("zeta: %.3f (stability plot) vs %.3f (pencil)\n\n", zeta_est, dom.zeta);
+}
+
+void bm_full_crosscheck(benchmark::State& state)
+{
+    for (auto _ : state) {
+        spice::circuit c;
+        const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+        core::stability_options opt;
+        opt.sweep.points_per_decade = 30;
+        core::stability_analyzer an(c, opt);
+        const core::node_stability ns = an.analyze_node(n.out);
+        benchmark::DoNotOptimize(ns.zeta);
+    }
+}
+BENCHMARK(bm_full_crosscheck)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_crosscheck();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

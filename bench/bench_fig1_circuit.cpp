@@ -1,0 +1,88 @@
+// Fig. 1: the op-amp circuit itself. Prints the netlist-style inventory
+// and the DC operating point — our text substitute for the schematic —
+// and benchmarks the DC solve that every analysis builds on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "circuits/opamp.h"
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+#include "spice/devices/mosfet.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace acstab;
+
+void print_fig1()
+{
+    std::puts("==============================================================================");
+    std::puts("Fig. 1 — 2 MHz-class two-stage op-amp connected as a buffer");
+    std::puts("==============================================================================");
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+
+    std::printf("devices: %zu, nodes: %zu\n\n", c.devices().size(), c.node_count());
+    std::puts("device            type        nodes");
+    std::puts("------------------------------------------------------------------------------");
+    for (const auto& dev : c.devices()) {
+        std::printf("%-18s%-12s", dev->name().c_str(), std::string(dev->type_name()).c_str());
+        for (const spice::node_id id : dev->nodes())
+            std::printf("%s ", c.node_name(id).c_str());
+        std::puts("");
+    }
+
+    const spice::dc_result op = spice::dc_operating_point(c);
+    std::puts("\nDC operating point:");
+    for (std::size_t i = 0; i < c.node_count(); ++i)
+        std::printf("  V(%-8s) = %9.5f V\n",
+                    c.node_name(static_cast<spice::node_id>(i)).c_str(), op.solution[i]);
+
+    std::puts("\nkey small-signal parameters:");
+    for (const char* name : {"m1", "m2", "m6"}) {
+        const auto* m = dynamic_cast<const spice::mosfet*>(c.find_device(name));
+        if (m == nullptr)
+            continue;
+        const auto ss = m->small_signal(op.solution);
+        std::printf("  %-3s: id = %9.3g A  gm = %9.3g S  region = %s\n", name, ss.id, ss.gm,
+                    ss.region == 2 ? "sat" : (ss.region == 1 ? "triode" : "cutoff"));
+    }
+    std::printf("\nbuffer output: V(%s) = %.4f V (target 2.5 V)\n\n", n.out.c_str(),
+                spice::node_voltage(c, op.solution, n.out));
+}
+
+void bm_opamp_dc_operating_point(benchmark::State& state)
+{
+    spice::circuit c;
+    (void)circuits::build_opamp_buffer(c);
+    for (auto _ : state) {
+        const spice::dc_result op = spice::dc_operating_point(c);
+        benchmark::DoNotOptimize(op.solution.data());
+    }
+}
+BENCHMARK(bm_opamp_dc_operating_point)->Unit(benchmark::kMillisecond);
+
+void bm_opamp_dc_dense_vs_sparse(benchmark::State& state)
+{
+    spice::circuit c;
+    (void)circuits::build_opamp_buffer(c);
+    spice::dc_options opt;
+    opt.solver = state.range(0) == 0 ? spice::solver_kind::dense : spice::solver_kind::sparse;
+    for (auto _ : state) {
+        const spice::dc_result op = spice::dc_operating_point(c, opt);
+        benchmark::DoNotOptimize(op.solution.data());
+    }
+    state.SetLabel(state.range(0) == 0 ? "dense" : "sparse");
+}
+BENCHMARK(bm_opamp_dc_dense_vs_sparse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_fig1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 2: small-signal step response of the buffer showing ~55 % overshoot
+// (the paper's traditional "node pulsing" baseline). Prints the waveform
+// as an ASCII chart plus the measured metrics; benchmarks the transient
+// engine at two step densities.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/transient_overshoot.h"
+#include "circuits/opamp.h"
+#include "core/ascii_plot.h"
+#include "spice/circuit.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace acstab;
+
+void print_fig2()
+{
+    std::puts("==============================================================================");
+    std::puts("Fig. 2 — buffer step response (paper: ~55 % overshoot, close to the 53 %");
+    std::puts("          predicted from the stability plot)");
+    std::puts("==============================================================================");
+    spice::circuit c;
+    circuits::opamp_params p;
+    p.step_volts = 0.01;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c, p);
+    analysis::step_options so;
+    so.tstop = 6e-6;
+    const analysis::step_response_metrics m = analysis::measure_step_response(c, n.out, so);
+
+    // Render the interesting window around the step.
+    std::vector<real> t;
+    std::vector<real> v;
+    const std::vector<real> full = spice::node_waveform(c, m.raw, n.out);
+    for (std::size_t i = 0; i < m.raw.time.size(); ++i) {
+        if (m.raw.time[i] >= 0.8e-6 && m.raw.time[i] <= 4e-6) {
+            t.push_back(m.raw.time[i]);
+            v.push_back(full[i]);
+        }
+    }
+    core::ascii_plot_options po;
+    po.log_x = false;
+    po.title = "V(out) vs time [0.8us .. 4us]";
+    std::fputs(core::ascii_plot(t, v, po).c_str(), stdout);
+
+    std::printf("\novershoot        : %.1f %%\n", m.overshoot_pct);
+    std::printf("ringing frequency: %s\n", spice::format_frequency(m.ringing_freq_hz).c_str());
+    std::printf("settling (2%%)    : %.3g s\n", m.settling_time_s);
+    std::printf("final value      : %.4f V\n\n", m.final_value);
+}
+
+void bm_buffer_transient(benchmark::State& state)
+{
+    spice::circuit c;
+    circuits::opamp_params p;
+    p.step_volts = 0.01;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c, p);
+    (void)n;
+    spice::tran_options opt;
+    opt.tstop = 6e-6;
+    opt.dt = opt.tstop / static_cast<real>(state.range(0));
+    for (auto _ : state) {
+        const spice::tran_result res = spice::transient(c, opt);
+        benchmark::DoNotOptimize(res.solution.data());
+    }
+    state.counters["steps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(bm_buffer_transient)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_fig2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Table 1: key performance characteristics of a second-order system.
+//
+// Prints the paper's table twice: from the closed-form theory, and as
+// *measured* by the full pipeline — a parallel RLC tank simulated at each
+// damping ratio, probed with the AC-current stimulus, peak read off the
+// stability plot. The benchmark times the plot computation kernel.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "circuits/rlc.h"
+#include "core/analyzer.h"
+#include "core/second_order.h"
+#include "core/stability_plot.h"
+#include "numeric/rational.h"
+#include "spice/circuit.h"
+
+namespace {
+
+using namespace acstab;
+
+void print_table1()
+{
+    std::puts("==============================================================================");
+    std::puts("Table 1 — second-order dominant root characteristics (paper, DATE'05)");
+    std::puts("==============================================================================");
+    std::puts("                 analytic                              measured (simulated");
+    std::puts("                                                       RLC tank @ 1 MHz)");
+    std::puts("zeta  overshoot%  PM[deg]  max-mag  perf-index   |   peak        fn[MHz]");
+    std::puts("------------------------------------------------------------------------------");
+    for (const auto& row : core::table1()) {
+        char pm[16];
+        char mp[16];
+        char pi[16];
+        if (row.zeta > 0.705)
+            std::snprintf(pm, sizeof pm, "%7s", "-");
+        else
+            std::snprintf(pm, sizeof pm, "%7.0f", row.phase_margin_deg);
+        if (row.zeta >= 0.705 || !std::isfinite(row.max_magnitude))
+            std::snprintf(mp, sizeof mp, "%7s", std::isinf(row.max_magnitude) ? "inf" : "-");
+        else
+            std::snprintf(mp, sizeof mp, "%7.2f", row.max_magnitude);
+        if (std::isinf(row.perf_index))
+            std::snprintf(pi, sizeof pi, "%10s", "-inf");
+        else
+            std::snprintf(pi, sizeof pi, "%10.1f", row.perf_index);
+
+        char measured[40] = "      (no peak: overdamped)";
+        if (row.zeta > 0.05 && row.zeta < 0.95) {
+            spice::circuit c;
+            circuits::add_parallel_rlc_tank(c, "tank", row.zeta, 1e6);
+            core::stability_options opt;
+            opt.sweep.fstart = 1e4;
+            opt.sweep.fstop = 1e8;
+            opt.sweep.points_per_decade = 80;
+            core::stability_analyzer an(c, opt);
+            const core::node_stability ns = an.analyze_node("tank");
+            if (ns.has_peak)
+                std::snprintf(measured, sizeof measured, "%10.2f   %8.4f",
+                              ns.dominant.value, ns.dominant.freq_hz / 1e6);
+        }
+        std::printf("%4.1f  %9.0f  %s  %s  %s   |%s\n", row.zeta, row.overshoot_pct, pm, mp,
+                    pi, measured);
+    }
+    std::puts("------------------------------------------------------------------------------");
+    std::puts("paper rows for reference: zeta=0.2 -> 53%, 20 deg, 2.6, -25;"
+              " zeta=0.5 -> 16%, 50 deg, 1.15, -4.0\n");
+}
+
+void bm_stability_plot_kernel(benchmark::State& state)
+{
+    const auto t = numeric::rational::second_order_lowpass(0.2, to_omega(1e6));
+    core::sweep_spec sweep;
+    sweep.fstart = 1e3;
+    sweep.fstop = 1e9;
+    sweep.points_per_decade = static_cast<std::size_t>(state.range(0));
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t.magnitude(to_omega(freqs[i]));
+    for (auto _ : state) {
+        const core::stability_plot plot = core::compute_stability_plot(freqs, mag);
+        benchmark::DoNotOptimize(plot.peaks.data());
+    }
+    state.counters["points"] = static_cast<double>(freqs.size());
+}
+BENCHMARK(bm_stability_plot_kernel)->Arg(20)->Arg(60)->Arg(200);
+
+void bm_tank_single_node_analysis(benchmark::State& state)
+{
+    spice::circuit c;
+    circuits::add_parallel_rlc_tank(c, "tank", 0.2, 1e6);
+    core::stability_options opt;
+    opt.sweep.points_per_decade = static_cast<std::size_t>(state.range(0));
+    core::stability_analyzer an(c, opt);
+    (void)an.operating_point();
+    for (auto _ : state) {
+        const core::node_stability ns = an.analyze_node("tank");
+        benchmark::DoNotOptimize(ns.dominant.value);
+    }
+}
+BENCHMARK(bm_tank_single_node_analysis)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_table1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

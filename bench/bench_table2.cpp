@@ -1,0 +1,74 @@
+// Table 2: stability-plot peak values for all circuit nodes, sorted by
+// loop natural frequency — the op-amp buffer with its zero-TC bias
+// generator, exactly the paper's workload. Benchmarks compare the serial
+// and threaded all-nodes sweeps.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "circuits/opamp.h"
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "spice/circuit.h"
+
+namespace {
+
+using namespace acstab;
+
+core::stability_options sweep_options(std::size_t ppd = 50, std::size_t threads = 1)
+{
+    core::stability_options opt;
+    opt.sweep.fstart = 1e3;
+    opt.sweep.fstop = 1e9;
+    opt.sweep.points_per_decade = ppd;
+    opt.threads = threads;
+    return opt;
+}
+
+void print_table2()
+{
+    std::puts("==============================================================================");
+    std::puts("Table 2 — all-nodes stability report of the 2 MHz-class op-amp buffer");
+    std::puts("          (with zero-TC bias generator; paper: main loop at 3.3 MHz plus");
+    std::puts("           local bias loops at 36.3 / 47.9 / 51.3 MHz)");
+    std::puts("==============================================================================");
+    spice::circuit c;
+    (void)circuits::build_opamp_buffer(c);
+    core::stability_analyzer an(c, sweep_options());
+    const core::stability_report rep = an.analyze_all_nodes();
+    std::fputs(core::format_all_nodes_report(rep).c_str(), stdout);
+    std::puts("");
+}
+
+void bm_all_nodes_sweep(benchmark::State& state)
+{
+    spice::circuit c;
+    (void)circuits::build_opamp_buffer(c);
+    core::stability_analyzer an(c,
+                                sweep_options(static_cast<std::size_t>(state.range(0)),
+                                              static_cast<std::size_t>(state.range(1))));
+    (void)an.operating_point();
+    for (auto _ : state) {
+        const core::stability_report rep = an.analyze_all_nodes();
+        benchmark::DoNotOptimize(rep.nodes.data());
+    }
+    state.counters["ppd"] = static_cast<double>(state.range(0));
+    state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(bm_all_nodes_sweep)
+    ->Args({30, 1})
+    ->Args({30, 4})
+    ->Args({50, 1})
+    ->Args({50, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    print_table2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

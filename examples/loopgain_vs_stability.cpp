@@ -1,0 +1,67 @@
+// Compare three ways to judge the same loop — all without breaking it:
+//   1. the paper's stability plot (one AC run, any node, no probe),
+//   2. a Middlebrook double-injection loop-gain probe (two AC runs,
+//      needs a probe element in the loop wire — the "stb" approach),
+//   3. the (G,C) pencil eigenvalues (ground truth).
+// Swept over the second pole position so the loop walks from comfortable
+// to nearly unstable.
+#include <cstdio>
+
+#include "analysis/loop_gain.h"
+#include "analysis/pole_zero.h"
+#include "circuits/rlc.h"
+#include "core/analyzer.h"
+#include "core/second_order.h"
+#include "numeric/interpolation.h"
+#include "spice/circuit.h"
+#include "spice/units.h"
+
+int main()
+{
+    using namespace acstab;
+
+    std::puts("p2/p1 ratio sweep of a two-pole unity-feedback loop (a1*a2 = 10000)\n");
+    std::puts("p2 [Hz]   | stability plot            | loop-gain probe   | pencil");
+    std::puts("          | fn          PM_est  zeta  | fc          PM    | zeta");
+    std::puts("-----------------------------------------------------------------------");
+
+    for (const real p2 : {3e4, 1e5, 3e5, 1e6, 3e6}) {
+        spice::circuit c;
+        circuits::two_pole_loop_spec spec;
+        spec.p1_hz = 1e3;
+        spec.p2_hz = p2;
+        const circuits::two_pole_loop_nodes nodes = circuits::build_two_pole_loop(c, spec);
+
+        core::stability_options opt;
+        opt.sweep.fstart = 1e2;
+        opt.sweep.fstop = 1e9;
+        opt.sweep.points_per_decade = 50;
+        core::stability_analyzer an(c, opt);
+        const core::node_stability ns = an.analyze_node(nodes.output);
+
+        const std::vector<real> freqs = numeric::log_space(1e2, 1e9, 300);
+        const analysis::loop_gain_result lg
+            = analysis::measure_loop_gain(c, nodes.probe, freqs);
+
+        analysis::pole dom;
+        const bool has_pole = analysis::dominant_complex_pole(
+            analysis::circuit_poles(c, an.operating_point()), dom);
+
+        char stab[48] = "no peak (well damped)     ";
+        if (ns.has_peak && ns.is_underdamped)
+            std::snprintf(stab, sizeof stab, "%-11s %5.1f  %5.3f",
+                          spice::format_frequency(ns.dominant.freq_hz).c_str(),
+                          ns.phase_margin_est_deg, ns.zeta);
+        std::printf("%-9s | %s | %-11s %5.1f | %s\n",
+                    spice::format_engineering(p2).c_str(), stab,
+                    spice::format_frequency(lg.margins.unity_freq_hz).c_str(),
+                    lg.margins.phase_margin_deg,
+                    has_pole ? spice::format_engineering(dom.zeta, 3).c_str() : "-");
+    }
+
+    std::puts("\nReading: as p2 falls toward the crossover the loop loses phase margin;");
+    std::puts("the stability plot, the probe, and the eigenvalues tell the same story,");
+    std::puts("but only the stability plot needed neither a probe element nor a second");
+    std::puts("run — it can be applied to every node of a full chip netlist.");
+    return 0;
+}

@@ -1,0 +1,39 @@
+// Quickstart: probe one node of a known second-order circuit and read the
+// loop's damping ratio and phase margin off the stability plot.
+//
+// A parallel RLC tank with zeta = 0.2 and fn = 1 MHz must show a negative
+// stability peak of -1/zeta^2 = -25 at 1 MHz (paper eq. 1.4).
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/ascii_plot.h"
+#include "core/report.h"
+#include "circuits/rlc.h"
+#include "spice/circuit.h"
+
+int main()
+{
+    using namespace acstab;
+
+    spice::circuit c;
+    circuits::add_parallel_rlc_tank(c, "tank", /*zeta=*/0.2, /*fn_hz=*/1e6);
+
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e8;
+    opt.sweep.points_per_decade = 60;
+
+    core::stability_analyzer analyzer(c, opt);
+    const core::node_stability ns = analyzer.analyze_node("tank");
+
+    std::puts("== acstab quickstart: parallel RLC tank, zeta=0.2, fn=1 MHz ==\n");
+    std::fputs(core::format_node_summary(ns).c_str(), stdout);
+
+    core::ascii_plot_options plot_opt;
+    plot_opt.title = "\nStability plot P(f) at node 'tank'";
+    std::fputs(core::ascii_plot(ns.plot.freq_hz, ns.plot.p, plot_opt).c_str(), stdout);
+
+    std::printf("\nExpected: peak = -25 at 1 MHz; measured: %.2f at %.4g Hz\n",
+                ns.dominant.value, ns.dominant.freq_hz);
+    return 0;
+}

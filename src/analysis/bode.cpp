@@ -1,0 +1,47 @@
+#include "analysis/bode.h"
+
+#include "common/error.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::analysis {
+
+frequency_response measure_response(spice::circuit& c, const std::string& source_name,
+                                    const std::string& output_node,
+                                    const std::vector<real>& freqs_hz, const bode_options& opt)
+{
+    spice::device* src = c.find_device(source_name);
+    if (src == nullptr)
+        throw analysis_error("bode: unknown source '" + source_name + "'");
+
+    cplx stimulus{0.0, 0.0};
+    if (const auto* vs = dynamic_cast<const spice::vsource*>(src))
+        stimulus = vs->spec().ac_phasor();
+    else if (const auto* is = dynamic_cast<const spice::isource*>(src))
+        stimulus = is->spec().ac_phasor();
+    else
+        throw analysis_error("bode: device '" + source_name + "' is not an independent source");
+    if (stimulus == cplx{0.0, 0.0})
+        throw analysis_error("bode: source '" + source_name + "' has zero AC magnitude");
+
+    spice::dc_options dc = opt.dc;
+    dc.solver = opt.solver;
+    dc.gmin = opt.gmin;
+    const spice::dc_result op = spice::dc_operating_point(c, dc);
+
+    spice::ac_options ac;
+    ac.solver = opt.solver;
+    ac.gmin = opt.gmin;
+    ac.gshunt = opt.gshunt;
+    ac.exclusive_source = src;
+    const spice::ac_result res = spice::ac_sweep(c, freqs_hz, op.solution, ac);
+
+    frequency_response out;
+    out.freq_hz = freqs_hz;
+    out.h = spice::node_response(c, res, output_node);
+    for (cplx& v : out.h)
+        v /= stimulus;
+    out.margins = spice::margins(out.freq_hz, out.h);
+    return out;
+}
+
+} // namespace acstab::analysis

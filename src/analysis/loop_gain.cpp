@@ -1,0 +1,86 @@
+#include "analysis/loop_gain.h"
+
+#include "common/error.h"
+#include "spice/ac_analysis.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::analysis {
+
+loop_gain_result measure_loop_gain(spice::circuit& c, const std::string& probe_vsource,
+                                   const std::vector<real>& freqs_hz,
+                                   const loop_gain_options& opt)
+{
+    auto* probe = dynamic_cast<spice::vsource*>(c.find_device(probe_vsource));
+    if (probe == nullptr)
+        throw analysis_error("loop gain: probe vsource '" + probe_vsource + "' not found");
+    if (probe->spec().dc != 0.0)
+        throw analysis_error("loop gain: probe '" + probe_vsource + "' must be a 0 V source");
+
+    c.finalize();
+    const spice::node_id node_x = probe->nodes()[0];
+    const spice::node_id node_y = probe->nodes()[1];
+    if (node_x < 0 || node_y < 0)
+        throw analysis_error("loop gain: probe must not touch ground");
+
+    spice::dc_options dc = opt.dc;
+    dc.solver = opt.solver;
+    dc.gmin = opt.gmin;
+    const spice::dc_result op = spice::dc_operating_point(c, dc);
+
+    spice::ac_options ac;
+    ac.solver = opt.solver;
+    ac.gmin = opt.gmin;
+    ac.gshunt = opt.gshunt;
+    ac.exclusive_source = probe;
+
+    // Run 1: voltage injection through the probe itself.
+    const spice::waveform_spec saved = probe->spec();
+    probe->set_spec(spice::waveform_spec::make_ac(0.0, 1.0));
+    spice::ac_result run_v;
+    try {
+        run_v = spice::ac_sweep(c, freqs_hz, op.solution, ac);
+    } catch (...) {
+        probe->set_spec(saved);
+        throw;
+    }
+    probe->set_spec(saved);
+
+    // Run 2: current injection into the receiving node y; the probe (back
+    // to 0 V AC) measures the branch current on the driving side.
+    const std::string inj_name = "iloop_inject__" + probe_vsource;
+    auto& inj = c.add<spice::isource>(inj_name, spice::ground_node, node_y,
+                                      spice::waveform_spec::make_ac(0.0, 1.0));
+    spice::ac_result run_i;
+    try {
+        spice::ac_options ac_i = ac;
+        ac_i.exclusive_source = &inj;
+        run_i = spice::ac_sweep(c, freqs_hz, op.solution, ac_i);
+    } catch (...) {
+        c.remove_device(inj_name);
+        throw;
+    }
+    c.remove_device(inj_name);
+
+    const std::size_t branch = static_cast<std::size_t>(probe->branch());
+    loop_gain_result out;
+    out.freq_hz = freqs_hz;
+    out.tv.resize(freqs_hz.size());
+    out.ti.resize(freqs_hz.size());
+    out.t.resize(freqs_hz.size());
+    for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
+        const cplx vx = run_v.solution[k][static_cast<std::size_t>(node_x)];
+        const cplx vy = run_v.solution[k][static_cast<std::size_t>(node_y)];
+        const cplx tv = -vx / vy;
+        // Probe branch current flows plus(x) -> minus(y); with 1 A pushed
+        // into y, the B-side current is i + 1.
+        const cplx i = run_i.solution[k][branch];
+        const cplx ti = -i / (i + cplx{1.0, 0.0});
+        out.tv[k] = tv;
+        out.ti[k] = ti;
+        out.t[k] = (tv * ti - cplx{1.0, 0.0}) / (tv + ti + cplx{2.0, 0.0});
+    }
+    out.margins = spice::margins(out.freq_hz, out.t);
+    return out;
+}
+
+} // namespace acstab::analysis

@@ -1,0 +1,53 @@
+// Baseline 3: double-injection loop-gain probe (Middlebrook), the method
+// commercial "stb" analyses build on. Like the paper's technique it does
+// not break the loop; unlike it, it needs a designated probe element in
+// the loop wire and two AC runs.
+//
+// Probe convention: a zero-volt vsource inserted in the loop wire with its
+// PLUS terminal on the driving side (block A output, node x) and MINUS on
+// the receiving side (block B input, node y).
+//
+//   Voltage injection: the probe's AC value is set to 1; for an ideal
+//   unilateral loop v(x) - v(y) = 1 and the loop returns v(x) = -L v(y),
+//   giving Tv = -v(x)/v(y) = L.
+//   Current injection: 1 A AC is injected into node y; the probe branch
+//   current i measures the A-side share and Ti = -i/(i + 1).
+//   Middlebrook combination: T = (Tv*Ti - 1) / (Tv + Ti + 2), exact for
+//   arbitrary port impedances when reverse transmission is negligible.
+#ifndef ACSTAB_ANALYSIS_LOOP_GAIN_H
+#define ACSTAB_ANALYSIS_LOOP_GAIN_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+#include "spice/measure.h"
+#include "spice/mna.h"
+
+namespace acstab::analysis {
+
+struct loop_gain_result {
+    std::vector<real> freq_hz;
+    std::vector<cplx> tv;   ///< voltage-injection partial loop gain
+    std::vector<cplx> ti;   ///< current-injection partial loop gain
+    std::vector<cplx> t;    ///< combined (Middlebrook) loop gain
+    spice::bode_margins margins; ///< margins of the combined loop gain
+};
+
+struct loop_gain_options {
+    spice::solver_kind solver = spice::solver_kind::sparse;
+    real gmin = 1e-12;
+    real gshunt = 0.0;
+    spice::dc_options dc;
+};
+
+/// Measure loop gain through the named zero-volt probe vsource.
+[[nodiscard]] loop_gain_result measure_loop_gain(spice::circuit& c,
+                                                 const std::string& probe_vsource,
+                                                 const std::vector<real>& freqs_hz,
+                                                 const loop_gain_options& opt = {});
+
+} // namespace acstab::analysis
+
+#endif // ACSTAB_ANALYSIS_LOOP_GAIN_H

@@ -1,0 +1,156 @@
+#include "analysis/pole_zero.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/eig.h"
+#include "numeric/lu.h"
+
+namespace acstab::analysis {
+
+namespace {
+
+    /// Assemble the MNA pencil (G, C) at the operating point by splitting
+    /// the complex stamps at w = 1 rad/s (real part = G, imaginary = C).
+    void assemble_pencil(spice::circuit& c, const std::vector<real>& op,
+                         const pole_zero_options& opt, numeric::dense_matrix<real>& g,
+                         numeric::dense_matrix<real>& cap)
+    {
+        const std::size_t n = c.unknown_count();
+        spice::ac_params p;
+        p.omega = 1.0;
+        p.gmin = opt.gmin;
+        p.zero_all_sources = true;
+        spice::system_builder<cplx> b(n);
+        for (const auto& dev : c.devices())
+            dev->stamp_ac(op, p, b);
+        if (opt.gshunt > 0.0)
+            for (std::size_t i = 0; i < c.node_count(); ++i)
+                b.add(static_cast<spice::node_id>(i), static_cast<spice::node_id>(i),
+                      cplx{opt.gshunt, 0.0});
+        const numeric::dense_matrix<cplx> full = b.matrix().to_dense();
+        g.resize_zero(n, n);
+        cap.resize_zero(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) {
+                g(i, j) = full(i, j).real();
+                cap(i, j) = full(i, j).imag();
+            }
+    }
+
+    /// Finite roots of det(G + sC) = 0 by shift-invert: with
+    /// M = (G + sigma C)^{-1} C, every eigenvalue mu maps to
+    /// s = sigma - 1/mu; mu ~ 0 corresponds to roots at infinity.
+    [[nodiscard]] std::vector<pole> pencil_roots(const numeric::dense_matrix<real>& g,
+                                                 const numeric::dense_matrix<real>& cap,
+                                                 real sigma, const pole_zero_options& opt)
+    {
+        const std::size_t n = g.rows();
+        numeric::dense_matrix<real> shifted = g;
+        if (sigma != 0.0)
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    shifted(i, j) += sigma * cap(i, j);
+        const numeric::lu_decomposition<real> lu(shifted);
+        numeric::dense_matrix<real> m = lu.solve(cap);
+        const std::vector<cplx> mu = numeric::eigenvalues(std::move(m));
+
+        real mu_max = 0.0;
+        for (const cplx& v : mu)
+            mu_max = std::max(mu_max, std::abs(v));
+        const real floor = mu_max * opt.mu_rel_floor;
+
+        std::vector<pole> roots;
+        for (const cplx& v : mu) {
+            if (std::abs(v) <= floor)
+                continue;
+            pole pl;
+            pl.s = sigma - 1.0 / v;
+            const real mag = std::abs(pl.s);
+            pl.freq_hz = mag / two_pi;
+            pl.zeta = mag > 0.0 ? -pl.s.real() / mag : 1.0;
+            pl.is_complex = std::fabs(pl.s.imag()) > 1e-9 * mag;
+            roots.push_back(pl);
+        }
+        std::sort(roots.begin(), roots.end(),
+                  [](const pole& a, const pole& b) { return a.freq_hz < b.freq_hz; });
+        return roots;
+    }
+
+} // namespace
+
+std::vector<pole> circuit_poles(spice::circuit& c, const std::vector<real>& op,
+                                const pole_zero_options& opt)
+{
+    c.finalize();
+    if (op.size() != c.unknown_count())
+        throw analysis_error("pole analysis: operating point has wrong size");
+    numeric::dense_matrix<real> g;
+    numeric::dense_matrix<real> cap;
+    assemble_pencil(c, op, opt, g, cap);
+    return pencil_roots(g, cap, 0.0, opt);
+}
+
+std::vector<pole> impedance_zeros_at_node(spice::circuit& c, const std::vector<real>& op,
+                                          const std::string& node,
+                                          const pole_zero_options& opt)
+{
+    c.finalize();
+    if (op.size() != c.unknown_count())
+        throw analysis_error("zero analysis: operating point has wrong size");
+    const auto id = c.find_node(node);
+    if (!id || *id < 0)
+        throw analysis_error("zero analysis: bad node '" + node + "'");
+
+    numeric::dense_matrix<real> g;
+    numeric::dense_matrix<real> cap;
+    assemble_pencil(c, op, opt, g, cap);
+
+    // Shorting the node to ground deletes its row and column from the
+    // pencil; the reduced pencil's roots are Z_nn's zeros.
+    const std::size_t n = g.rows();
+    const std::size_t skip = static_cast<std::size_t>(*id);
+    numeric::dense_matrix<real> gr(n - 1, n - 1);
+    numeric::dense_matrix<real> cr(n - 1, n - 1);
+    for (std::size_t i = 0, ir = 0; i < n; ++i) {
+        if (i == skip)
+            continue;
+        for (std::size_t j = 0, jr = 0; j < n; ++j) {
+            if (j == skip)
+                continue;
+            gr(ir, jr) = g(i, j);
+            cr(ir, jr) = cap(i, j);
+            ++jr;
+        }
+        ++ir;
+    }
+    // A nonzero shift keeps the solve regular when a zero sits at s = 0
+    // (e.g. a series capacitor path).
+    return pencil_roots(gr, cr, 1.0, opt);
+}
+
+bool dominant_complex_pole(const std::vector<pole>& poles, pole& out)
+{
+    bool found = false;
+    for (const pole& p : poles) {
+        if (!p.is_complex || p.s.imag() <= 0.0)
+            continue;
+        if (!found || p.zeta < out.zeta) {
+            out = p;
+            found = true;
+        }
+    }
+    return found;
+}
+
+std::vector<pole> complex_pairs(const std::vector<pole>& poles)
+{
+    std::vector<pole> pairs;
+    for (const pole& p : poles)
+        if (p.is_complex && p.s.imag() > 0.0)
+            pairs.push_back(p);
+    return pairs;
+}
+
+} // namespace acstab::analysis

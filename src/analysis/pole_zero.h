@@ -1,0 +1,55 @@
+// Pole analysis of the linearized circuit from the MNA pencil (G, C):
+// (G + sC) x = 0. Using the shift-invert transform M = G^{-1} C, every
+// finite pole is s = -1/mu for a nonzero eigenvalue mu of M. Used as the
+// ground truth the stability plot is validated against: a complex pole
+// pair p gives a natural frequency |p|/2pi and damping -Re(p)/|p|.
+#ifndef ACSTAB_ANALYSIS_POLE_ZERO_H
+#define ACSTAB_ANALYSIS_POLE_ZERO_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/mna.h"
+
+namespace acstab::analysis {
+
+struct pole {
+    cplx s;                ///< pole location [rad/s]
+    real freq_hz = 0.0;    ///< |s| / 2 pi
+    real zeta = 0.0;       ///< -Re(s)/|s| (1 for real poles)
+    bool is_complex = false;
+};
+
+struct pole_zero_options {
+    real gmin = 1e-12;
+    real gshunt = 1e-9;
+    /// Eigenvalues with |mu| below this (relative to the largest) are
+    /// treated as poles at infinity and dropped.
+    real mu_rel_floor = 1e-9;
+};
+
+/// All finite poles of the circuit linearized at the operating point.
+[[nodiscard]] std::vector<pole> circuit_poles(spice::circuit& c, const std::vector<real>& op,
+                                              const pole_zero_options& opt = {});
+
+/// Zeros of the driving-point impedance Z_nn at a named node: the natural
+/// frequencies of the circuit with that node shorted to ground (classic
+/// network-theory identity). Useful to judge whether a complex zero seen
+/// in a stability plot belongs to the probed node.
+[[nodiscard]] std::vector<pole> impedance_zeros_at_node(spice::circuit& c,
+                                                        const std::vector<real>& op,
+                                                        const std::string& node,
+                                                        const pole_zero_options& opt = {});
+
+/// The dominant (least-damped) complex pole pair, if any: smallest zeta
+/// among complex poles. Returns false when no complex pair exists.
+[[nodiscard]] bool dominant_complex_pole(const std::vector<pole>& poles, pole& out);
+
+/// Poles sorted by natural frequency, complex pairs reported once
+/// (positive imaginary part representative).
+[[nodiscard]] std::vector<pole> complex_pairs(const std::vector<pole>& poles);
+
+} // namespace acstab::analysis
+
+#endif // ACSTAB_ANALYSIS_POLE_ZERO_H

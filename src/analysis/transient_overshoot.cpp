@@ -1,0 +1,34 @@
+#include "analysis/transient_overshoot.h"
+
+#include "common/error.h"
+#include <cmath>
+
+#include "spice/measure.h"
+
+namespace acstab::analysis {
+
+step_response_metrics measure_step_response(spice::circuit& c, const std::string& output_node,
+                                            const step_options& opt)
+{
+    if (!(opt.tstop > 0.0))
+        throw analysis_error("step response: tstop must be positive");
+
+    spice::tran_options tran = opt.tran;
+    tran.tstop = opt.tstop;
+    tran.dt = opt.dt > 0.0 ? opt.dt : opt.tstop / 4000.0;
+
+    step_response_metrics m;
+    m.raw = spice::transient(c, tran);
+    const std::vector<real> y = spice::node_waveform(c, m.raw, output_node);
+
+    m.initial_value = y.front();
+    m.final_value = spice::final_value(y);
+    m.overshoot_pct = spice::overshoot_percent(y, m.initial_value, m.final_value);
+    m.ringing_freq_hz = spice::ringing_frequency(m.raw.time, y, m.final_value);
+    // Band relative to the step swing so small steps on a DC level work.
+    m.settling_time_s = spice::settling_time_abs(
+        m.raw.time, y, m.final_value, 0.02 * std::fabs(m.final_value - m.initial_value));
+    return m;
+}
+
+} // namespace acstab::analysis

@@ -1,0 +1,120 @@
+#include "circuits/bias.h"
+
+#include "spice/devices/passive.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::circuits {
+
+spice::bjt_model bias_npn_model(real temp_celsius)
+{
+    spice::bjt_model m;
+    m.temp = temp_celsius;
+    m.polarity = spice::bjt_polarity::npn;
+    m.is = 1e-16;
+    m.bf = 150.0;
+    m.br = 2.0;
+    m.vaf = 80.0;
+    m.cje = 0.25e-12;
+    m.vje = 0.75;
+    m.mje = 0.33;
+    m.cjc = 0.15e-12;
+    m.vjc = 0.6;
+    m.mjc = 0.4;
+    m.tf = 0.35e-9;
+    m.tr = 10e-9;
+    return m;
+}
+
+spice::bjt_model bias_pnp_model(real temp_celsius)
+{
+    // Slow lateral PNP: large tf makes the mirror the loop's weak link.
+    spice::bjt_model m;
+    m.temp = temp_celsius;
+    m.polarity = spice::bjt_polarity::pnp;
+    m.is = 1e-16;
+    m.bf = 60.0;
+    m.br = 4.0;
+    m.vaf = 50.0;
+    m.cje = 0.3e-12;
+    m.vje = 0.75;
+    m.mje = 0.33;
+    m.cjc = 0.25e-12;
+    m.vjc = 0.6;
+    m.mjc = 0.4;
+    m.tf = 1.2e-9;
+    m.tr = 30e-9;
+    return m;
+}
+
+bias_nodes build_zero_tc_bias(spice::circuit& c, const bias_params& p)
+{
+    bias_nodes n;
+    const spice::node_id vdd = c.node(p.vdd_node);
+    const spice::node_id vbe = c.node(n.vbe);
+    const spice::node_id mir = c.node(n.mirror);
+    const spice::node_id e2 = c.node(n.emitter2);
+
+    spice::bjt_model npn = bias_npn_model(p.temp_celsius);
+    spice::bjt_model npn_big = npn;
+    npn_big.is = npn.is * p.area_ratio;
+    const spice::bjt_model pnp = bias_pnp_model(p.temp_celsius);
+
+    // Core: Q1 diode (Vbe), Q2 with emitter degeneration R2 (Delta-Vbe),
+    // Q4 diode + Q3 forming the PNP mirror that equalizes the currents.
+    c.add<spice::bjt>("q1", vbe, vbe, spice::ground_node, npn);
+    c.add<spice::bjt>("q2", mir, vbe, e2, npn_big);
+    c.add<spice::resistor>("r2", e2, spice::ground_node, p.r2);
+    c.add<spice::bjt>("q4", mir, mir, vdd, pnp); // diode-connected master
+    c.add<spice::bjt>("q3", vbe, mir, vdd, pnp); // mirror slave into Q1
+    c.add<spice::resistor>("r1", vbe, spice::ground_node, p.r1);
+    c.add<spice::resistor>("rstart", vdd, vbe, p.rstart);
+
+    if (p.cpar_mirror > 0.0)
+        c.add<spice::capacitor>("cpar_mir", mir, spice::ground_node, p.cpar_mirror);
+    if (p.cpar_vbe > 0.0)
+        c.add<spice::capacitor>("cpar_vbe", vbe, spice::ground_node, p.cpar_vbe);
+
+    // Follower-buffered distribution rail: Q7 buffers the mirror voltage
+    // through a wiring/ballast resistance into a capacitive net — the
+    // classic local ringer the paper's method is built to catch.
+    const spice::node_id fb = c.node(n.fol_base);
+    const spice::node_id rail = c.node(n.rail);
+    c.add<spice::resistor>("rb7", mir, fb, p.rbase);
+    c.add<spice::bjt>("q7", vdd, fb, rail, bias_npn_model(p.temp_celsius));
+    c.add<spice::resistor>("rpull", rail, spice::ground_node, p.rpull);
+    if (p.cpar_rail > 0.0)
+        c.add<spice::capacitor>("cpar_rail", rail, spice::ground_node, p.cpar_rail);
+    if (p.compensated) {
+        const spice::node_id snub = c.node("b_snub");
+        c.add<spice::resistor>("rcomp_rail", rail, snub, p.comp_res);
+        c.add<spice::capacitor>("ccomp_rail", snub, spice::ground_node, p.comp_cap);
+    }
+
+    // Optional mirror output sourcing the reference into another block
+    // (2:1 area ratio lifts the core's ~10 uA to the ~20 uA reference the
+    // op-amp expects).
+    if (!p.out_current_node.empty()) {
+        const spice::node_id out = c.node(p.out_current_node);
+        spice::bjt_model pnp_out = pnp;
+        pnp_out.is = pnp.is * 2.0;
+        c.add<spice::bjt>("q6", out, mir, vdd, pnp_out);
+    }
+    return n;
+}
+
+bias_nodes build_standalone_bias(spice::circuit& c, const bias_params& p, real vdd_volts)
+{
+    const spice::node_id vdd = c.node(p.vdd_node);
+    c.add<spice::vsource>("vdd_supply", vdd, spice::ground_node, vdd_volts);
+    bias_nodes n = build_zero_tc_bias(c, p);
+
+    // Output branch: NPN mirror slaved to Q1 with a resistive load.
+    const spice::node_id out = c.node(n.out);
+    const spice::node_id vbe = *c.find_node(n.vbe);
+    c.add<spice::bjt>("q5", out, vbe, spice::ground_node,
+                      bias_npn_model(p.temp_celsius));
+    c.add<spice::resistor>("rload", vdd, out, 100e3);
+    return n;
+}
+
+} // namespace acstab::circuits

@@ -1,0 +1,67 @@
+// The paper's Fig. 5 class of circuit: a self-biased zero-TC current
+// reference (BJT beta-multiplier: Delta-Vbe/R2 PTAT current summed with a
+// Vbe/R1 CTAT term, PNP mirror on top) with a deliberately under-damped
+// local loop in the tens of MHz — the loop the paper's tool uncovers and
+// the authors compensate "by adding a 1 pF capacitor at the collector of
+// Q3".
+#ifndef ACSTAB_CIRCUITS_BIAS_H
+#define ACSTAB_CIRCUITS_BIAS_H
+
+#include <string>
+
+#include "spice/circuit.h"
+#include "spice/devices/bjt.h"
+
+namespace acstab::circuits {
+
+struct bias_params {
+    /// Name of an existing supply node (created if absent by the
+    /// standalone builder).
+    std::string vdd_node = "vdd";
+    /// When non-empty, a PNP mirror output sources the reference current
+    /// into this node (used to bias the op-amp).
+    std::string out_current_node;
+    real temp_celsius = 27.0; ///< device temperature (in-tool TEMP sweep)
+    real r1 = 200e3;        ///< Vbe/R1 CTAT branch
+    real r2 = 5.4e3;        ///< Delta-Vbe/R2 PTAT degeneration
+    real rstart = 500e3;    ///< startup bleed (strong enough to leave the
+                            ///< zero-current equilibrium)
+    real area_ratio = 8.0;  ///< Q2:Q1 emitter area ratio
+    real cpar_mirror = 0.4e-12; ///< wiring parasitic at the PNP mirror node
+    real cpar_vbe = 0.2e-12;    ///< wiring parasitic at the Vbe node
+    /// Follower-buffered bias rail (the local ringer): Q7 buffers the
+    /// mirror rail into a capacitive distribution net.
+    real rbase = 5.6e3;       ///< wiring/ballast resistance at Q7's base
+    real rpull = 39e3;        ///< follower bias pulldown
+    real cpar_rail = 3.3e-12; ///< distribution-net wiring capacitance
+    /// The paper damps their local loop with 1 pF at Q3's collector; the
+    /// equivalent fix for our follower loop is a series-RC snubber on the
+    /// buffered rail (raises the loop's damping ratio past 0.7). Off by
+    /// default so the loop rings like the paper's uncompensated circuit.
+    bool compensated = false;
+    real comp_cap = 10e-12;
+    real comp_res = 500.0;
+};
+
+struct bias_nodes {
+    std::string vbe = "b_vbe";     ///< Q1 base/collector (Vbe node)
+    std::string mirror = "b_mir";  ///< PNP mirror base/collector
+    std::string emitter2 = "b_e2"; ///< Q2 emitter (top of R2)
+    std::string fol_base = "b_fb"; ///< Q7 base behind the ballast
+    std::string rail = "b_ref";    ///< follower-buffered bias rail
+    std::string out = "b_out";     ///< standalone output branch
+};
+
+/// Add the bias core to an existing circuit with a supply on vdd_node.
+bias_nodes build_zero_tc_bias(spice::circuit& c, const bias_params& p = {});
+
+/// Standalone Fig. 5 fixture: supply + core + an NPN mirror output branch
+/// loaded by a resistor, so every characteristic node exists.
+bias_nodes build_standalone_bias(spice::circuit& c, const bias_params& p = {}, real vdd = 5.0);
+
+[[nodiscard]] spice::bjt_model bias_npn_model(real temp_celsius = 27.0);
+[[nodiscard]] spice::bjt_model bias_pnp_model(real temp_celsius = 27.0);
+
+} // namespace acstab::circuits
+
+#endif // ACSTAB_CIRCUITS_BIAS_H

@@ -1,0 +1,70 @@
+#include "circuits/followers.h"
+
+#include "circuits/bias.h"
+#include "circuits/opamp.h"
+#include "spice/devices/bjt.h"
+#include "spice/devices/mosfet.h"
+#include "spice/devices/passive.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::circuits {
+
+follower_nodes build_emitter_follower(spice::circuit& c, const follower_params& p)
+{
+    follower_nodes n;
+    const spice::node_id vdd = c.node("vdd");
+    const spice::node_id in = c.node(n.input);
+    const spice::node_id out = c.node(n.output);
+
+    c.add<spice::vsource>("vdd_supply", vdd, spice::ground_node, p.vdd);
+    c.add<spice::vsource>("vbias", c.node("f_src"), spice::ground_node,
+                          spice::waveform_spec::make_ac(p.vbias, 1.0));
+    c.add<spice::resistor>("rsource", *c.find_node("f_src"), in, p.rsource);
+
+    spice::bjt_model npn = bias_npn_model();
+    npn.tf = 0.5e-9;
+    c.add<spice::bjt>("qf", vdd, in, out, npn);
+    c.add<spice::isource>("iload", out, spice::ground_node, p.ibias);
+    c.add<spice::capacitor>("cload", out, spice::ground_node, p.cload);
+    return n;
+}
+
+follower_nodes build_source_follower(spice::circuit& c, const follower_params& p)
+{
+    follower_nodes n;
+    const spice::node_id vdd = c.node("vdd");
+    const spice::node_id in = c.node(n.input);
+    const spice::node_id out = c.node(n.output);
+
+    c.add<spice::vsource>("vdd_supply", vdd, spice::ground_node, p.vdd);
+    c.add<spice::vsource>("vbias", c.node("f_src"), spice::ground_node,
+                          spice::waveform_spec::make_ac(p.vbias, 1.0));
+    c.add<spice::resistor>("rsource", *c.find_node("f_src"), in, p.rsource);
+
+    c.add<spice::mosfet>("mf", vdd, in, out, spice::ground_node, opamp_nmos_model(), 200e-6,
+                         1e-6);
+    c.add<spice::isource>("iload", out, spice::ground_node, p.ibias);
+    c.add<spice::capacitor>("cload", out, spice::ground_node, p.cload);
+    return n;
+}
+
+mirror_nodes build_current_mirror(spice::circuit& c, real cgate, real iin)
+{
+    mirror_nodes n;
+    const spice::node_id vdd = c.node("vdd");
+    const spice::node_id gate = c.node(n.gate);
+    const spice::node_id out = c.node(n.out);
+
+    c.add<spice::vsource>("vdd_supply", vdd, spice::ground_node, 5.0);
+    c.add<spice::isource>("iin", vdd, gate, iin);
+    const spice::mosfet_model nmos = opamp_nmos_model();
+    c.add<spice::mosfet>("mm1", gate, gate, spice::ground_node, spice::ground_node, nmos,
+                         20e-6, 2e-6);
+    c.add<spice::mosfet>("mm2", out, gate, spice::ground_node, spice::ground_node, nmos,
+                         80e-6, 2e-6);
+    c.add<spice::capacitor>("cgate", gate, spice::ground_node, cgate);
+    c.add<spice::resistor>("rload", vdd, out, 10e3);
+    return n;
+}
+
+} // namespace acstab::circuits

@@ -1,0 +1,44 @@
+// Local-instability fixtures the paper's introduction motivates: emitter
+// and source followers driving capacitive loads (their inductive output
+// impedance resonates with the load), and a current mirror with a
+// parasitic-loaded gate node.
+#ifndef ACSTAB_CIRCUITS_FOLLOWERS_H
+#define ACSTAB_CIRCUITS_FOLLOWERS_H
+
+#include <string>
+
+#include "spice/circuit.h"
+
+namespace acstab::circuits {
+
+struct follower_params {
+    real vdd = 5.0;
+    real vbias = 2.5;    ///< base/gate DC bias
+    real rsource = 10e3; ///< source resistance feeding the base/gate
+    real cload = 50e-12; ///< capacitive load at the emitter/source
+    real ibias = 1e-3;   ///< follower bias current
+};
+
+struct follower_nodes {
+    std::string input = "f_in";  ///< base/gate node behind rsource
+    std::string output = "f_out"; ///< emitter/source node
+};
+
+/// NPN emitter follower with source resistance and capacitive load — the
+/// textbook local oscillator when rsource and cload are both large.
+follower_nodes build_emitter_follower(spice::circuit& c, const follower_params& p = {});
+
+/// NMOS source follower variant.
+follower_nodes build_source_follower(spice::circuit& c, const follower_params& p = {});
+
+/// NMOS 1:4 current mirror with explicit gate-node capacitance; the gate
+/// node shows a well-damped pole, a negative control for peak detection.
+struct mirror_nodes {
+    std::string gate = "m_gate";
+    std::string out = "m_out";
+};
+mirror_nodes build_current_mirror(spice::circuit& c, real cgate = 1e-12, real iin = 100e-6);
+
+} // namespace acstab::circuits
+
+#endif // ACSTAB_CIRCUITS_FOLLOWERS_H

@@ -1,0 +1,139 @@
+#include "circuits/opamp.h"
+
+#include "circuits/bias.h"
+#include "spice/devices/passive.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::circuits {
+
+spice::mosfet_model opamp_nmos_model()
+{
+    spice::mosfet_model m;
+    m.polarity = spice::mos_polarity::nmos;
+    m.vto = 0.7;
+    m.kp = 100e-6;
+    m.lambda = 0.05;
+    m.gamma = 0.45;
+    m.phi = 0.65;
+    m.cox = 2.3e-3;
+    m.cgso = 0.3e-9;
+    m.cgdo = 0.3e-9;
+    m.cbd = 15e-15;
+    m.cbs = 15e-15;
+    return m;
+}
+
+spice::mosfet_model opamp_pmos_model()
+{
+    spice::mosfet_model m;
+    m.polarity = spice::mos_polarity::pmos;
+    m.vto = 0.8;
+    m.kp = 40e-6;
+    m.lambda = 0.08;
+    m.gamma = 0.4;
+    m.phi = 0.65;
+    m.cox = 2.3e-3;
+    m.cgso = 0.3e-9;
+    m.cgdo = 0.3e-9;
+    m.cbd = 20e-15;
+    m.cbs = 20e-15;
+    return m;
+}
+
+namespace {
+
+    /// Everything common to both configurations: supplies, bias chain, the
+    /// two gain stages and the compensation/load network. The inverting
+    /// input node is returned for the caller to wire (buffer vs open loop).
+    spice::node_id build_core(spice::circuit& c, const opamp_params& p, const opamp_nodes& n)
+    {
+        const spice::node_id vdd = c.node("vdd");
+        const spice::node_id out = c.node(n.out);
+        const spice::node_id stg1 = c.node(n.stg1);
+        const spice::node_id mirror = c.node(n.mirror);
+        const spice::node_id tail = c.node(n.tail);
+        const spice::node_id comp = c.node(n.comp);
+        const spice::node_id nbias = c.node(n.nbias);
+        const spice::node_id inp = c.node(n.inp);
+        const spice::node_id inm = c.node("inm");
+
+        const spice::mosfet_model nmos = opamp_nmos_model();
+        const spice::mosfet_model pmos = opamp_pmos_model();
+
+        c.add<spice::vsource>("vdd_supply", vdd, spice::ground_node, p.vdd);
+
+        // Bias reference: ideal source or the Fig. 5 zero-TC generator.
+        if (p.use_bias_generator) {
+            bias_params bp;
+            bp.vdd_node = "vdd";
+            bp.out_current_node = n.nbias;
+            build_zero_tc_bias(c, bp);
+        } else {
+            c.add<spice::isource>("ibias_ref", vdd, nbias, p.ibias);
+        }
+        // Diode-connected bias mirror master.
+        c.add<spice::mosfet>("m8", nbias, nbias, spice::ground_node, spice::ground_node, nmos,
+                             p.w5, p.l5);
+
+        // Differential pair with PMOS mirror load. The second stage adds
+        // one more inversion, so the mirror-side gate (M1) is the
+        // inverting input of the complete amplifier.
+        c.add<spice::mosfet>("m1", mirror, inm, tail, spice::ground_node, nmos, p.w1, p.l1);
+        c.add<spice::mosfet>("m2", stg1, inp, tail, spice::ground_node, nmos, p.w1, p.l1);
+        c.add<spice::mosfet>("m3", mirror, mirror, vdd, vdd, pmos, p.w3, p.l3);
+        c.add<spice::mosfet>("m4", stg1, mirror, vdd, vdd, pmos, p.w3, p.l3);
+        c.add<spice::mosfet>("m5", tail, nbias, spice::ground_node, spice::ground_node, nmos,
+                             p.w5, p.l5);
+
+        // Second stage: PMOS common source with NMOS mirror sink.
+        c.add<spice::mosfet>("m6", out, stg1, vdd, vdd, pmos, p.w6, p.l6);
+        c.add<spice::mosfet>("m7", out, nbias, spice::ground_node, spice::ground_node, nmos,
+                             p.w7, p.l7);
+
+        // Miller compensation with nulling resistor, and the load.
+        c.add<spice::resistor>("rzero", out, comp, p.rzero);
+        c.add<spice::capacitor>("c1", comp, stg1, p.c1);
+        c.add<spice::capacitor>("cload", out, spice::ground_node, p.cload);
+
+        return inm;
+    }
+
+} // namespace
+
+opamp_nodes build_opamp_buffer(spice::circuit& c, const opamp_params& p)
+{
+    opamp_nodes n;
+    const spice::node_id inm = build_core(c, p, n);
+    const spice::node_id out = c.node(n.out);
+    const spice::node_id inp = c.node(n.inp);
+
+    // Unity feedback: inverting input tied to the output.
+    c.add<spice::resistor>("rfb_short", inm, out, 1.0);
+
+    spice::waveform_spec in_spec = p.step_volts > 0.0
+        ? spice::waveform_spec::make_step(p.vcm, p.vcm + p.step_volts, p.step_delay, p.step_rise)
+        : spice::waveform_spec::make_dc(p.vcm);
+    in_spec.ac_mag = 1.0;
+    c.add<spice::vsource>(n.input_source, inp, spice::ground_node, in_spec);
+    return n;
+}
+
+opamp_nodes build_opamp_open_loop(spice::circuit& c, const opamp_params& p)
+{
+    opamp_nodes n;
+    const spice::node_id inm = build_core(c, p, n);
+    const spice::node_id out = c.node(n.out);
+    const spice::node_id inp = c.node(n.inp);
+    const spice::node_id stim = c.node("stim");
+
+    // DC servo through a huge inductor keeps the buffer bias intact while
+    // opening the loop at AC; the stimulus couples through a huge cap.
+    c.add<spice::inductor>("lservo", out, inm, 1e6);
+    c.add<spice::capacitor>("cstim", stim, inm, 1.0);
+    c.add<spice::vsource>("vstim", stim, spice::ground_node,
+                          spice::waveform_spec::make_ac(0.0, 1.0));
+    c.add<spice::vsource>(n.input_source, inp, spice::ground_node, p.vcm);
+    return n;
+}
+
+} // namespace acstab::circuits

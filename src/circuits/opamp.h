@@ -1,0 +1,68 @@
+// The paper's Fig. 1 class of circuit: a ~2 MHz two-stage Miller op-amp
+// (NMOS input pair, PMOS mirror load, PMOS common-source second stage)
+// connected as a unity-gain buffer, with the compensation deliberately
+// weak (~20 deg phase margin) exactly as in the paper's example.
+//
+// The original TI schematic is proprietary; this is a from-scratch design
+// reproducing its published figures of merit (DESIGN.md, substitutions).
+#ifndef ACSTAB_CIRCUITS_OPAMP_H
+#define ACSTAB_CIRCUITS_OPAMP_H
+
+#include <string>
+
+#include "spice/circuit.h"
+#include "spice/devices/mosfet.h"
+
+namespace acstab::circuits {
+
+struct opamp_params {
+    real vdd = 5.0;
+    real vcm = 2.5;       ///< buffer input DC level
+    real ibias = 20e-6;   ///< reference current
+    real c1 = 1.15e-12;   ///< Miller compensation capacitor (paper's C1)
+    real rzero = 650.0;   ///< nulling resistor in series with C1 (rzero)
+    real cload = 205e-12; ///< output load capacitor (cload)
+    /// Geometry [W, L] in meters.
+    real w1 = 20e-6, l1 = 10e-6;   ///< input pair
+    real w3 = 10e-6, l3 = 1e-6;    ///< PMOS mirror load
+    real w5 = 20e-6, l5 = 2e-6;    ///< tail / bias mirror unit
+    real w6 = 290e-6, l6 = 1e-6;   ///< second-stage PMOS
+    real w7 = 100e-6, l7 = 2e-6;   ///< output sink (5x bias mirror)
+    /// Use the BJT zero-TC bias generator (Fig. 5) instead of an ideal
+    /// current source for ibias — the paper's full circuit, whose
+    /// all-nodes report shows both the main loop and the bias loops.
+    bool use_bias_generator = true;
+    /// Small differential step on the buffer input for transient runs.
+    real step_volts = 0.0;
+    real step_delay = 1e-6;
+    real step_rise = 10e-9;
+};
+
+struct opamp_nodes {
+    std::string out = "out";        ///< buffer output
+    std::string stg1 = "net052";    ///< first-stage output / M6 gate
+    std::string mirror = "net136";  ///< PMOS mirror gate node
+    std::string tail = "net138";    ///< differential-pair tail
+    std::string comp = "net99";     ///< rzero/C1 junction
+    std::string nbias = "nbias";    ///< NMOS bias mirror gate
+    std::string inp = "inp";        ///< non-inverting input (driven)
+    std::string input_source = "vinp";
+};
+
+/// Unity-gain buffer (paper Fig. 1). The input source carries AC 1 and,
+/// when step_volts > 0, a rising step for Fig. 2 transients.
+opamp_nodes build_opamp_buffer(spice::circuit& c, const opamp_params& p = {});
+
+/// Open-loop variant for the Fig. 3 baseline: the feedback runs through a
+/// huge inductor (DC servo) and the inverting input is driven through a
+/// huge capacitor by the AC source "vstim", so V(out)/V(stim) = -A(s) and
+/// the buffer loop gain is A(s).
+opamp_nodes build_opamp_open_loop(spice::circuit& c, const opamp_params& p = {});
+
+/// Shared device models.
+[[nodiscard]] spice::mosfet_model opamp_nmos_model();
+[[nodiscard]] spice::mosfet_model opamp_pmos_model();
+
+} // namespace acstab::circuits
+
+#endif // ACSTAB_CIRCUITS_OPAMP_H

@@ -1,0 +1,51 @@
+// Analytically tractable fixtures: second-order tanks, behavioral
+// two-pole feedback loops and RC ladders. Tests and ablations validate
+// the stability plot against these closed-form circuits.
+#ifndef ACSTAB_CIRCUITS_RLC_H
+#define ACSTAB_CIRCUITS_RLC_H
+
+#include <string>
+
+#include "spice/circuit.h"
+
+namespace acstab::circuits {
+
+/// Parallel RLC tank from `node` to ground with natural frequency fn [Hz]
+/// and damping ratio zeta. The node's driving-point impedance is
+/// Z(s) = sL / (s^2 LC + sL/R + 1): its stability plot peaks at exactly
+/// -1/zeta^2 at fn (the numerator zero at s=0 is filtered out by the
+/// double differentiation).
+void add_parallel_rlc_tank(spice::circuit& c, const std::string& node, real zeta, real fn_hz,
+                           real c_farads = 1e-9);
+
+/// Behavioral two-pole unity-feedback loop built from VCCS stages:
+///   L(s) = a1 a2 / ((1 + s/p1)(1 + s/p2)).
+/// The feedback wire runs out -> probe (0 V vsource "vprobe") -> fb, so
+/// loop-gain analyses can inject at the probe. The closed-loop input is
+/// the vsource "vin" driving node "in"; the output node is "out".
+struct two_pole_loop_spec {
+    real a1 = 100.0;
+    real p1_hz = 1e3;
+    real a2 = 100.0;
+    real p2_hz = 1e6;
+};
+
+struct two_pole_loop_nodes {
+    std::string input = "in";
+    std::string stage1 = "s1";
+    std::string output = "out";
+    std::string feedback = "fb";
+    std::string probe = "vprobe";
+    std::string source = "vin";
+};
+
+two_pole_loop_nodes build_two_pole_loop(spice::circuit& c, const two_pole_loop_spec& spec);
+
+/// Uniform RC ladder with n sections from node "in" (driven by vsource
+/// "vin") to "n<k>" nodes; used by solver-scaling ablations.
+void build_rc_ladder(spice::circuit& c, std::size_t sections, real r_ohms = 1e3,
+                     real c_farads = 1e-12);
+
+} // namespace acstab::circuits
+
+#endif // ACSTAB_CIRCUITS_RLC_H

@@ -1,0 +1,206 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "core/second_order.h"
+#include "spice/ac_analysis.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::core {
+
+stability_analyzer::stability_analyzer(spice::circuit& c, stability_options opt)
+    : circuit_(c), opt_(std::move(opt))
+{
+}
+
+const std::vector<real>& stability_analyzer::operating_point()
+{
+    if (!op_) {
+        spice::dc_options dc = opt_.dc;
+        dc.gmin = opt_.gmin;
+        dc.solver = opt_.solver;
+        op_ = spice::dc_operating_point(circuit_, dc);
+    }
+    return op_->solution;
+}
+
+node_stability stability_analyzer::make_node_result(std::string node_name,
+                                                    std::vector<real> freqs,
+                                                    std::vector<real> magnitude) const
+{
+    node_stability ns;
+    ns.node = std::move(node_name);
+    ns.plot = compute_stability_plot(freqs, magnitude, opt_.plot);
+    if (const stability_peak* peak = ns.plot.dominant_pole(); peak != nullptr) {
+        ns.has_peak = true;
+        ns.dominant = *peak;
+        if (peak->value < 0.0) {
+            ns.zeta = zeta_from_performance_index(peak->value);
+            ns.phase_margin_est_deg = std::min(phase_margin_rule_deg(ns.zeta), 90.0);
+            ns.overshoot_est_pct = overshoot_percent(ns.zeta);
+            ns.is_underdamped = peak->flag == peak_flag::normal && ns.zeta < 1.0;
+        }
+    }
+    return ns;
+}
+
+node_stability stability_analyzer::analyze_node(const std::string& node_name)
+{
+    const auto node = circuit_.find_node(node_name);
+    if (!node)
+        throw analysis_error("stability: unknown node '" + node_name + "'");
+    if (*node < 0)
+        throw analysis_error("stability: cannot analyze the ground node");
+
+    const std::vector<real>& op = operating_point();
+    const std::vector<real> freqs = opt_.sweep.frequencies();
+
+    // Attach the AC current stimulus to the node (paper section 6), run
+    // the sweep with every other AC source zeroed, then detach.
+    const std::string probe_name = "istab_probe__" + node_name;
+    auto& probe = circuit_.add<spice::isource>(
+        probe_name, spice::ground_node, *node,
+        spice::waveform_spec::make_ac(0.0, opt_.stimulus_amps));
+    std::vector<real> magnitude;
+    try {
+        spice::ac_options ac;
+        ac.solver = opt_.solver;
+        ac.gmin = opt_.gmin;
+        ac.gshunt = opt_.gshunt;
+        ac.exclusive_source = &probe;
+        const spice::ac_result res = spice::ac_sweep(circuit_, freqs, op, ac);
+        magnitude = res.unknown_magnitude(static_cast<std::size_t>(*node));
+        for (real& m : magnitude)
+            m /= opt_.stimulus_amps; // normalize to impedance
+    } catch (...) {
+        circuit_.remove_device(probe_name);
+        throw;
+    }
+    circuit_.remove_device(probe_name);
+
+    return make_node_result(node_name, freqs, std::move(magnitude));
+}
+
+stability_report stability_analyzer::analyze_all_nodes()
+{
+    const std::vector<real>& op = operating_point();
+    circuit_.finalize();
+
+    const std::size_t node_count = circuit_.node_count();
+    const std::size_t unknowns = circuit_.unknown_count();
+    const std::vector<real> freqs = opt_.sweep.frequencies();
+    const std::size_t nf = freqs.size();
+
+    std::vector<bool> forced(node_count, false);
+    if (opt_.skip_forced_nodes)
+        forced = circuit_.source_forced_nodes();
+
+    // magnitude[node][freq]
+    std::vector<std::vector<real>> magnitude(node_count, std::vector<real>(nf, 0.0));
+
+    const auto solve_band = [&](std::size_t begin, std::size_t end) {
+        std::vector<cplx> rhs(unknowns, cplx{});
+        for (std::size_t fi = begin; fi < end; ++fi) {
+            spice::ac_params p;
+            p.omega = to_omega(freqs[fi]);
+            p.gmin = opt_.gmin;
+            p.zero_all_sources = true;
+
+            spice::system_builder<cplx> b(unknowns);
+            for (const auto& dev : circuit_.devices())
+                dev->stamp_ac(op, p, b);
+            if (opt_.gshunt > 0.0)
+                for (std::size_t i = 0; i < node_count; ++i)
+                    b.add(static_cast<spice::node_id>(i), static_cast<spice::node_id>(i),
+                          cplx{opt_.gshunt, 0.0});
+
+            const spice::factored_system<cplx> fact(b, opt_.solver);
+            for (std::size_t k = 0; k < node_count; ++k) {
+                if (forced[k])
+                    continue;
+                std::fill(rhs.begin(), rhs.end(), cplx{});
+                rhs[k] = cplx{1.0, 0.0}; // unit current injected into node k
+                const std::vector<cplx> sol = fact.solve(rhs);
+                magnitude[k][fi] = std::abs(sol[k]);
+            }
+        }
+    };
+
+    const std::size_t workers = std::max<std::size_t>(1, std::min(opt_.threads, nf));
+    if (workers == 1) {
+        solve_band(0, nf);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        const std::size_t chunk = (nf + workers - 1) / workers;
+        for (std::size_t w = 0; w < workers; ++w) {
+            const std::size_t begin = w * chunk;
+            const std::size_t end = std::min(nf, begin + chunk);
+            if (begin >= end)
+                break;
+            pool.emplace_back(solve_band, begin, end);
+        }
+        for (auto& th : pool)
+            th.join();
+    }
+
+    stability_report report;
+    for (std::size_t k = 0; k < node_count; ++k) {
+        const std::string& name = circuit_.node_name(static_cast<spice::node_id>(k));
+        if (forced[k]) {
+            report.skipped_nodes.push_back(name);
+            continue;
+        }
+        report.nodes.push_back(make_node_result(name, freqs, std::move(magnitude[k])));
+    }
+
+    std::sort(report.nodes.begin(), report.nodes.end(),
+              [](const node_stability& a, const node_stability& b) {
+                  if (a.has_peak != b.has_peak)
+                      return a.has_peak;
+                  if (!a.has_peak)
+                      return a.node < b.node;
+                  if (a.dominant.freq_hz != b.dominant.freq_hz)
+                      return a.dominant.freq_hz < b.dominant.freq_hz;
+                  return a.node < b.node;
+              });
+    report.loops = group_loops(report.nodes, opt_.group_rel_tol);
+    return report;
+}
+
+std::vector<loop_group> group_loops(const std::vector<node_stability>& nodes, real rel_tol)
+{
+    std::vector<loop_group> loops;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!nodes[i].has_peak)
+            continue;
+        const real f = nodes[i].dominant.freq_hz;
+        if (!loops.empty()) {
+            loop_group& last = loops.back();
+            if (std::fabs(f - last.freq_hz) <= rel_tol * last.freq_hz) {
+                last.members.push_back(i);
+                continue;
+            }
+        }
+        loop_group g;
+        g.freq_hz = f;
+        g.members.push_back(i);
+        loops.push_back(std::move(g));
+    }
+    // Representative frequency: strongest member's natural frequency.
+    for (loop_group& g : loops) {
+        real best = 0.0;
+        for (const std::size_t idx : g.members) {
+            const node_stability& ns = nodes[idx];
+            if (ns.dominant.value < best) {
+                best = ns.dominant.value;
+                g.freq_hz = ns.dominant.freq_hz;
+            }
+        }
+    }
+    return loops;
+}
+
+} // namespace acstab::core

@@ -1,0 +1,76 @@
+#include "core/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace acstab::core {
+
+std::string ascii_plot(std::span<const real> x, std::span<const real> y,
+                       const ascii_plot_options& opt)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        throw analysis_error("ascii_plot: need matching series of >= 2 points");
+    const int w = std::max(16, opt.width);
+    const int h = std::max(6, opt.height);
+
+    std::vector<real> xs(x.begin(), x.end());
+    if (opt.log_x)
+        for (real& v : xs) {
+            if (!(v > 0.0))
+                throw analysis_error("ascii_plot: log axis needs positive x");
+            v = std::log10(v);
+        }
+
+    const real xmin = *std::min_element(xs.begin(), xs.end());
+    const real xmax = *std::max_element(xs.begin(), xs.end());
+    real ymin = *std::min_element(y.begin(), y.end());
+    real ymax = *std::max_element(y.begin(), y.end());
+    if (ymax == ymin) {
+        ymax += 1.0;
+        ymin -= 1.0;
+    }
+    const real xspan = xmax > xmin ? xmax - xmin : 1.0;
+    const real yspan = ymax - ymin;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const int col = static_cast<int>(std::lround((xs[i] - xmin) / xspan
+                                                     * static_cast<real>(w - 1)));
+        const int row = static_cast<int>(std::lround((y[i] - ymin) / yspan
+                                                     * static_cast<real>(h - 1)));
+        grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] = '*';
+    }
+
+    std::ostringstream os;
+    if (!opt.title.empty())
+        os << opt.title << '\n';
+    char label[32];
+    for (int r = 0; r < h; ++r) {
+        if (r == 0)
+            std::snprintf(label, sizeof label, "%10.3g |", ymax);
+        else if (r == h - 1)
+            std::snprintf(label, sizeof label, "%10.3g |", ymin);
+        else
+            std::snprintf(label, sizeof label, "%10s |", "");
+        os << label << grid[static_cast<std::size_t>(r)] << '\n';
+    }
+    os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+    std::snprintf(label, sizeof label, "%.3g", opt.log_x ? std::pow(10.0, xmin) : xmin);
+    std::string footer = std::string(12, ' ') + label;
+    std::snprintf(label, sizeof label, "%.3g", opt.log_x ? std::pow(10.0, xmax) : xmax);
+    const std::string right(label);
+    const std::size_t pad = 12 + static_cast<std::size_t>(w) > footer.size() + right.size()
+        ? 12 + static_cast<std::size_t>(w) - footer.size() - right.size()
+        : 1;
+    footer += std::string(pad, ' ') + right;
+    os << footer << '\n';
+    return os.str();
+}
+
+} // namespace acstab::core

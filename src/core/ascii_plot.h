@@ -1,0 +1,26 @@
+// Minimal ASCII rendering of (x, y) series for terminal reports — the
+// CLI-era stand-in for the paper's waveform windows.
+#ifndef ACSTAB_CORE_ASCII_PLOT_H
+#define ACSTAB_CORE_ASCII_PLOT_H
+
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace acstab::core {
+
+struct ascii_plot_options {
+    int width = 72;
+    int height = 20;
+    bool log_x = true;
+    std::string title;
+};
+
+/// Render y(x) as an ASCII chart with axis labels.
+[[nodiscard]] std::string ascii_plot(std::span<const real> x, std::span<const real> y,
+                                     const ascii_plot_options& opt = {});
+
+} // namespace acstab::core
+
+#endif // ACSTAB_CORE_ASCII_PLOT_H

@@ -1,0 +1,141 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "spice/units.h"
+
+namespace acstab::core {
+
+namespace {
+
+    [[nodiscard]] const char* flag_note(peak_flag flag)
+    {
+        switch (flag) {
+        case peak_flag::normal: return "";
+        case peak_flag::end_of_range: return "  [end-of-range: widen sweep]";
+        case peak_flag::min_max: return "  [min/max: no bracketed peak]";
+        }
+        return "";
+    }
+
+} // namespace
+
+std::string format_all_nodes_report(const stability_report& report)
+{
+    std::ostringstream os;
+    os << "Stability Plot peak values for all circuit nodes sorted by loop's "
+          "natural frequency\n";
+    os << "---------------------------------------------------------------"
+          "---------------\n";
+    os << "Node              Stability Peak    Natural Frequency    Est. PM\n";
+
+    for (const loop_group& loop : report.loops) {
+        os << "-- Loop at " << spice::format_frequency(loop.freq_hz) << " --\n";
+        for (const std::size_t idx : loop.members) {
+            const node_stability& ns = report.nodes[idx];
+            char pm[32];
+            if (ns.is_underdamped)
+                std::snprintf(pm, sizeof pm, "%5.1f deg", ns.phase_margin_est_deg);
+            else
+                std::snprintf(pm, sizeof pm, "%8s", "-");
+            char line[160];
+            std::snprintf(line, sizeof line, "%-18s%-18.6f%-21s%s%s\n", ns.node.c_str(),
+                          std::fabs(ns.dominant.value),
+                          spice::format_frequency(ns.dominant.freq_hz).c_str(), pm,
+                          flag_note(ns.dominant.flag));
+            os << line;
+        }
+    }
+
+    bool header_done = false;
+    for (const node_stability& ns : report.nodes) {
+        if (ns.has_peak)
+            continue;
+        if (!header_done) {
+            os << "-- Nodes without complex-pole signature --\n";
+            header_done = true;
+        }
+        os << ns.node << '\n';
+    }
+    if (!report.skipped_nodes.empty()) {
+        os << "-- Skipped (voltage-source forced) --\n";
+        for (const std::string& n : report.skipped_nodes)
+            os << n << '\n';
+    }
+    return os.str();
+}
+
+std::string format_node_summary(const node_stability& ns)
+{
+    std::ostringstream os;
+    os << "Node " << ns.node << ":\n";
+    if (!ns.has_peak) {
+        os << "  no complex-pole signature found in the sweep range\n";
+        return os.str();
+    }
+    os << "  performance index : " << ns.dominant.value << flag_note(ns.dominant.flag) << "\n";
+    os << "  natural frequency : " << spice::format_frequency(ns.dominant.freq_hz) << "\n";
+    os << "  damping ratio     : " << ns.zeta << "\n";
+    os << "  est. phase margin : " << ns.phase_margin_est_deg << " deg\n";
+    os << "  est. overshoot    : " << ns.overshoot_est_pct << " %\n";
+    if (ns.plot.peaks.size() > 1) {
+        os << "  all peaks:\n";
+        for (const stability_peak& pk : ns.plot.peaks) {
+            os << "    " << (pk.kind == peak_kind::complex_pole ? "pole" : "zero") << " at "
+               << spice::format_frequency(pk.freq_hz) << "  P = " << pk.value
+               << flag_note(pk.flag) << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string format_csv(const stability_report& report)
+{
+    std::ostringstream os;
+    os << "node,peak,natural_frequency_hz,zeta,phase_margin_deg,overshoot_pct,flag\n";
+    for (const node_stability& ns : report.nodes) {
+        if (!ns.has_peak) {
+            os << ns.node << ",,,,,,none\n";
+            continue;
+        }
+        const char* flag = ns.dominant.flag == peak_flag::normal
+            ? "normal"
+            : (ns.dominant.flag == peak_flag::end_of_range ? "end-of-range" : "min-max");
+        os << ns.node << ',' << ns.dominant.value << ',' << ns.dominant.freq_hz << ','
+           << ns.zeta << ',' << ns.phase_margin_est_deg << ',' << ns.overshoot_est_pct << ','
+           << flag << '\n';
+    }
+    return os.str();
+}
+
+std::string annotate_circuit(const spice::circuit& c, const stability_report& report)
+{
+    std::unordered_map<std::string, const node_stability*> by_node;
+    for (const node_stability& ns : report.nodes)
+        by_node.emplace(ns.node, &ns);
+
+    std::ostringstream os;
+    os << "Annotated circuit (stability values at each node)\n";
+    for (const auto& dev : c.devices()) {
+        os << dev->type_name() << ' ' << dev->name() << " (";
+        bool first = true;
+        for (const spice::node_id n : dev->nodes()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            const std::string& name = c.node_name(n);
+            os << name;
+            const auto it = by_node.find(name);
+            if (it != by_node.end() && it->second->has_peak) {
+                os << "[P=" << it->second->dominant.value << " @ "
+                   << spice::format_frequency(it->second->dominant.freq_hz) << "]";
+            }
+        }
+        os << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace acstab::core

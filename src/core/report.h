@@ -1,0 +1,31 @@
+// Text outputs of the stability tool: the all-nodes report (paper
+// Table 2), single-node summaries, CSV export and netlist annotation (our
+// substitute for the paper's on-schematic annotation).
+#ifndef ACSTAB_CORE_REPORT_H
+#define ACSTAB_CORE_REPORT_H
+
+#include <string>
+
+#include "core/analyzer.h"
+
+namespace acstab::core {
+
+/// All-nodes report grouped by loop, sorted by natural frequency —
+/// the paper's Table 2 format, plus special-case notices.
+[[nodiscard]] std::string format_all_nodes_report(const stability_report& report);
+
+/// Detailed single-node summary: peak, natural frequency, damping ratio,
+/// estimated phase margin and equivalent step overshoot.
+[[nodiscard]] std::string format_node_summary(const node_stability& ns);
+
+/// Machine-readable CSV: node, peak, natural frequency, zeta, pm, flags.
+[[nodiscard]] std::string format_csv(const stability_report& report);
+
+/// Per-device annotation: each device listed with the stability values of
+/// the nodes it touches (Fig. 5's annotated-schematic equivalent).
+[[nodiscard]] std::string annotate_circuit(const spice::circuit& c,
+                                           const stability_report& report);
+
+} // namespace acstab::core
+
+#endif // ACSTAB_CORE_REPORT_H

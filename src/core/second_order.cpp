@@ -1,0 +1,99 @@
+#include "core/second_order.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace acstab::core {
+
+real overshoot_percent(real zeta)
+{
+    if (zeta >= 1.0)
+        return 0.0;
+    if (zeta <= 0.0)
+        return 100.0;
+    return 100.0 * std::exp(-pi * zeta / std::sqrt(1.0 - zeta * zeta));
+}
+
+real phase_margin_exact_deg(real zeta)
+{
+    if (zeta <= 0.0)
+        return 0.0;
+    const real z2 = zeta * zeta;
+    const real inner = std::sqrt(std::sqrt(1.0 + 4.0 * z2 * z2) - 2.0 * z2);
+    return std::atan2(2.0 * zeta, inner) * 180.0 / pi;
+}
+
+real phase_margin_rule_deg(real zeta)
+{
+    return 100.0 * zeta;
+}
+
+real peak_magnitude(real zeta)
+{
+    if (zeta <= 0.0)
+        return std::numeric_limits<real>::infinity();
+    if (zeta >= 1.0 / std::sqrt(2.0))
+        return 1.0;
+    return 1.0 / (2.0 * zeta * std::sqrt(1.0 - zeta * zeta));
+}
+
+real performance_index(real zeta)
+{
+    if (zeta <= 0.0)
+        return -std::numeric_limits<real>::infinity();
+    return -1.0 / (zeta * zeta);
+}
+
+real zeta_from_performance_index(real p)
+{
+    if (!(p < 0.0))
+        throw analysis_error("zeta_from_performance_index: index must be negative "
+                             "(complex-pole peak)");
+    return std::sqrt(-1.0 / p);
+}
+
+real resonant_frequency(real zeta)
+{
+    const real arg = 1.0 - 2.0 * zeta * zeta;
+    return arg > 0.0 ? std::sqrt(arg) : 0.0;
+}
+
+real analytic_stability_function(real zeta, real omega)
+{
+    // With u = ln w and x = w^2, ln|T| = -0.5 ln D(x),
+    // D = (1-x)^2 + 4 z^2 x, and P = 2x (N'D - N D') / D^2 where
+    // N = -2x^2 + (2 - 4 z^2) x is the numerator of d ln|T| / du.
+    const real z2 = zeta * zeta;
+    const real x = omega * omega;
+    const real d = (1.0 - x) * (1.0 - x) + 4.0 * z2 * x;
+    const real n = -2.0 * x * x + (2.0 - 4.0 * z2) * x;
+    const real dn = -4.0 * x + 2.0 - 4.0 * z2;
+    const real dd = 2.0 * x - 2.0 + 4.0 * z2;
+    return 2.0 * x * (dn * d - n * dd) / (d * d);
+}
+
+std::vector<table1_row> table1()
+{
+    std::vector<table1_row> rows;
+    rows.reserve(11);
+    for (int k = 10; k >= 0; --k) {
+        const real zeta = 0.1 * static_cast<real>(k);
+        table1_row row;
+        row.zeta = zeta;
+        row.overshoot_pct = overshoot_percent(zeta);
+        row.phase_margin_deg = phase_margin_rule_deg(zeta);
+        row.max_magnitude = peak_magnitude(zeta);
+        row.perf_index = performance_index(zeta);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+numeric::rational transfer_function(real zeta, real omega_n)
+{
+    return numeric::rational::second_order_lowpass(zeta, omega_n);
+}
+
+} // namespace acstab::core

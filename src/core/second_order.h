@@ -1,0 +1,65 @@
+// Second-order dominant-root theory (paper section 1.2 and Table 1).
+//
+// The normalized prototype is T(s) = 1 / (s^2 + 2 zeta s + 1). All the
+// correspondences the tool uses to translate a measured performance index
+// into damping ratio, phase margin and expected step overshoot live here.
+#ifndef ACSTAB_CORE_SECOND_ORDER_H
+#define ACSTAB_CORE_SECOND_ORDER_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "numeric/rational.h"
+
+namespace acstab::core {
+
+/// Percent step-response overshoot of a second-order system,
+/// 100 * exp(-pi zeta / sqrt(1 - zeta^2)); zero for zeta >= 1.
+[[nodiscard]] real overshoot_percent(real zeta);
+
+/// Exact unity-feedback phase margin of the prototype:
+/// atan(2 zeta / sqrt(sqrt(1 + 4 zeta^4) - 2 zeta^2)) in degrees.
+[[nodiscard]] real phase_margin_exact_deg(real zeta);
+
+/// The Dorf & Bishop rule of thumb PM ~= 100 * zeta used by the paper's
+/// Table 1 (valid for zeta <= 0.7).
+[[nodiscard]] real phase_margin_rule_deg(real zeta);
+
+/// Peak closed-loop magnitude Mp = 1 / (2 zeta sqrt(1 - zeta^2)) for
+/// zeta < 1/sqrt(2); returns 1 above that (no resonant peak).
+[[nodiscard]] real peak_magnitude(real zeta);
+
+/// The paper's performance index (eq. 1.4): P(w_n) = -1 / zeta^2.
+[[nodiscard]] real performance_index(real zeta);
+
+/// Inverse of eq. 1.4 for a measured negative peak: zeta = sqrt(-1/P).
+/// Throws analysis_error for non-negative P.
+[[nodiscard]] real zeta_from_performance_index(real p);
+
+/// Frequency (rad/s, normalized to wn=1) at which the magnitude response
+/// peaks: sqrt(1 - 2 zeta^2) for zeta < 1/sqrt(2).
+[[nodiscard]] real resonant_frequency(real zeta);
+
+/// Analytic stability-plot value P(w) = d^2 ln|T| / d(ln w)^2 of the
+/// normalized prototype at angular frequency w (closed form; used to
+/// validate the numerical differentiation).
+[[nodiscard]] real analytic_stability_function(real zeta, real omega);
+
+/// One row of the paper's Table 1.
+struct table1_row {
+    real zeta = 0.0;
+    real overshoot_pct = 0.0;
+    real phase_margin_deg = 0.0; ///< rule-of-thumb value the paper lists
+    real max_magnitude = 0.0;
+    real perf_index = 0.0;
+};
+
+/// The paper's Table 1: zeta from 1.0 down to 0.0 in steps of 0.1.
+[[nodiscard]] std::vector<table1_row> table1();
+
+/// T(s) with natural frequency wn [rad/s]: wn^2/(s^2 + 2 zeta wn s + wn^2).
+[[nodiscard]] numeric::rational transfer_function(real zeta, real omega_n = 1.0);
+
+} // namespace acstab::core
+
+#endif // ACSTAB_CORE_SECOND_ORDER_H

@@ -1,0 +1,138 @@
+#include "core/stability_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/differentiation.h"
+#include "numeric/interpolation.h"
+
+namespace acstab::core {
+
+std::vector<real> sweep_spec::frequencies() const
+{
+    if (!(fstart > 0.0) || !(fstop > fstart))
+        throw analysis_error("sweep: need 0 < fstart < fstop");
+    if (points_per_decade < 4)
+        throw analysis_error("sweep: need at least 4 points per decade");
+    const real decades = std::log10(fstop / fstart);
+    const std::size_t n = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::ceil(decades * static_cast<real>(points_per_decade)))
+            + 1);
+    return numeric::log_space(fstart, fstop, n);
+}
+
+const stability_peak* stability_plot::dominant_pole() const noexcept
+{
+    const stability_peak* best = nullptr;
+    // Prefer normal peaks; fall back to flagged ones.
+    for (const auto& pk : peaks) {
+        if (pk.kind != peak_kind::complex_pole)
+            continue;
+        if (best == nullptr) {
+            best = &pk;
+            continue;
+        }
+        const bool best_normal = best->flag == peak_flag::normal;
+        const bool pk_normal = pk.flag == peak_flag::normal;
+        if (pk_normal != best_normal) {
+            if (pk_normal)
+                best = &pk;
+            continue;
+        }
+        if (pk.value < best->value)
+            best = &pk;
+    }
+    return best;
+}
+
+stability_plot compute_stability_plot(std::span<const real> freq_hz,
+                                      std::span<const real> magnitude,
+                                      const plot_options& opt)
+{
+    if (freq_hz.size() != magnitude.size())
+        throw analysis_error("stability plot: frequency/magnitude size mismatch");
+    if (freq_hz.size() < 8)
+        throw analysis_error("stability plot: need at least 8 sweep points");
+
+    stability_plot plot;
+    plot.freq_hz.assign(freq_hz.begin(), freq_hz.end());
+    plot.magnitude.assign(magnitude.begin(), magnitude.end());
+    plot.p = opt.use_direct_formula
+        ? numeric::stability_function_direct(freq_hz, magnitude)
+        : numeric::log_log_curvature(freq_hz, magnitude);
+
+    const std::vector<real>& p = plot.p;
+    const std::size_t n = p.size();
+    // Boundary samples of the second derivative are copies; treat the two
+    // points at each end as the boundary region.
+    const std::size_t lo = 2;
+    const std::size_t hi = n - 3;
+
+    bool found_pole = false;
+    for (std::size_t i = lo; i <= hi; ++i) {
+        const bool is_min = p[i] < p[i - 1] && p[i] <= p[i + 1];
+        const bool is_max = p[i] > p[i - 1] && p[i] >= p[i + 1];
+        if (!is_min && !is_max)
+            continue;
+        if (is_min && p[i] < -opt.min_peak) {
+            const auto ref = numeric::refine_extremum(
+                std::log(freq_hz[i - 1]), p[i - 1], std::log(freq_hz[i]), p[i],
+                std::log(freq_hz[i + 1]), p[i + 1]);
+            plot.peaks.push_back({peak_kind::complex_pole, peak_flag::normal,
+                                  std::exp(ref.x), ref.y, i});
+            found_pole = true;
+        } else if (is_max && p[i] > opt.min_peak) {
+            const auto ref = numeric::refine_extremum(
+                std::log(freq_hz[i - 1]), p[i - 1], std::log(freq_hz[i]), p[i],
+                std::log(freq_hz[i + 1]), p[i + 1]);
+            plot.peaks.push_back({peak_kind::complex_zero, peak_flag::normal,
+                                  std::exp(ref.x), ref.y, i});
+        }
+    }
+
+    // Special cases (paper: "end-of-range" and "min/max" notices). When no
+    // proper pole peak exists, report the most negative sample, flagged.
+    if (!found_pole) {
+        const auto it = std::min_element(p.begin(), p.end());
+        const std::size_t i = static_cast<std::size_t>(it - p.begin());
+        if (*it < -opt.min_peak) {
+            const peak_flag flag
+                = (i < lo || i > hi) ? peak_flag::end_of_range : peak_flag::min_max;
+            plot.peaks.push_back({peak_kind::complex_pole, flag, freq_hz[i], *it, i});
+        }
+    }
+
+    if (opt.suppress_pole_shoulders) {
+        // A strong extremum of either sign is flanked by genuine opposite-
+        // sign shoulders of its own curvature; drop the weak neighbours so
+        // shoulders are not mis-reported as independent roots.
+        std::vector<stability_peak> kept;
+        kept.reserve(plot.peaks.size());
+        for (const stability_peak& pk : plot.peaks) {
+            bool shadowed = false;
+            for (const stability_peak& other : plot.peaks) {
+                if (other.kind == pk.kind)
+                    continue;
+                const real ratio = pk.freq_hz / other.freq_hz;
+                if (ratio < 1.0 / opt.shoulder_span || ratio > opt.shoulder_span)
+                    continue;
+                if (std::fabs(other.value) >= opt.shoulder_ratio * std::fabs(pk.value)) {
+                    shadowed = true;
+                    break;
+                }
+            }
+            if (!shadowed)
+                kept.push_back(pk);
+        }
+        plot.peaks = std::move(kept);
+    }
+
+    std::sort(plot.peaks.begin(), plot.peaks.end(),
+              [](const stability_peak& a, const stability_peak& b) {
+                  return a.freq_hz < b.freq_hz;
+              });
+    return plot;
+}
+
+} // namespace acstab::core

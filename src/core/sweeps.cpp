@@ -1,0 +1,56 @@
+#include "core/sweeps.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "spice/units.h"
+
+namespace acstab::core {
+
+std::vector<sweep_point_result>
+sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
+                const std::vector<real>& parameter_values, const stability_options& opt)
+{
+    std::vector<sweep_point_result> out;
+    out.reserve(parameter_values.size());
+    for (const real value : parameter_values) {
+        sweep_point_result point;
+        point.parameter = value;
+        spice::circuit c;
+        const std::string node = factory(c, value);
+        try {
+            stability_analyzer an(c, opt);
+            point.node = an.analyze_node(node);
+        } catch (const convergence_error&) {
+            point.dc_converged = false;
+            point.node.node = node;
+        }
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+std::string format_sweep(const std::vector<sweep_point_result>& points,
+                         const std::string& parameter_name)
+{
+    std::ostringstream os;
+    os << parameter_name << "        fn            peak        zeta     est. PM\n";
+    os << "------------------------------------------------------------------\n";
+    for (const sweep_point_result& p : points) {
+        char line[160];
+        if (!p.dc_converged) {
+            std::snprintf(line, sizeof line, "%-12.4g (DC did not converge)\n", p.parameter);
+        } else if (!p.node.has_peak) {
+            std::snprintf(line, sizeof line, "%-12.4g (no complex-pole peak)\n", p.parameter);
+        } else {
+            std::snprintf(line, sizeof line, "%-12.4g %-12s %10.3f  %7.3f  %7.1f deg\n",
+                          p.parameter,
+                          spice::format_frequency(p.node.dominant.freq_hz).c_str(),
+                          p.node.dominant.value, p.node.zeta, p.node.phase_margin_est_deg);
+        }
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace acstab::core

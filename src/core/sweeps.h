@@ -1,0 +1,37 @@
+// Parameterized re-analysis ("in-tool sweeps", paper section 4.2): run the
+// stability analysis across a swept parameter — temperature, a component
+// value, a bias level — by rebuilding the circuit per point through a
+// caller-supplied factory. The paper lists TEMP sweeps and corner runs as
+// in-development features of the original tool.
+#ifndef ACSTAB_CORE_SWEEPS_H
+#define ACSTAB_CORE_SWEEPS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace acstab::core {
+
+/// One sweep point's outcome for a watched node.
+struct sweep_point_result {
+    real parameter = 0.0;
+    node_stability node;
+    bool dc_converged = true;
+};
+
+/// Build-and-analyze at each parameter value. The factory receives the
+/// parameter value and must populate a fresh circuit, returning the name
+/// of the node to watch. DC non-convergence is recorded, not thrown.
+[[nodiscard]] std::vector<sweep_point_result>
+sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
+                const std::vector<real>& parameter_values, const stability_options& opt = {});
+
+/// Render a compact text table of a sweep (parameter, fn, peak, zeta, PM).
+[[nodiscard]] std::string format_sweep(const std::vector<sweep_point_result>& points,
+                                       const std::string& parameter_name);
+
+} // namespace acstab::core
+
+#endif // ACSTAB_CORE_SWEEPS_H

@@ -1,0 +1,128 @@
+// Minimal dense matrix for MNA systems and eigen analysis.
+//
+// Row-major storage, value-semantic, templated over the scalar (double or
+// std::complex<double>). Only the operations the simulator actually needs
+// are provided; heavy factorizations live in lu.h / eig.h.
+#ifndef ACSTAB_NUMERIC_DENSE_MATRIX_H
+#define ACSTAB_NUMERIC_DENSE_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace acstab::numeric {
+
+template <class T>
+class dense_matrix {
+public:
+    dense_matrix() = default;
+
+    dense_matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+    [[nodiscard]] static dense_matrix identity(std::size_t n)
+    {
+        dense_matrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            m(i, i) = T{1};
+        return m;
+    }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    T& operator()(std::size_t r, std::size_t c) noexcept
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T& operator()(std::size_t r, std::size_t c) const noexcept
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /// Reset every entry to zero, keeping the shape.
+    void set_zero()
+    {
+        data_.assign(data_.size(), T{});
+    }
+
+    /// Resize to rows x cols and zero-fill (contents are not preserved).
+    void resize_zero(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, T{});
+    }
+
+    dense_matrix& operator+=(const dense_matrix& other)
+    {
+        if (rows_ != other.rows_ || cols_ != other.cols_)
+            throw numeric_error("matrix shape mismatch in operator+=");
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] += other.data_[i];
+        return *this;
+    }
+
+    dense_matrix& operator*=(T scale)
+    {
+        for (auto& v : data_)
+            v *= scale;
+        return *this;
+    }
+
+    [[nodiscard]] friend dense_matrix operator*(const dense_matrix& a, const dense_matrix& b)
+    {
+        if (a.cols_ != b.rows_)
+            throw numeric_error("matrix shape mismatch in operator*");
+        dense_matrix c(a.rows_, b.cols_);
+        for (std::size_t i = 0; i < a.rows_; ++i)
+            for (std::size_t k = 0; k < a.cols_; ++k) {
+                const T aik = a(i, k);
+                if (aik == T{})
+                    continue;
+                for (std::size_t j = 0; j < b.cols_; ++j)
+                    c(i, j) += aik * b(k, j);
+            }
+        return c;
+    }
+
+    [[nodiscard]] friend std::vector<T> operator*(const dense_matrix& a, const std::vector<T>& x)
+    {
+        if (a.cols_ != x.size())
+            throw numeric_error("matrix/vector shape mismatch in operator*");
+        std::vector<T> y(a.rows_, T{});
+        for (std::size_t i = 0; i < a.rows_; ++i) {
+            T acc{};
+            for (std::size_t j = 0; j < a.cols_; ++j)
+                acc += a(i, j) * x[j];
+            y[i] = acc;
+        }
+        return y;
+    }
+
+    [[nodiscard]] dense_matrix transposed() const
+    {
+        dense_matrix t(cols_, rows_);
+        for (std::size_t i = 0; i < rows_; ++i)
+            for (std::size_t j = 0; j < cols_; ++j)
+                t(j, i) = (*this)(i, j);
+        return t;
+    }
+
+    friend bool operator==(const dense_matrix&, const dense_matrix&) = default;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_DENSE_MATRIX_H

@@ -1,0 +1,123 @@
+// Finite-difference derivatives on non-uniform grids.
+//
+// The stability plot (paper eq. 1.3) is the curvature of ln|T| versus
+// ln(w); log_log_curvature() computes it with three-point stencils that are
+// exact for quadratics even when the grid is slightly non-uniform in log
+// space. The direct eq.-(1.3) form is also provided for the A3 ablation.
+#ifndef ACSTAB_NUMERIC_DIFFERENTIATION_H
+#define ACSTAB_NUMERIC_DIFFERENTIATION_H
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace acstab::numeric {
+
+/// First derivative dy/dx on a non-uniform grid (three-point stencils,
+/// one-sided at the ends). x must be strictly increasing.
+[[nodiscard]] inline std::vector<real> derivative_nonuniform(std::span<const real> x,
+                                                             std::span<const real> y)
+{
+    const std::size_t n = x.size();
+    if (n != y.size())
+        throw numeric_error("derivative: x/y length mismatch");
+    if (n < 3)
+        throw numeric_error("derivative: need at least 3 points");
+    for (std::size_t i = 1; i < n; ++i)
+        if (!(x[i] > x[i - 1]))
+            throw numeric_error("derivative: grid must be strictly increasing");
+
+    std::vector<real> d(n);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        const real h1 = x[i] - x[i - 1];
+        const real h2 = x[i + 1] - x[i];
+        // Exact for quadratics on non-uniform grids.
+        d[i] = (y[i + 1] * h1 * h1 + y[i] * (h2 * h2 - h1 * h1) - y[i - 1] * h2 * h2)
+            / (h1 * h2 * (h1 + h2));
+    }
+    {
+        const real h1 = x[1] - x[0];
+        const real h2 = x[2] - x[1];
+        d[0] = (-y[2] * h1 * h1 + y[1] * (h1 + h2) * (h1 + h2) - y[0] * (h2 * h2 + 2.0 * h1 * h2))
+            / (h1 * h2 * (h1 + h2));
+        const real g1 = x[n - 2] - x[n - 3];
+        const real g2 = x[n - 1] - x[n - 2];
+        d[n - 1] = (y[n - 3] * g2 * g2 - y[n - 2] * (g1 + g2) * (g1 + g2)
+                    + y[n - 1] * (g1 * g1 + 2.0 * g1 * g2))
+            / (g1 * g2 * (g1 + g2));
+    }
+    return d;
+}
+
+/// Second derivative d2y/dx2 on a non-uniform grid (three-point central,
+/// copied at the boundary points).
+[[nodiscard]] inline std::vector<real> second_derivative_nonuniform(std::span<const real> x,
+                                                                    std::span<const real> y)
+{
+    const std::size_t n = x.size();
+    if (n != y.size())
+        throw numeric_error("second_derivative: x/y length mismatch");
+    if (n < 3)
+        throw numeric_error("second_derivative: need at least 3 points");
+
+    std::vector<real> d(n);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        const real h1 = x[i] - x[i - 1];
+        const real h2 = x[i + 1] - x[i];
+        d[i] = 2.0 * (y[i - 1] * h2 - y[i] * (h1 + h2) + y[i + 1] * h1) / (h1 * h2 * (h1 + h2));
+    }
+    d[0] = d[1];
+    d[n - 1] = d[n - 2];
+    return d;
+}
+
+/// Curvature of ln(y) with respect to ln(x):  d^2 ln y / d (ln x)^2.
+/// For the paper's stability plot, x is frequency and y = |T(jw)|; the
+/// result peaks at -1/zeta^2 at each complex-pole natural frequency.
+/// Requires strictly positive x and y.
+[[nodiscard]] inline std::vector<real> log_log_curvature(std::span<const real> x,
+                                                         std::span<const real> y)
+{
+    const std::size_t n = x.size();
+    if (n != y.size())
+        throw numeric_error("log_log_curvature: x/y length mismatch");
+    std::vector<real> lx(n);
+    std::vector<real> ly(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(x[i] > 0.0) || !(y[i] > 0.0))
+            throw numeric_error("log_log_curvature: x and y must be positive");
+        lx[i] = std::log(x[i]);
+        ly[i] = std::log(y[i]);
+    }
+    return second_derivative_nonuniform(lx, ly);
+}
+
+/// Direct transcription of paper eq. (1.3):
+///   P(w) = d/dw [ (d|T|/dw) * w / |T| ] * w
+/// computed with the same non-uniform three-point stencils. Analytically
+/// identical to log_log_curvature (substitute u = ln w); the two differ
+/// only in discretization error, quantified by the formula ablation (A3).
+[[nodiscard]] inline std::vector<real> stability_function_direct(std::span<const real> x,
+                                                                 std::span<const real> y)
+{
+    const std::size_t n = x.size();
+    const std::vector<real> dy = derivative_nonuniform(x, y);
+    std::vector<real> normalized(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (y[i] == 0.0)
+            throw numeric_error("stability_function_direct: zero magnitude");
+        normalized[i] = dy[i] * x[i] / y[i];
+    }
+    std::vector<real> outer = derivative_nonuniform(x, normalized);
+    for (std::size_t i = 0; i < n; ++i)
+        outer[i] *= x[i];
+    return outer;
+}
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_DIFFERENTIATION_H

@@ -1,0 +1,144 @@
+#include "numeric/polynomial.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/eig.h"
+
+namespace acstab::numeric {
+
+polynomial::polynomial(std::vector<real> ascending_coeffs) : coeffs_(std::move(ascending_coeffs))
+{
+    if (coeffs_.empty())
+        coeffs_.push_back(0.0);
+    trim();
+}
+
+polynomial polynomial::from_roots(const std::vector<real>& roots)
+{
+    polynomial p({1.0});
+    for (const real r : roots)
+        p = p * polynomial({-r, 1.0});
+    return p;
+}
+
+polynomial polynomial::from_complex_roots(const std::vector<cplx>& roots)
+{
+    // Pair each complex root with its conjugate so coefficients stay real.
+    std::vector<bool> used(roots.size(), false);
+    polynomial p({1.0});
+    constexpr real tol = 1e-9;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+        if (used[i])
+            continue;
+        const cplx r = roots[i];
+        if (std::fabs(r.imag()) <= tol * (1.0 + std::abs(r))) {
+            p = p * polynomial({-r.real(), 1.0});
+            used[i] = true;
+            continue;
+        }
+        bool paired = false;
+        for (std::size_t j = i + 1; j < roots.size(); ++j) {
+            if (used[j])
+                continue;
+            if (std::abs(roots[j] - std::conj(r)) <= tol * (1.0 + std::abs(r))) {
+                // (x - r)(x - conj r) = x^2 - 2 Re(r) x + |r|^2
+                p = p * polynomial({std::norm(r), -2.0 * r.real(), 1.0});
+                used[i] = used[j] = true;
+                paired = true;
+                break;
+            }
+        }
+        if (!paired)
+            throw numeric_error("polynomial: complex roots not closed under conjugation");
+    }
+    return p;
+}
+
+real polynomial::operator()(real x) const noexcept
+{
+    real acc = 0.0;
+    for (std::size_t k = coeffs_.size(); k-- > 0;)
+        acc = acc * x + coeffs_[k];
+    return acc;
+}
+
+cplx polynomial::operator()(cplx x) const noexcept
+{
+    cplx acc = 0.0;
+    for (std::size_t k = coeffs_.size(); k-- > 0;)
+        acc = acc * x + coeffs_[k];
+    return acc;
+}
+
+polynomial polynomial::derivative() const
+{
+    if (coeffs_.size() == 1)
+        return polynomial({0.0});
+    std::vector<real> d(coeffs_.size() - 1);
+    for (std::size_t k = 1; k < coeffs_.size(); ++k)
+        d[k - 1] = static_cast<real>(k) * coeffs_[k];
+    return polynomial(std::move(d));
+}
+
+polynomial operator+(const polynomial& a, const polynomial& b)
+{
+    std::vector<real> c(std::max(a.coeffs_.size(), b.coeffs_.size()), 0.0);
+    for (std::size_t k = 0; k < c.size(); ++k)
+        c[k] = a.coeff(k) + b.coeff(k);
+    return polynomial(std::move(c));
+}
+
+polynomial operator-(const polynomial& a, const polynomial& b)
+{
+    std::vector<real> c(std::max(a.coeffs_.size(), b.coeffs_.size()), 0.0);
+    for (std::size_t k = 0; k < c.size(); ++k)
+        c[k] = a.coeff(k) - b.coeff(k);
+    return polynomial(std::move(c));
+}
+
+polynomial operator*(const polynomial& a, const polynomial& b)
+{
+    std::vector<real> c(a.coeffs_.size() + b.coeffs_.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.coeffs_.size(); ++i)
+        for (std::size_t j = 0; j < b.coeffs_.size(); ++j)
+            c[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    return polynomial(std::move(c));
+}
+
+polynomial operator*(real s, const polynomial& p)
+{
+    std::vector<real> c = p.coeffs_;
+    for (auto& v : c)
+        v *= s;
+    return polynomial(std::move(c));
+}
+
+std::vector<cplx> polynomial::roots() const
+{
+    const std::size_t n = degree();
+    if (n == 0) {
+        if (coeffs_[0] == 0.0)
+            throw numeric_error("polynomial: zero polynomial has no well-defined roots");
+        return {};
+    }
+    if (n == 1)
+        return {cplx{-coeffs_[0] / coeffs_[1], 0.0}};
+
+    // Companion matrix of the monic normalization.
+    const real lead = coeffs_[n];
+    dense_matrix<real> companion(n, n);
+    for (std::size_t i = 1; i < n; ++i)
+        companion(i, i - 1) = 1.0;
+    for (std::size_t i = 0; i < n; ++i)
+        companion(i, n - 1) = -coeffs_[i] / lead;
+    return eigenvalues(std::move(companion));
+}
+
+void polynomial::trim()
+{
+    while (coeffs_.size() > 1 && coeffs_.back() == 0.0)
+        coeffs_.pop_back();
+}
+
+} // namespace acstab::numeric

@@ -1,0 +1,56 @@
+// Real-coefficient polynomials with root finding via companion matrices.
+//
+// Coefficients are stored ascending: p(x) = c[0] + c[1] x + ... + c[n] x^n.
+// Used to build analytic transfer functions against which the stability
+// plot and the MNA pole analysis are validated.
+#ifndef ACSTAB_NUMERIC_POLYNOMIAL_H
+#define ACSTAB_NUMERIC_POLYNOMIAL_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace acstab::numeric {
+
+class polynomial {
+public:
+    polynomial() : coeffs_{0.0} {}
+    explicit polynomial(std::vector<real> ascending_coeffs);
+
+    /// p(x) = value (degree 0).
+    [[nodiscard]] static polynomial constant(real value) { return polynomial({value}); }
+
+    /// Monic polynomial with the given real roots.
+    [[nodiscard]] static polynomial from_roots(const std::vector<real>& roots);
+
+    /// Monic polynomial with the given (conjugate-closed) complex roots.
+    /// Throws numeric_error when the set is not closed under conjugation.
+    [[nodiscard]] static polynomial from_complex_roots(const std::vector<cplx>& roots);
+
+    [[nodiscard]] std::size_t degree() const noexcept { return coeffs_.size() - 1; }
+    [[nodiscard]] const std::vector<real>& coeffs() const noexcept { return coeffs_; }
+    [[nodiscard]] real coeff(std::size_t k) const { return k < coeffs_.size() ? coeffs_[k] : 0.0; }
+
+    [[nodiscard]] real operator()(real x) const noexcept;
+    [[nodiscard]] cplx operator()(cplx x) const noexcept;
+
+    [[nodiscard]] polynomial derivative() const;
+
+    friend polynomial operator+(const polynomial& a, const polynomial& b);
+    friend polynomial operator-(const polynomial& a, const polynomial& b);
+    friend polynomial operator*(const polynomial& a, const polynomial& b);
+    friend polynomial operator*(real s, const polynomial& p);
+
+    /// All complex roots via the companion-matrix eigenproblem.
+    /// Throws numeric_error for the zero polynomial.
+    [[nodiscard]] std::vector<cplx> roots() const;
+
+private:
+    void trim();
+
+    std::vector<real> coeffs_; // ascending powers, never empty
+};
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_POLYNOMIAL_H

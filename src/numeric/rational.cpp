@@ -1,0 +1,50 @@
+#include "numeric/rational.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace acstab::numeric {
+
+rational::rational(polynomial num, polynomial den) : num_(std::move(num)), den_(std::move(den))
+{
+    if (den_.degree() == 0 && den_.coeff(0) == 0.0)
+        throw numeric_error("rational: zero denominator");
+}
+
+rational rational::from_poles_zeros(const std::vector<cplx>& zeros,
+                                    const std::vector<cplx>& poles,
+                                    real gain)
+{
+    return {gain * polynomial::from_complex_roots(zeros), polynomial::from_complex_roots(poles)};
+}
+
+rational rational::second_order_lowpass(real zeta, real omega_n)
+{
+    if (omega_n <= 0.0)
+        throw numeric_error("rational: natural frequency must be positive");
+    const real wn2 = omega_n * omega_n;
+    return {polynomial({wn2}), polynomial({wn2, 2.0 * zeta * omega_n, 1.0})};
+}
+
+cplx rational::operator()(cplx s) const
+{
+    return num_(s) / den_(s);
+}
+
+real rational::magnitude(real omega) const
+{
+    return std::abs((*this)(cplx{0.0, omega}));
+}
+
+real rational::phase(real omega) const
+{
+    return std::arg((*this)(cplx{0.0, omega}));
+}
+
+rational rational::unity_feedback_closed_loop() const
+{
+    return {num_, num_ + den_};
+}
+
+} // namespace acstab::numeric

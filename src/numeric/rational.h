@@ -1,0 +1,61 @@
+// Rational transfer functions H(s) = N(s) / D(s).
+//
+// The analytic fixture behind the method's theory: second-order prototypes,
+// pole/zero construction, evaluation along the jw axis. Tests compare the
+// simulator's measured responses and the stability plot against these.
+#ifndef ACSTAB_NUMERIC_RATIONAL_H
+#define ACSTAB_NUMERIC_RATIONAL_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "numeric/polynomial.h"
+
+namespace acstab::numeric {
+
+class rational {
+public:
+    rational() : num_(polynomial::constant(1.0)), den_(polynomial::constant(1.0)) {}
+    rational(polynomial num, polynomial den);
+
+    /// H(s) = gain * prod(s - z) / prod(s - p); root sets must be
+    /// conjugate-closed so that the coefficients are real.
+    [[nodiscard]] static rational from_poles_zeros(const std::vector<cplx>& zeros,
+                                                   const std::vector<cplx>& poles,
+                                                   real gain = 1.0);
+
+    /// The paper's normalized prototype T(s) = 1 / (s^2 + 2 zeta s + 1)
+    /// scaled to natural frequency wn [rad/s]: T(s) = wn^2/(s^2+2 zeta wn s+wn^2).
+    [[nodiscard]] static rational second_order_lowpass(real zeta, real omega_n = 1.0);
+
+    [[nodiscard]] const polynomial& num() const noexcept { return num_; }
+    [[nodiscard]] const polynomial& den() const noexcept { return den_; }
+
+    [[nodiscard]] cplx operator()(cplx s) const;
+
+    /// |H(j*omega)|.
+    [[nodiscard]] real magnitude(real omega) const;
+
+    /// Phase of H(j*omega) in radians, principal value.
+    [[nodiscard]] real phase(real omega) const;
+
+    [[nodiscard]] std::vector<cplx> poles() const { return den_.roots(); }
+    [[nodiscard]] std::vector<cplx> zeros() const { return num_.roots(); }
+
+    [[nodiscard]] friend rational operator*(const rational& a, const rational& b)
+    {
+        return {a.num_ * b.num_, a.den_ * b.den_};
+    }
+
+    /// Closed-loop transfer function H/(1+H) of a unity-feedback loop whose
+    /// forward path is *this.
+    [[nodiscard]] rational unity_feedback_closed_loop() const;
+
+private:
+    polynomial num_;
+    polynomial den_;
+};
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_RATIONAL_H

@@ -1,0 +1,70 @@
+#include "spice/ac_analysis.h"
+
+#include <cmath>
+
+namespace acstab::spice {
+
+std::vector<cplx> ac_result::unknown_response(std::size_t index) const
+{
+    std::vector<cplx> out(solution.size());
+    for (std::size_t k = 0; k < solution.size(); ++k)
+        out[k] = solution[k][index];
+    return out;
+}
+
+std::vector<real> ac_result::unknown_magnitude(std::size_t index) const
+{
+    std::vector<real> out(solution.size());
+    for (std::size_t k = 0; k < solution.size(); ++k)
+        out[k] = std::abs(solution[k][index]);
+    return out;
+}
+
+ac_result ac_sweep(circuit& c, const std::vector<real>& freqs_hz, const std::vector<real>& op,
+                   const ac_options& opt)
+{
+    c.finalize();
+    if (freqs_hz.empty())
+        throw analysis_error("ac sweep: empty frequency list");
+    if (op.size() != c.unknown_count())
+        throw analysis_error("ac sweep: operating point has wrong size");
+
+    const std::size_t n = c.unknown_count();
+    const std::size_t nodes = c.node_count();
+
+    ac_result res;
+    res.freq_hz = freqs_hz;
+    res.solution.reserve(freqs_hz.size());
+
+    for (const real f : freqs_hz) {
+        if (!(f > 0.0))
+            throw analysis_error("ac sweep: frequencies must be positive");
+        ac_params p;
+        p.omega = to_omega(f);
+        p.gmin = opt.gmin;
+        p.exclusive_source = opt.exclusive_source;
+
+        system_builder<cplx> b(n);
+        for (const auto& dev : c.devices())
+            dev->stamp_ac(op, p, b);
+        if (opt.gshunt > 0.0)
+            for (std::size_t i = 0; i < nodes; ++i)
+                b.add(static_cast<node_id>(i), static_cast<node_id>(i), cplx{opt.gshunt, 0.0});
+
+        res.solution.push_back(solve_system(b, opt.solver));
+    }
+    return res;
+}
+
+std::vector<cplx> node_response(const circuit& c, const ac_result& res,
+                                const std::string& node_name)
+{
+    const auto id = c.find_node(node_name);
+    if (!id)
+        throw analysis_error("unknown node '" + node_name + "'");
+    if (*id < 0)
+        return std::vector<cplx>(res.point_count(), cplx{0.0, 0.0});
+    return res.unknown_response(static_cast<std::size_t>(*id));
+}
+
+} // namespace acstab::spice

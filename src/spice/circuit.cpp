@@ -1,0 +1,156 @@
+#include "spice/circuit.h"
+
+#include <algorithm>
+
+namespace acstab::spice {
+
+namespace {
+
+    [[nodiscard]] bool is_ground_name(std::string_view name) noexcept
+    {
+        return name == "0" || name == "gnd" || name == "GND" || name == "Gnd";
+    }
+
+} // namespace
+
+node_id circuit::node(std::string_view name)
+{
+    if (is_ground_name(name))
+        return ground_node;
+    const std::string key(name);
+    if (const auto it = node_index_.find(key); it != node_index_.end())
+        return it->second;
+    const node_id id = static_cast<node_id>(node_names_.size());
+    node_names_.push_back(key);
+    node_index_.emplace(key, id);
+    finalized_ = false;
+    return id;
+}
+
+std::optional<node_id> circuit::find_node(std::string_view name) const
+{
+    if (is_ground_name(name))
+        return ground_node;
+    const auto it = node_index_.find(std::string(name));
+    if (it == node_index_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const std::string& circuit::node_name(node_id n) const
+{
+    static const std::string ground_name = "0";
+    if (n < 0)
+        return ground_name;
+    if (static_cast<std::size_t>(n) >= node_names_.size())
+        throw circuit_error("node id out of range");
+    return node_names_[static_cast<std::size_t>(n)];
+}
+
+device& circuit::add_device(std::unique_ptr<device> dev)
+{
+    if (!dev)
+        throw circuit_error("null device");
+    if (device_index_.contains(dev->name()))
+        throw circuit_error("duplicate device name '" + dev->name() + "'");
+    device_index_.emplace(dev->name(), devices_.size());
+    devices_.push_back(std::move(dev));
+    finalized_ = false;
+    return *devices_.back();
+}
+
+void circuit::remove_device(std::string_view name)
+{
+    const auto it = device_index_.find(std::string(name));
+    if (it == device_index_.end())
+        throw circuit_error("cannot remove unknown device '" + std::string(name) + "'");
+    const std::size_t pos = it->second;
+    devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(pos));
+    device_index_.erase(it);
+    for (auto& [key, idx] : device_index_)
+        if (idx > pos)
+            --idx;
+    finalized_ = false;
+}
+
+device* circuit::find_device(std::string_view name) noexcept
+{
+    const auto it = device_index_.find(std::string(name));
+    return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
+const device* circuit::find_device(std::string_view name) const noexcept
+{
+    const auto it = device_index_.find(std::string(name));
+    return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
+void circuit::finalize()
+{
+    if (finalized_)
+        return;
+    node_id next = static_cast<node_id>(node_count());
+    branch_count_ = 0;
+    for (const auto& dev : devices_) {
+        const std::size_t extras = dev->extra_unknown_count();
+        if (extras > 0) {
+            dev->assign_extra_unknowns(next);
+            next += static_cast<node_id>(extras);
+            branch_count_ += extras;
+        }
+        dev->bind(*this);
+    }
+    finalized_ = true;
+}
+
+std::size_t circuit::unknown_count() const
+{
+    if (!finalized_)
+        throw circuit_error("circuit not finalized");
+    return node_count() + branch_count_;
+}
+
+std::size_t circuit::branch_count() const
+{
+    if (!finalized_)
+        throw circuit_error("circuit not finalized");
+    return branch_count_;
+}
+
+std::vector<bool> circuit::source_forced_nodes() const
+{
+    if (!finalized_)
+        throw circuit_error("circuit not finalized");
+    // Union-find over ideal-voltage-source edges, seeded at ground.
+    const std::size_t n = node_count();
+    std::vector<int> parent(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        parent[i] = static_cast<int>(i);
+    const auto find = [&parent](int v) {
+        while (parent[static_cast<std::size_t>(v)] != v) {
+            parent[static_cast<std::size_t>(v)]
+                = parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+            v = parent[static_cast<std::size_t>(v)];
+        }
+        return v;
+    };
+    const auto unite = [&parent, &find](int a, int b) {
+        parent[static_cast<std::size_t>(find(a))] = find(b);
+    };
+    const int ground_slot = static_cast<int>(n);
+    const auto slot = [ground_slot](node_id id) { return id < 0 ? ground_slot : id; };
+
+    for (const auto& dev : devices_) {
+        if (!dev->is_ideal_voltage_source())
+            continue;
+        const auto& nodes = dev->nodes();
+        if (nodes.size() >= 2)
+            unite(slot(nodes[0]), slot(nodes[1]));
+    }
+    std::vector<bool> forced(n, false);
+    for (std::size_t i = 0; i < n; ++i)
+        forced[i] = find(static_cast<int>(i)) == find(ground_slot);
+    return forced;
+}
+
+} // namespace acstab::spice

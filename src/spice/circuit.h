@@ -1,0 +1,90 @@
+// Circuit database: node registry plus owned device instances.
+//
+// Nodes are created on first use by name; ground is spelled "0" or "gnd".
+// After mutation, finalize() assigns MNA unknown indices: node voltages
+// first, then one slot per device branch current (voltage sources,
+// inductors, ...).
+#ifndef ACSTAB_SPICE_CIRCUIT_H
+#define ACSTAB_SPICE_CIRCUIT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "spice/device.h"
+
+namespace acstab::spice {
+
+class circuit {
+public:
+    circuit() = default;
+    circuit(const circuit&) = delete;
+    circuit& operator=(const circuit&) = delete;
+    circuit(circuit&&) = default;
+    circuit& operator=(circuit&&) = default;
+
+    /// Find or create a node by name; "0", "gnd" and "GND" map to ground.
+    [[nodiscard]] node_id node(std::string_view name);
+
+    /// Find an existing node; nullopt when the name is unknown.
+    [[nodiscard]] std::optional<node_id> find_node(std::string_view name) const;
+
+    /// Name of a node id (ground reports "0").
+    [[nodiscard]] const std::string& node_name(node_id n) const;
+
+    /// Number of non-ground nodes.
+    [[nodiscard]] std::size_t node_count() const noexcept { return node_names_.size(); }
+
+    /// Construct a device in place; returns a stable reference.
+    template <class D, class... Args>
+    D& add(Args&&... args)
+    {
+        auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+        D& ref = *dev;
+        add_device(std::move(dev));
+        return ref;
+    }
+
+    device& add_device(std::unique_ptr<device> dev);
+
+    /// Remove a device by name; throws circuit_error when absent.
+    void remove_device(std::string_view name);
+
+    [[nodiscard]] device* find_device(std::string_view name) noexcept;
+    [[nodiscard]] const device* find_device(std::string_view name) const noexcept;
+
+    [[nodiscard]] const std::vector<std::unique_ptr<device>>& devices() const noexcept
+    {
+        return devices_;
+    }
+
+    /// Assign branch indices and resolve device cross-references.
+    /// Idempotent; called automatically by the analyses.
+    void finalize();
+
+    /// Total MNA unknowns (node voltages + branch currents). Requires a
+    /// finalized circuit.
+    [[nodiscard]] std::size_t unknown_count() const;
+
+    [[nodiscard]] std::size_t branch_count() const;
+
+    /// Nodes whose voltage is fixed by a chain of ideal voltage sources to
+    /// ground; the stability sweep skips them. Requires finalized circuit.
+    [[nodiscard]] std::vector<bool> source_forced_nodes() const;
+
+private:
+    std::vector<std::string> node_names_;
+    std::unordered_map<std::string, node_id> node_index_;
+    std::vector<std::unique_ptr<device>> devices_;
+    std::unordered_map<std::string, std::size_t> device_index_;
+    std::size_t branch_count_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_CIRCUIT_H

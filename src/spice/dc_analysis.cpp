@@ -1,0 +1,191 @@
+#include "spice/dc_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acstab::spice {
+
+namespace {
+
+    struct newton_outcome {
+        bool converged = false;
+        int iterations = 0;
+    };
+
+    /// One damped Newton solve at fixed continuation parameters. Updates x
+    /// in place; returns convergence status instead of throwing so the
+    /// continuation ladder can react.
+    newton_outcome newton_solve(circuit& c, std::vector<real>& x, const stamp_params& params,
+                                real gshunt, const dc_options& opt)
+    {
+        const std::size_t n = c.unknown_count();
+        const std::size_t nodes = c.node_count();
+        newton_outcome out;
+
+        for (int it = 0; it < opt.max_iterations; ++it) {
+            system_builder<real> b(n);
+            for (const auto& dev : c.devices())
+                dev->stamp_dc(x, params, b);
+            if (gshunt > 0.0)
+                for (std::size_t i = 0; i < nodes; ++i)
+                    b.add(static_cast<node_id>(i), static_cast<node_id>(i), gshunt);
+
+            std::vector<real> x_new;
+            try {
+                x_new = solve_system(b, opt.solver);
+            } catch (const numeric_error&) {
+                return out; // singular at this continuation point
+            }
+
+            bool converged = true;
+            real worst = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const real delta = std::fabs(x_new[i] - x[i]);
+                const real floor_tol = i < nodes ? opt.vntol : opt.abstol;
+                const real tol = opt.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i]))
+                    + floor_tol;
+                if (delta > tol)
+                    converged = false;
+                worst = std::max(worst, delta);
+            }
+
+            if (converged) {
+                x = std::move(x_new);
+                out.converged = true;
+                out.iterations = it + 1;
+                return out;
+            }
+
+            // Damping: clamp the infinity norm of the update.
+            real scale = 1.0;
+            if (opt.max_step > 0.0 && worst > opt.max_step)
+                scale = opt.max_step / worst;
+            for (std::size_t i = 0; i < n; ++i)
+                x[i] += scale * (x_new[i] - x[i]);
+            out.iterations = it + 1;
+        }
+        return out;
+    }
+
+    void reset_devices(circuit& c)
+    {
+        for (const auto& dev : c.devices())
+            dev->dc_begin();
+    }
+
+    [[nodiscard]] bool try_plain(circuit& c, real gshunt, const dc_options& opt,
+                                 const stamp_params& params, dc_result& result)
+    {
+        reset_devices(c);
+        std::vector<real> x(c.unknown_count(), 0.0);
+        const newton_outcome plain = newton_solve(c, x, params, gshunt, opt);
+        if (!plain.converged)
+            return false;
+        result.solution = std::move(x);
+        result.iterations = plain.iterations;
+        result.used_gshunt = gshunt > 0.0;
+        return true;
+    }
+
+    [[nodiscard]] bool try_gmin_stepping(circuit& c, real gshunt, const dc_options& opt,
+                                         dc_result& result)
+    {
+        reset_devices(c);
+        std::vector<real> x(c.unknown_count(), 0.0);
+        stamp_params step;
+        step.continuation = true;
+        bool ok = true;
+        for (real g = 1e-2; ok && g >= opt.gmin * 0.99; g *= 0.1) {
+            step.gmin = g;
+            ok = newton_solve(c, x, step, gshunt, opt).converged;
+        }
+        if (!ok)
+            return false;
+        step.gmin = opt.gmin;
+        step.continuation = false;
+        const newton_outcome last = newton_solve(c, x, step, gshunt, opt);
+        if (!last.converged)
+            return false;
+        result.solution = std::move(x);
+        result.iterations = last.iterations;
+        result.used_gmin_stepping = true;
+        result.used_gshunt = gshunt > 0.0;
+        return true;
+    }
+
+    [[nodiscard]] bool try_source_stepping(circuit& c, real gshunt, const dc_options& opt,
+                                           dc_result& result)
+    {
+        reset_devices(c);
+        std::vector<real> x_good(c.unknown_count(), 0.0);
+        stamp_params step;
+        step.gmin = opt.gmin;
+        step.continuation = true;
+
+        real last_good = 0.0;
+        real increment = 0.05;
+        int failures = 0;
+        while (last_good < 1.0) {
+            const real scale = std::min(1.0, last_good + increment);
+            step.source_scale = scale;
+            std::vector<real> x = x_good;
+            if (newton_solve(c, x, step, gshunt, opt).converged) {
+                last_good = scale;
+                x_good = std::move(x);
+                increment *= 1.5;
+            } else {
+                increment *= 0.25;
+                if (++failures > 16 || increment < 1e-5)
+                    return false;
+            }
+        }
+        step.source_scale = 1.0;
+        step.continuation = false;
+        const newton_outcome final_solve = newton_solve(c, x_good, step, gshunt, opt);
+        if (!final_solve.converged)
+            return false;
+        result.solution = std::move(x_good);
+        result.iterations = final_solve.iterations;
+        result.used_source_stepping = true;
+        result.used_gshunt = gshunt > 0.0;
+        return true;
+    }
+
+} // namespace
+
+dc_result dc_operating_point(circuit& c, const dc_options& opt)
+{
+    c.finalize();
+    dc_result result;
+
+    stamp_params params;
+    params.gmin = opt.gmin;
+
+    if (try_plain(c, opt.gshunt, opt, params, result))
+        return result;
+    const bool retry_shunt = opt.gshunt_retry > opt.gshunt;
+    if (retry_shunt && try_plain(c, opt.gshunt_retry, opt, params, result))
+        return result;
+
+    const real gshunt = std::max(opt.gshunt, retry_shunt ? opt.gshunt_retry : opt.gshunt);
+    if (opt.allow_gmin_stepping && try_gmin_stepping(c, gshunt, opt, result))
+        return result;
+    if (opt.allow_source_stepping && try_source_stepping(c, gshunt, opt, result))
+        return result;
+
+    throw convergence_error("dc operating point did not converge (plain Newton, gmin "
+                            "stepping and source stepping all failed)");
+}
+
+real node_voltage(const circuit& c, const std::vector<real>& solution,
+                  const std::string& node_name)
+{
+    const auto id = c.find_node(node_name);
+    if (!id)
+        throw analysis_error("unknown node '" + node_name + "'");
+    if (*id < 0)
+        return 0.0;
+    return solution[static_cast<std::size_t>(*id)];
+}
+
+} // namespace acstab::spice

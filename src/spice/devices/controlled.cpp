@@ -1,0 +1,128 @@
+#include "spice/devices/controlled.h"
+
+#include "common/error.h"
+#include "spice/circuit.h"
+#include "spice/devices/sources.h"
+
+namespace acstab::spice {
+
+namespace {
+
+    [[nodiscard]] node_id resolve_control_branch(const circuit& c, const std::string& owner,
+                                                 const std::string& ctrl_name)
+    {
+        const device* dev = c.find_device(ctrl_name);
+        if (dev == nullptr)
+            throw circuit_error(owner + ": controlling source '" + ctrl_name + "' not found");
+        const auto* src = dynamic_cast<const vsource*>(dev);
+        if (src == nullptr)
+            throw circuit_error(owner + ": controlling device '" + ctrl_name
+                                + "' is not a voltage source");
+        return src->branch();
+    }
+
+} // namespace
+
+// --- vcvs ---------------------------------------------------------------
+
+vcvs::vcvs(std::string name, node_id p, node_id m, node_id cp, node_id cm, real gain)
+    : device(std::move(name), {p, m, cp, cm}), gain_(gain)
+{
+}
+
+void vcvs::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, 1.0);
+    b.add(nodes()[1], br, -1.0);
+    b.add(br, nodes()[0], 1.0);
+    b.add(br, nodes()[1], -1.0);
+    b.add(br, nodes()[2], -gain_);
+    b.add(br, nodes()[3], gain_);
+}
+
+void vcvs::stamp_ac(const std::vector<real>&, const ac_params&, system_builder<cplx>& b) const
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, cplx{1.0, 0.0});
+    b.add(nodes()[1], br, cplx{-1.0, 0.0});
+    b.add(br, nodes()[0], cplx{1.0, 0.0});
+    b.add(br, nodes()[1], cplx{-1.0, 0.0});
+    b.add(br, nodes()[2], cplx{-gain_, 0.0});
+    b.add(br, nodes()[3], cplx{gain_, 0.0});
+}
+
+// --- vccs ---------------------------------------------------------------
+
+vccs::vccs(std::string name, node_id p, node_id m, node_id cp, node_id cm, real gm)
+    : device(std::move(name), {p, m, cp, cm}), gm_(gm)
+{
+}
+
+void vccs::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    b.transconductance(nodes()[0], nodes()[1], nodes()[2], nodes()[3], gm_);
+}
+
+void vccs::stamp_ac(const std::vector<real>&, const ac_params&, system_builder<cplx>& b) const
+{
+    b.transconductance(nodes()[0], nodes()[1], nodes()[2], nodes()[3], cplx{gm_, 0.0});
+}
+
+// --- cccs ---------------------------------------------------------------
+
+cccs::cccs(std::string name, node_id p, node_id m, std::string ctrl_vsource, real gain)
+    : device(std::move(name), {p, m}), ctrl_name_(std::move(ctrl_vsource)), gain_(gain)
+{
+}
+
+void cccs::bind(const circuit& c)
+{
+    ctrl_branch_ = resolve_control_branch(c, name(), ctrl_name_);
+}
+
+void cccs::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    b.add(nodes()[0], ctrl_branch_, gain_);
+    b.add(nodes()[1], ctrl_branch_, -gain_);
+}
+
+void cccs::stamp_ac(const std::vector<real>&, const ac_params&, system_builder<cplx>& b) const
+{
+    b.add(nodes()[0], ctrl_branch_, cplx{gain_, 0.0});
+    b.add(nodes()[1], ctrl_branch_, cplx{-gain_, 0.0});
+}
+
+// --- ccvs ---------------------------------------------------------------
+
+ccvs::ccvs(std::string name, node_id p, node_id m, std::string ctrl_vsource, real transresistance)
+    : device(std::move(name), {p, m}), ctrl_name_(std::move(ctrl_vsource)), r_(transresistance)
+{
+}
+
+void ccvs::bind(const circuit& c)
+{
+    ctrl_branch_ = resolve_control_branch(c, name(), ctrl_name_);
+}
+
+void ccvs::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, 1.0);
+    b.add(nodes()[1], br, -1.0);
+    b.add(br, nodes()[0], 1.0);
+    b.add(br, nodes()[1], -1.0);
+    b.add(br, ctrl_branch_, -r_);
+}
+
+void ccvs::stamp_ac(const std::vector<real>&, const ac_params&, system_builder<cplx>& b) const
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, cplx{1.0, 0.0});
+    b.add(nodes()[1], br, cplx{-1.0, 0.0});
+    b.add(br, nodes()[0], cplx{1.0, 0.0});
+    b.add(br, nodes()[1], cplx{-1.0, 0.0});
+    b.add(br, ctrl_branch_, cplx{-r_, 0.0});
+}
+
+} // namespace acstab::spice

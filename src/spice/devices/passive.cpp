@@ -1,0 +1,163 @@
+#include "spice/devices/passive.h"
+
+#include "common/error.h"
+
+namespace acstab::spice {
+
+// --- resistor ---------------------------------------------------------
+
+resistor::resistor(std::string name, node_id a, node_id b, real ohms)
+    : device(std::move(name), {a, b}), ohms_(ohms)
+{
+    if (!(ohms_ > 0.0))
+        throw circuit_error("resistor " + this->name() + ": resistance must be positive");
+}
+
+void resistor::set_resistance(real ohms)
+{
+    if (!(ohms > 0.0))
+        throw circuit_error("resistor " + name() + ": resistance must be positive");
+    ohms_ = ohms;
+}
+
+void resistor::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    b.conductance(nodes()[0], nodes()[1], 1.0 / ohms_);
+}
+
+void resistor::stamp_ac(const std::vector<real>&, const ac_params&, system_builder<cplx>& b) const
+{
+    b.conductance(nodes()[0], nodes()[1], cplx{1.0 / ohms_, 0.0});
+}
+
+// --- capacitor --------------------------------------------------------
+
+capacitor::capacitor(std::string name, node_id a, node_id b, real farads)
+    : device(std::move(name), {a, b}), farads_(farads)
+{
+    if (!(farads_ >= 0.0))
+        throw circuit_error("capacitor " + this->name() + ": capacitance must be non-negative");
+}
+
+void capacitor::set_capacitance(real farads)
+{
+    if (!(farads >= 0.0))
+        throw circuit_error("capacitor " + name() + ": capacitance must be non-negative");
+    farads_ = farads;
+}
+
+void capacitor::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>&)
+{
+    // Open circuit at DC.
+}
+
+void capacitor::stamp_ac(const std::vector<real>&, const ac_params& p, system_builder<cplx>& b) const
+{
+    b.conductance(nodes()[0], nodes()[1], cplx{0.0, p.omega * farads_});
+}
+
+void capacitor::tran_begin(const std::vector<real>& op)
+{
+    v_prev_ = unknown_voltage(op, nodes()[0], nodes()[1]);
+    i_prev_ = 0.0;
+}
+
+void capacitor::stamp_tran(const std::vector<real>&, const tran_params& p,
+                           system_builder<real>& b)
+{
+    if (farads_ == 0.0)
+        return;
+    real geq = 0.0;
+    real ieq = 0.0;
+    if (p.use_be) {
+        geq = farads_ / p.dt;
+        ieq = geq * v_prev_;
+    } else {
+        geq = 2.0 * farads_ / p.dt;
+        ieq = geq * v_prev_ + i_prev_;
+    }
+    b.conductance(nodes()[0], nodes()[1], geq);
+    b.rhs_add(nodes()[0], ieq);
+    b.rhs_add(nodes()[1], -ieq);
+}
+
+void capacitor::tran_accept(const std::vector<real>& x, const tran_params& p)
+{
+    const real v_new = unknown_voltage(x, nodes()[0], nodes()[1]);
+    if (farads_ == 0.0 || p.dt <= 0.0) {
+        v_prev_ = v_new;
+        i_prev_ = 0.0;
+        return;
+    }
+    if (p.use_be) {
+        i_prev_ = farads_ / p.dt * (v_new - v_prev_);
+    } else {
+        const real geq = 2.0 * farads_ / p.dt;
+        i_prev_ = geq * (v_new - v_prev_) - i_prev_;
+    }
+    v_prev_ = v_new;
+}
+
+// --- inductor ---------------------------------------------------------
+
+inductor::inductor(std::string name, node_id a, node_id b, real henries)
+    : device(std::move(name), {a, b}), henries_(henries)
+{
+    if (!(henries_ > 0.0))
+        throw circuit_error("inductor " + this->name() + ": inductance must be positive");
+}
+
+void inductor::stamp_dc(const std::vector<real>&, const stamp_params&, system_builder<real>& b)
+{
+    // Short circuit at DC: v(a) - v(b) = 0 with the branch current free.
+    const node_id br = branch();
+    b.add(nodes()[0], br, 1.0);
+    b.add(nodes()[1], br, -1.0);
+    b.add(br, nodes()[0], 1.0);
+    b.add(br, nodes()[1], -1.0);
+}
+
+void inductor::stamp_ac(const std::vector<real>&, const ac_params& p, system_builder<cplx>& b) const
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, cplx{1.0, 0.0});
+    b.add(nodes()[1], br, cplx{-1.0, 0.0});
+    b.add(br, nodes()[0], cplx{1.0, 0.0});
+    b.add(br, nodes()[1], cplx{-1.0, 0.0});
+    b.add(br, br, cplx{0.0, -p.omega * henries_});
+}
+
+void inductor::tran_begin(const std::vector<real>& op)
+{
+    i_prev_ = op[static_cast<std::size_t>(branch())];
+    v_prev_ = unknown_voltage(op, nodes()[0], nodes()[1]);
+}
+
+void inductor::stamp_tran(const std::vector<real>&, const tran_params& p,
+                          system_builder<real>& b)
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, 1.0);
+    b.add(nodes()[1], br, -1.0);
+    // Branch equation: i1 - k*v1 = i0 [+ k*v0 for trapezoidal].
+    b.add(br, br, 1.0);
+    if (p.use_be) {
+        const real k = p.dt / henries_;
+        b.add(br, nodes()[0], -k);
+        b.add(br, nodes()[1], k);
+        b.rhs_add(br, i_prev_);
+    } else {
+        const real k = p.dt / (2.0 * henries_);
+        b.add(br, nodes()[0], -k);
+        b.add(br, nodes()[1], k);
+        b.rhs_add(br, i_prev_ + k * v_prev_);
+    }
+}
+
+void inductor::tran_accept(const std::vector<real>& x, const tran_params&)
+{
+    i_prev_ = x[static_cast<std::size_t>(branch())];
+    v_prev_ = unknown_voltage(x, nodes()[0], nodes()[1]);
+}
+
+} // namespace acstab::spice

@@ -1,0 +1,78 @@
+// Linear passive devices: resistor, capacitor, inductor.
+#ifndef ACSTAB_SPICE_DEVICES_PASSIVE_H
+#define ACSTAB_SPICE_DEVICES_PASSIVE_H
+
+#include "spice/device.h"
+
+namespace acstab::spice {
+
+class resistor final : public device {
+public:
+    resistor(std::string name, node_id a, node_id b, real ohms);
+
+    [[nodiscard]] std::string_view type_name() const noexcept override { return "resistor"; }
+    [[nodiscard]] real resistance() const noexcept { return ohms_; }
+    void set_resistance(real ohms);
+
+    void stamp_dc(const std::vector<real>& x, const stamp_params& p,
+                  system_builder<real>& b) override;
+    void stamp_ac(const std::vector<real>& op, const ac_params& p,
+                  system_builder<cplx>& b) const override;
+
+private:
+    real ohms_;
+};
+
+class capacitor final : public device {
+public:
+    capacitor(std::string name, node_id a, node_id b, real farads);
+
+    [[nodiscard]] std::string_view type_name() const noexcept override { return "capacitor"; }
+    [[nodiscard]] real capacitance() const noexcept { return farads_; }
+    void set_capacitance(real farads);
+
+    void stamp_dc(const std::vector<real>& x, const stamp_params& p,
+                  system_builder<real>& b) override;
+    void stamp_ac(const std::vector<real>& op, const ac_params& p,
+                  system_builder<cplx>& b) const override;
+
+    void tran_begin(const std::vector<real>& op) override;
+    void stamp_tran(const std::vector<real>& x, const tran_params& p,
+                    system_builder<real>& b) override;
+    void tran_accept(const std::vector<real>& x, const tran_params& p) override;
+
+private:
+    real farads_;
+    real v_prev_ = 0.0;
+    real i_prev_ = 0.0;
+};
+
+class inductor final : public device {
+public:
+    inductor(std::string name, node_id a, node_id b, real henries);
+
+    [[nodiscard]] std::string_view type_name() const noexcept override { return "inductor"; }
+    [[nodiscard]] real inductance() const noexcept { return henries_; }
+
+    [[nodiscard]] std::size_t extra_unknown_count() const noexcept override { return 1; }
+    [[nodiscard]] node_id branch() const noexcept { return extra(0); }
+
+    void stamp_dc(const std::vector<real>& x, const stamp_params& p,
+                  system_builder<real>& b) override;
+    void stamp_ac(const std::vector<real>& op, const ac_params& p,
+                  system_builder<cplx>& b) const override;
+
+    void tran_begin(const std::vector<real>& op) override;
+    void stamp_tran(const std::vector<real>& x, const tran_params& p,
+                    system_builder<real>& b) override;
+    void tran_accept(const std::vector<real>& x, const tran_params& p) override;
+
+private:
+    real henries_;
+    real i_prev_ = 0.0;
+    real v_prev_ = 0.0;
+};
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_DEVICES_PASSIVE_H

@@ -1,0 +1,96 @@
+#include "spice/devices/sources.h"
+
+namespace acstab::spice {
+
+// --- vsource ----------------------------------------------------------
+
+vsource::vsource(std::string name, node_id plus, node_id minus, waveform_spec spec)
+    : device(std::move(name), {plus, minus}), spec_(std::move(spec))
+{
+}
+
+vsource::vsource(std::string name, node_id plus, node_id minus, real dc_volts)
+    : vsource(std::move(name), plus, minus, waveform_spec::make_dc(dc_volts))
+{
+}
+
+void vsource::stamp_topology(system_builder<real>& b) const
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, 1.0);
+    b.add(nodes()[1], br, -1.0);
+    b.add(br, nodes()[0], 1.0);
+    b.add(br, nodes()[1], -1.0);
+}
+
+void vsource::stamp_dc(const std::vector<real>&, const stamp_params& p, system_builder<real>& b)
+{
+    stamp_topology(b);
+    b.rhs_add(branch(), spec_.dc * p.source_scale);
+}
+
+void vsource::stamp_ac(const std::vector<real>&, const ac_params& p, system_builder<cplx>& b) const
+{
+    const node_id br = branch();
+    b.add(nodes()[0], br, cplx{1.0, 0.0});
+    b.add(nodes()[1], br, cplx{-1.0, 0.0});
+    b.add(br, nodes()[0], cplx{1.0, 0.0});
+    b.add(br, nodes()[1], cplx{-1.0, 0.0});
+    if (!p.zero_all_sources && (p.exclusive_source == nullptr || p.exclusive_source == this))
+        b.rhs_add(br, spec_.ac_phasor());
+}
+
+void vsource::stamp_tran(const std::vector<real>&, const tran_params& p, system_builder<real>& b)
+{
+    stamp_topology(b);
+    b.rhs_add(branch(), spec_.value_at(p.t1));
+}
+
+void vsource::collect_breakpoints(real tstop, std::vector<real>& out) const
+{
+    const std::vector<real> bp = spec_.breakpoints(tstop);
+    out.insert(out.end(), bp.begin(), bp.end());
+}
+
+// --- isource ----------------------------------------------------------
+
+isource::isource(std::string name, node_id from, node_id to, waveform_spec spec)
+    : device(std::move(name), {from, to}), spec_(std::move(spec))
+{
+}
+
+isource::isource(std::string name, node_id from, node_id to, real dc_amps)
+    : isource(std::move(name), from, to, waveform_spec::make_dc(dc_amps))
+{
+}
+
+void isource::stamp_dc(const std::vector<real>&, const stamp_params& p, system_builder<real>& b)
+{
+    const real i = spec_.dc * p.source_scale;
+    b.rhs_add(nodes()[0], -i);
+    b.rhs_add(nodes()[1], i);
+}
+
+void isource::stamp_ac(const std::vector<real>&, const ac_params& p, system_builder<cplx>& b) const
+{
+    if (p.zero_all_sources || (p.exclusive_source != nullptr && p.exclusive_source != this))
+        return;
+    const cplx i = spec_.ac_phasor();
+    b.rhs_add(nodes()[0], -i);
+    b.rhs_add(nodes()[1], i);
+}
+
+void isource::stamp_tran(const std::vector<real>&, const tran_params& p, system_builder<real>& b)
+{
+    const real i = spec_.value_at(p.t1);
+    b.rhs_add(nodes()[0], -i);
+    b.rhs_add(nodes()[1], i);
+}
+
+void isource::collect_breakpoints(real tstop, std::vector<real>& out) const
+{
+    const std::vector<real> bp = spec_.breakpoints(tstop);
+    out.insert(out.end(), bp.begin(), bp.end());
+}
+
+} // namespace acstab::spice

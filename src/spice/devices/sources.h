@@ -1,0 +1,68 @@
+// Independent sources: voltage source (with branch current) and current
+// source. Both carry a full waveform_spec (DC value, AC stimulus,
+// transient shape).
+#ifndef ACSTAB_SPICE_DEVICES_SOURCES_H
+#define ACSTAB_SPICE_DEVICES_SOURCES_H
+
+#include "spice/device.h"
+#include "spice/waveform_spec.h"
+
+namespace acstab::spice {
+
+/// Ideal voltage source from node plus to node minus.
+class vsource final : public device {
+public:
+    vsource(std::string name, node_id plus, node_id minus, waveform_spec spec);
+    vsource(std::string name, node_id plus, node_id minus, real dc_volts);
+
+    [[nodiscard]] std::string_view type_name() const noexcept override { return "vsource"; }
+    [[nodiscard]] const waveform_spec& spec() const noexcept { return spec_; }
+    void set_spec(waveform_spec spec) { spec_ = std::move(spec); }
+    void set_dc(real volts) { spec_.dc = volts; }
+
+    [[nodiscard]] std::size_t extra_unknown_count() const noexcept override { return 1; }
+    /// MNA index of the branch current flowing from plus through the
+    /// source to minus.
+    [[nodiscard]] node_id branch() const noexcept { return extra(0); }
+
+    [[nodiscard]] bool is_ideal_voltage_source() const noexcept override { return true; }
+
+    void stamp_dc(const std::vector<real>& x, const stamp_params& p,
+                  system_builder<real>& b) override;
+    void stamp_ac(const std::vector<real>& op, const ac_params& p,
+                  system_builder<cplx>& b) const override;
+    void stamp_tran(const std::vector<real>& x, const tran_params& p,
+                    system_builder<real>& b) override;
+    void collect_breakpoints(real tstop, std::vector<real>& out) const override;
+
+private:
+    void stamp_topology(system_builder<real>& b) const;
+    waveform_spec spec_;
+};
+
+/// Ideal current source; the specified current flows out of node `from`,
+/// through the source, into node `to` (i.e. it is injected into `to`).
+class isource final : public device {
+public:
+    isource(std::string name, node_id from, node_id to, waveform_spec spec);
+    isource(std::string name, node_id from, node_id to, real dc_amps);
+
+    [[nodiscard]] std::string_view type_name() const noexcept override { return "isource"; }
+    [[nodiscard]] const waveform_spec& spec() const noexcept { return spec_; }
+    void set_spec(waveform_spec spec) { spec_ = std::move(spec); }
+
+    void stamp_dc(const std::vector<real>& x, const stamp_params& p,
+                  system_builder<real>& b) override;
+    void stamp_ac(const std::vector<real>& op, const ac_params& p,
+                  system_builder<cplx>& b) const override;
+    void stamp_tran(const std::vector<real>& x, const tran_params& p,
+                    system_builder<real>& b) override;
+    void collect_breakpoints(real tstop, std::vector<real>& out) const override;
+
+private:
+    waveform_spec spec_;
+};
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_DEVICES_SOURCES_H

@@ -1,0 +1,138 @@
+#include "spice/measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/interpolation.h"
+
+namespace acstab::spice {
+
+real db20(real magnitude)
+{
+    return 20.0 * std::log10(magnitude);
+}
+
+std::vector<real> db20(std::span<const cplx> h)
+{
+    std::vector<real> out(h.size());
+    for (std::size_t i = 0; i < h.size(); ++i)
+        out[i] = 20.0 * std::log10(std::abs(h[i]));
+    return out;
+}
+
+std::vector<real> phase_deg_unwrapped(std::span<const cplx> h)
+{
+    std::vector<real> out(h.size());
+    real offset = 0.0;
+    real prev = 0.0;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        real ph = std::arg(h[i]) * 180.0 / pi;
+        if (i > 0) {
+            while (ph + offset - prev > 180.0)
+                offset -= 360.0;
+            while (ph + offset - prev < -180.0)
+                offset += 360.0;
+        }
+        out[i] = ph + offset;
+        prev = out[i];
+    }
+    return out;
+}
+
+real overshoot_percent(std::span<const real> y, real initial, real final_value)
+{
+    if (y.empty())
+        throw analysis_error("overshoot: empty waveform");
+    const real swing = final_value - initial;
+    if (swing == 0.0)
+        throw analysis_error("overshoot: zero step swing");
+    real peak = swing > 0.0 ? *std::max_element(y.begin(), y.end())
+                            : *std::min_element(y.begin(), y.end());
+    return 100.0 * (peak - final_value) / swing;
+}
+
+real final_value(std::span<const real> y, real tail_fraction)
+{
+    if (y.empty())
+        throw analysis_error("final_value: empty waveform");
+    const std::size_t tail = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<real>(y.size()) * tail_fraction));
+    real acc = 0.0;
+    for (std::size_t i = y.size() - tail; i < y.size(); ++i)
+        acc += y[i];
+    return acc / static_cast<real>(tail);
+}
+
+real settling_time(std::span<const real> t, std::span<const real> y, real final_value,
+                   real band_fraction)
+{
+    return settling_time_abs(t, y, final_value, std::fabs(final_value) * band_fraction);
+}
+
+real settling_time_abs(std::span<const real> t, std::span<const real> y, real final_value,
+                       real band_abs)
+{
+    if (t.size() != y.size() || t.empty())
+        throw analysis_error("settling_time: bad inputs");
+    std::size_t settled_from = t.size();
+    for (std::size_t i = t.size(); i-- > 0;) {
+        if (std::fabs(y[i] - final_value) > band_abs)
+            break;
+        settled_from = i;
+    }
+    return settled_from < t.size() ? t[settled_from] : t.back();
+}
+
+real ringing_frequency(std::span<const real> t, std::span<const real> y, real final_value)
+{
+    if (t.size() != y.size() || t.size() < 3)
+        return 0.0;
+    std::vector<real> crossings;
+    for (std::size_t i = 1; i < y.size(); ++i) {
+        const real a = y[i - 1] - final_value;
+        const real b = y[i] - final_value;
+        if ((a < 0.0) != (b < 0.0) && a != b) {
+            const real f = a / (a - b);
+            crossings.push_back(t[i - 1] + f * (t[i] - t[i - 1]));
+        }
+    }
+    if (crossings.size() < 3)
+        return 0.0;
+    // Mean half-period between consecutive crossings.
+    const real span = crossings.back() - crossings.front();
+    const real half_periods = static_cast<real>(crossings.size() - 1);
+    if (span <= 0.0)
+        return 0.0;
+    return half_periods / (2.0 * span);
+}
+
+bode_margins margins(std::span<const real> freq_hz, std::span<const cplx> loop_gain)
+{
+    if (freq_hz.size() != loop_gain.size() || freq_hz.size() < 2)
+        throw analysis_error("margins: bad inputs");
+
+    const std::vector<real> gain_db = db20(loop_gain);
+    const std::vector<real> phase = phase_deg_unwrapped(loop_gain);
+    // Work on a log-frequency axis for interpolation quality.
+    std::vector<real> logf(freq_hz.size());
+    for (std::size_t i = 0; i < freq_hz.size(); ++i)
+        logf[i] = std::log10(freq_hz[i]);
+
+    bode_margins m;
+    real x = 0.0;
+    if (numeric::find_crossing(logf, gain_db, 0.0, x)) {
+        m.has_unity_crossing = true;
+        m.unity_freq_hz = std::pow(10.0, x);
+        const real ph = numeric::interp_linear(logf, phase, x);
+        m.phase_margin_deg = 180.0 + ph;
+    }
+    if (numeric::find_crossing(logf, phase, -180.0, x)) {
+        m.has_phase_crossing = true;
+        m.phase_cross_freq_hz = std::pow(10.0, x);
+        m.gain_margin_db = -numeric::interp_linear(logf, gain_db, x);
+    }
+    return m;
+}
+
+} // namespace acstab::spice

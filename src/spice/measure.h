@@ -1,0 +1,59 @@
+// Waveform-calculator style measurements used by the baselines and the
+// benches: dB/phase conversion, step-response metrics, Bode margins.
+#ifndef ACSTAB_SPICE_MEASURE_H
+#define ACSTAB_SPICE_MEASURE_H
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acstab::spice {
+
+/// 20*log10(|x|).
+[[nodiscard]] real db20(real magnitude);
+[[nodiscard]] std::vector<real> db20(std::span<const cplx> h);
+
+/// Phase in degrees, unwrapped so adjacent points never jump more than
+/// 180 degrees.
+[[nodiscard]] std::vector<real> phase_deg_unwrapped(std::span<const cplx> h);
+
+/// Percent overshoot of a step response relative to its initial and final
+/// values: 100 * (peak - final) / (final - initial).
+[[nodiscard]] real overshoot_percent(std::span<const real> y, real initial, real final_value);
+
+/// Final value estimated as the mean of the last `tail_fraction` of the
+/// record (default last 5 %).
+[[nodiscard]] real final_value(std::span<const real> y, real tail_fraction = 0.05);
+
+/// First time the response enters and stays within +/- band_fraction of
+/// the final value; returns the last time point when it never settles.
+[[nodiscard]] real settling_time(std::span<const real> t, std::span<const real> y,
+                                 real final_value, real band_fraction = 0.02);
+
+/// Settling with an absolute band (use 2 % of the step swing for
+/// small-signal steps riding on a large DC level).
+[[nodiscard]] real settling_time_abs(std::span<const real> t, std::span<const real> y,
+                                     real final_value, real band_abs);
+
+/// Ringing frequency estimated from the mean spacing of zero crossings of
+/// (y - final). Returns 0 when fewer than 3 crossings exist.
+[[nodiscard]] real ringing_frequency(std::span<const real> t, std::span<const real> y,
+                                     real final_value);
+
+/// Bode stability margins extracted from a loop-gain frequency response.
+struct bode_margins {
+    bool has_unity_crossing = false;
+    real unity_freq_hz = 0.0;     ///< 0 dB crossover
+    real phase_margin_deg = 0.0;  ///< 180 + phase at crossover
+    bool has_phase_crossing = false;
+    real phase_cross_freq_hz = 0.0; ///< frequency of -180 deg phase
+    real gain_margin_db = 0.0;      ///< -|T| in dB at the phase crossing
+};
+
+/// Compute margins of loop gain T(jw) sampled at freqs (Hz).
+[[nodiscard]] bode_margins margins(std::span<const real> freq_hz, std::span<const cplx> loop_gain);
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_MEASURE_H

@@ -1,0 +1,53 @@
+// Solve dispatch for assembled MNA systems: dense reference LU or sparse
+// Gilbert–Peierls (the default). Shared by every analysis.
+#ifndef ACSTAB_SPICE_MNA_H
+#define ACSTAB_SPICE_MNA_H
+
+#include <optional>
+#include <vector>
+
+#include "numeric/lu.h"
+#include "numeric/sparse_lu.h"
+#include "spice/device.h"
+
+namespace acstab::spice {
+
+enum class solver_kind { dense, sparse };
+
+/// A factored MNA matrix reusable across many right-hand sides (the
+/// all-nodes stability sweep factors once per frequency and back-solves
+/// once per node).
+template <class T>
+class factored_system {
+public:
+    factored_system(const system_builder<T>& b, solver_kind kind)
+    {
+        if (kind == solver_kind::dense)
+            dense_.emplace(b.matrix().to_dense());
+        else
+            sparse_.emplace(numeric::csc_matrix<T>(b.matrix()));
+    }
+
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& rhs) const
+    {
+        if (dense_)
+            return dense_->solve(rhs);
+        return sparse_->solve(rhs);
+    }
+
+private:
+    std::optional<numeric::lu_decomposition<T>> dense_;
+    std::optional<numeric::sparse_lu<T>> sparse_;
+};
+
+/// Factor the builder's matrix and solve against its right-hand side.
+/// Throws numeric_error on singular systems.
+template <class T>
+[[nodiscard]] std::vector<T> solve_system(const system_builder<T>& b, solver_kind kind)
+{
+    return factored_system<T>(b, kind).solve(b.rhs());
+}
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_MNA_H

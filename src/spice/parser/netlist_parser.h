@@ -1,0 +1,60 @@
+// SPICE netlist parser: builds a circuit plus a list of analysis cards.
+//
+// Supported grammar (case-insensitive, '+' continuation lines, '*'
+// comment lines, trailing ';' comments):
+//   title line (first line)
+//   Rxxx n1 n2 value            Cxxx n1 n2 value        Lxxx n1 n2 value
+//   Vxxx n+ n- [DC v] [AC mag [phase]] [PULSE(..)|SIN(..)|PWL(..)|STEP(..)]
+//   Ixxx n+ n- (same source syntax)
+//   Exxx p m cp cm gain         Gxxx p m cp cm gm
+//   Fxxx p m vname gain         Hxxx p m vname r
+//   Dxxx a k model              Qxxx c b e model
+//   Mxxx d g s b model W=val L=val
+//   Xxxx node... subckt
+//   .param name=expr ...
+//   .model name D|NPN|PNP|NMOS|PMOS (key=val ...)
+//   .subckt name port... / .ends
+//   .op | .ac dec ppd fstart fstop | .tran dt tstop
+//   .stability [node|all] [fstart fstop ppd]
+//   .end
+// Values may be plain SPICE numbers or {expressions} over .param names.
+#ifndef ACSTAB_SPICE_PARSER_NETLIST_PARSER_H
+#define ACSTAB_SPICE_PARSER_NETLIST_PARSER_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/parser/expression.h"
+
+namespace acstab::spice {
+
+enum class analysis_kind { op, ac, tran, stability_node, stability_all };
+
+/// One analysis request from the netlist, for the CLI driver to execute.
+struct analysis_card {
+    analysis_kind kind = analysis_kind::op;
+    real fstart = 1e3;
+    real fstop = 1e9;
+    std::size_t points_per_decade = 40;
+    real tstop = 0.0;
+    real dt = 0.0;
+    std::string node; ///< stability_node target
+};
+
+struct parsed_netlist {
+    std::string title;
+    circuit ckt;
+    parameter_table parameters;
+    std::vector<analysis_card> analyses;
+};
+
+/// Parse netlist text. Throws parse_error with a line number on errors.
+[[nodiscard]] parsed_netlist parse_netlist(std::string_view text);
+
+/// Read and parse a netlist file.
+[[nodiscard]] parsed_netlist parse_netlist_file(const std::string& path);
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_PARSER_NETLIST_PARSER_H

@@ -1,0 +1,151 @@
+#include "spice/tran_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acstab::spice {
+
+namespace {
+
+    /// Newton iteration for one candidate time step. Returns true on
+    /// convergence and leaves the solution in x.
+    bool solve_step(circuit& c, std::vector<real>& x, const tran_params& p,
+                    const tran_options& opt)
+    {
+        const std::size_t n = c.unknown_count();
+        const std::size_t nodes = c.node_count();
+
+        for (int it = 0; it < opt.max_newton; ++it) {
+            system_builder<real> b(n);
+            for (const auto& dev : c.devices())
+                dev->stamp_tran(x, p, b);
+            if (opt.dc.gshunt > 0.0)
+                for (std::size_t i = 0; i < nodes; ++i)
+                    b.add(static_cast<node_id>(i), static_cast<node_id>(i), opt.dc.gshunt);
+
+            std::vector<real> x_new;
+            try {
+                x_new = solve_system(b, opt.solver);
+            } catch (const numeric_error&) {
+                return false;
+            }
+
+            bool converged = true;
+            for (std::size_t i = 0; i < n; ++i) {
+                const real delta = std::fabs(x_new[i] - x[i]);
+                const real floor_tol = i < nodes ? opt.vntol : opt.abstol;
+                const real tol = opt.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i]))
+                    + floor_tol;
+                if (delta > tol) {
+                    converged = false;
+                    break;
+                }
+            }
+            x = std::move(x_new);
+            if (converged)
+                return true;
+        }
+        return false;
+    }
+
+} // namespace
+
+std::vector<real> tran_result::unknown_waveform(std::size_t index) const
+{
+    std::vector<real> out(solution.size());
+    for (std::size_t k = 0; k < solution.size(); ++k)
+        out[k] = solution[k][index];
+    return out;
+}
+
+tran_result transient(circuit& c, const tran_options& opt)
+{
+    c.finalize();
+    if (!(opt.tstop > 0.0))
+        throw analysis_error("transient: tstop must be positive");
+    const real dt_nominal = opt.dt > 0.0 ? opt.dt : opt.tstop / 1000.0;
+    const real dt_min = dt_nominal * opt.dtmin_factor;
+
+    // Initial operating point (sources at their t=0 DC values).
+    const dc_result op = dc_operating_point(c, opt.dc);
+    for (const auto& dev : c.devices())
+        dev->tran_begin(op.solution);
+
+    // Breakpoints from every source waveform.
+    std::vector<real> breakpoints;
+    for (const auto& dev : c.devices())
+        dev->collect_breakpoints(opt.tstop, breakpoints);
+    std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()), breakpoints.end());
+
+    tran_result res;
+    res.time.push_back(0.0);
+    res.solution.push_back(op.solution);
+
+    std::vector<real> x = op.solution;
+    real t = 0.0;
+    std::size_t next_bp = 0;
+    bool force_be = true; // BE kick at t = 0
+
+    const stamp_params dc_params{.gmin = opt.dc.gmin, .continuation = false, .source_scale = 1.0};
+
+    while (t < opt.tstop * (1.0 - 1e-12)) {
+        real dt = std::min(dt_nominal, opt.tstop - t);
+        // Land exactly on the next breakpoint.
+        bool hits_bp = false;
+        if (next_bp < breakpoints.size() && t + dt >= breakpoints[next_bp] - 1e-15) {
+            dt = breakpoints[next_bp] - t;
+            hits_bp = true;
+            if (dt <= 0.0) {
+                ++next_bp;
+                continue;
+            }
+        }
+
+        bool accepted = false;
+        while (!accepted) {
+            tran_params p;
+            p.t0 = t;
+            p.t1 = t + dt;
+            p.dt = dt;
+            p.use_be = force_be;
+            p.dc = dc_params;
+
+            std::vector<real> x_try = x;
+            if (solve_step(c, x_try, p, opt)) {
+                for (const auto& dev : c.devices())
+                    dev->tran_accept(x_try, p);
+                x = std::move(x_try);
+                t = p.t1;
+                res.time.push_back(t);
+                res.solution.push_back(x);
+                accepted = true;
+                force_be = false;
+            } else {
+                dt *= 0.5;
+                hits_bp = false;
+                if (dt < dt_min)
+                    throw convergence_error("transient: Newton failed at t = "
+                                            + std::to_string(t) + " even at minimum step");
+            }
+        }
+        if (hits_bp) {
+            ++next_bp;
+            force_be = true; // restart the integrator across the corner
+        }
+    }
+    return res;
+}
+
+std::vector<real> node_waveform(const circuit& c, const tran_result& res,
+                                const std::string& node_name)
+{
+    const auto id = c.find_node(node_name);
+    if (!id)
+        throw analysis_error("unknown node '" + node_name + "'");
+    if (*id < 0)
+        return std::vector<real>(res.step_count(), 0.0);
+    return res.unknown_waveform(static_cast<std::size_t>(*id));
+}
+
+} // namespace acstab::spice

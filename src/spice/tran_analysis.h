@@ -1,0 +1,49 @@
+// Transient analysis: trapezoidal integration with a backward-Euler kick
+// at t=0 and after every source breakpoint, Newton iteration per step, and
+// automatic step halving when Newton stalls.
+#ifndef ACSTAB_SPICE_TRAN_ANALYSIS_H
+#define ACSTAB_SPICE_TRAN_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+#include "spice/mna.h"
+
+namespace acstab::spice {
+
+struct tran_options {
+    real tstop = 0.0;
+    /// Nominal step; the engine subdivides at breakpoints and halves on
+    /// Newton failure. 0 selects tstop/1000.
+    real dt = 0.0;
+    real dtmin_factor = 1e-6; ///< smallest allowed step = dt * factor
+    int max_newton = 60;
+    real reltol = 1e-3;
+    real vntol = 1e-6;
+    real abstol = 1e-12;
+    solver_kind solver = solver_kind::sparse;
+    dc_options dc; ///< options for the initial operating point
+};
+
+struct tran_result {
+    std::vector<real> time;
+    std::vector<std::vector<real>> solution; ///< [step][unknown]
+
+    [[nodiscard]] std::size_t step_count() const noexcept { return time.size(); }
+
+    /// Waveform of one unknown over time.
+    [[nodiscard]] std::vector<real> unknown_waveform(std::size_t index) const;
+};
+
+/// Run a transient analysis starting from the DC operating point.
+[[nodiscard]] tran_result transient(circuit& c, const tran_options& opt);
+
+/// Time-domain waveform of a named node.
+[[nodiscard]] std::vector<real> node_waveform(const circuit& c, const tran_result& res,
+                                              const std::string& node_name);
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_TRAN_ANALYSIS_H

@@ -1,0 +1,123 @@
+#include "spice/waveform_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace acstab::spice {
+
+waveform_spec waveform_spec::make_pwl(std::vector<real> times, std::vector<real> values)
+{
+    if (times.size() != values.size() || times.empty())
+        throw circuit_error("pwl: need matching non-empty time/value lists");
+    for (std::size_t i = 1; i < times.size(); ++i)
+        if (!(times[i] > times[i - 1]))
+            throw circuit_error("pwl: times must be strictly increasing");
+    waveform_spec w;
+    w.kind = waveform_kind::pwl;
+    w.dc = values.front();
+    w.pwl_time = std::move(times);
+    w.pwl_value = std::move(values);
+    return w;
+}
+
+real waveform_spec::value_at(real t) const
+{
+    switch (kind) {
+    case waveform_kind::dc:
+        return dc;
+
+    case waveform_kind::pulse: {
+        if (t < delay)
+            return v1;
+        real tau = t - delay;
+        if (period > 0.0 && period < 1e30)
+            tau = std::fmod(tau, period);
+        if (rise > 0.0 && tau < rise)
+            return v1 + (v2 - v1) * tau / rise;
+        if (tau < rise + width)
+            return v2;
+        if (fall > 0.0 && tau < rise + width + fall)
+            return v2 + (v1 - v2) * (tau - rise - width) / fall;
+        if (rise == 0.0 && tau < width)
+            return v2;
+        return (tau <= rise + width) ? v2 : v1;
+    }
+
+    case waveform_kind::sine: {
+        if (t < delay)
+            return offset;
+        const real tau = t - delay;
+        const real decay = damping > 0.0 ? std::exp(-tau * damping) : 1.0;
+        return offset + amplitude * decay * std::sin(two_pi * frequency * tau);
+    }
+
+    case waveform_kind::pwl: {
+        if (t <= pwl_time.front())
+            return pwl_value.front();
+        if (t >= pwl_time.back())
+            return pwl_value.back();
+        const auto it = std::upper_bound(pwl_time.begin(), pwl_time.end(), t);
+        const std::size_t hi = static_cast<std::size_t>(it - pwl_time.begin());
+        const std::size_t lo = hi - 1;
+        const real f = (t - pwl_time[lo]) / (pwl_time[hi] - pwl_time[lo]);
+        return pwl_value[lo] + f * (pwl_value[hi] - pwl_value[lo]);
+    }
+
+    case waveform_kind::exponential: {
+        real v = v1;
+        if (t >= delay)
+            v += (v2 - v1) * (1.0 - std::exp(-(t - delay) / std::max(tau1, 1e-18)));
+        if (t >= delay2)
+            v += (v1 - v2) * (1.0 - std::exp(-(t - delay2) / std::max(tau2, 1e-18)));
+        return v;
+    }
+    }
+    return dc;
+}
+
+std::vector<real> waveform_spec::breakpoints(real tstop) const
+{
+    std::vector<real> bp;
+    const auto add = [&bp, tstop](real t) {
+        if (t > 0.0 && t < tstop)
+            bp.push_back(t);
+    };
+    switch (kind) {
+    case waveform_kind::dc:
+    case waveform_kind::sine:
+        break;
+    case waveform_kind::pulse: {
+        const real per = (period > 0.0 && period < 1e30) ? period : 2.0 * tstop + 1.0;
+        for (real t0 = delay; t0 < tstop; t0 += per) {
+            add(t0);
+            add(t0 + rise);
+            add(t0 + rise + width);
+            add(t0 + rise + width + fall);
+            if (per > tstop)
+                break;
+        }
+        break;
+    }
+    case waveform_kind::pwl:
+        for (const real t : pwl_time)
+            add(t);
+        break;
+    case waveform_kind::exponential:
+        add(delay);
+        add(delay2);
+        break;
+    }
+    std::sort(bp.begin(), bp.end());
+    bp.erase(std::unique(bp.begin(), bp.end()), bp.end());
+    return bp;
+}
+
+cplx waveform_spec::ac_phasor() const
+{
+    const real phase = ac_phase_deg * pi / 180.0;
+    return {ac_mag * std::cos(phase), ac_mag * std::sin(phase)};
+}
+
+} // namespace acstab::spice

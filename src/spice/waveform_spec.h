@@ -1,0 +1,115 @@
+// Independent-source waveform descriptors: DC, AC small-signal spec, and
+// the time-domain shapes (PULSE, SIN, PWL, EXP) used by transient analysis.
+#ifndef ACSTAB_SPICE_WAVEFORM_SPEC_H
+#define ACSTAB_SPICE_WAVEFORM_SPEC_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace acstab::spice {
+
+enum class waveform_kind { dc, pulse, sine, pwl, exponential };
+
+/// Full source specification. `dc` is the operating-point value; `ac_mag`
+/// / `ac_phase_deg` form the small-signal stimulus; the transient shape is
+/// selected by `kind`.
+struct waveform_spec {
+    waveform_kind kind = waveform_kind::dc;
+
+    real dc = 0.0;
+    real ac_mag = 0.0;
+    real ac_phase_deg = 0.0;
+
+    // PULSE(v1 v2 td tr tf pw per)
+    real v1 = 0.0;
+    real v2 = 0.0;
+    real delay = 0.0;
+    real rise = 0.0;
+    real fall = 0.0;
+    real width = 0.0;
+    real period = 0.0;
+
+    // SIN(vo va freq td theta)
+    real offset = 0.0;
+    real amplitude = 0.0;
+    real frequency = 0.0;
+    real damping = 0.0;
+
+    // EXP(v1 v2 td1 tau1 td2 tau2)
+    real tau1 = 0.0;
+    real delay2 = 0.0;
+    real tau2 = 0.0;
+
+    // PWL(t0 v0 t1 v1 ...)
+    std::vector<real> pwl_time;
+    std::vector<real> pwl_value;
+
+    [[nodiscard]] static waveform_spec make_dc(real value)
+    {
+        waveform_spec w;
+        w.dc = value;
+        return w;
+    }
+
+    [[nodiscard]] static waveform_spec make_ac(real dc_value, real mag, real phase_deg = 0.0)
+    {
+        waveform_spec w;
+        w.dc = dc_value;
+        w.ac_mag = mag;
+        w.ac_phase_deg = phase_deg;
+        return w;
+    }
+
+    [[nodiscard]] static waveform_spec make_pulse(real v1, real v2, real td, real tr, real tf,
+                                                  real pw, real per)
+    {
+        waveform_spec w;
+        w.kind = waveform_kind::pulse;
+        w.dc = v1;
+        w.v1 = v1;
+        w.v2 = v2;
+        w.delay = td;
+        w.rise = tr;
+        w.fall = tf;
+        w.width = pw;
+        w.period = per;
+        return w;
+    }
+
+    [[nodiscard]] static waveform_spec make_step(real v1, real v2, real td, real tr)
+    {
+        // A step is a pulse that never returns.
+        return make_pulse(v1, v2, td, tr, tr, 1e30, 1e30);
+    }
+
+    [[nodiscard]] static waveform_spec make_sine(real vo, real va, real freq, real td = 0.0,
+                                                 real theta = 0.0)
+    {
+        waveform_spec w;
+        w.kind = waveform_kind::sine;
+        w.dc = vo;
+        w.offset = vo;
+        w.amplitude = va;
+        w.frequency = freq;
+        w.delay = td;
+        w.damping = theta;
+        return w;
+    }
+
+    [[nodiscard]] static waveform_spec make_pwl(std::vector<real> times, std::vector<real> values);
+
+    /// Instantaneous value at time t (transient analyses).
+    [[nodiscard]] real value_at(real t) const;
+
+    /// Times at which the waveform has slope discontinuities within
+    /// [0, tstop]; the transient engine aligns steps with these.
+    [[nodiscard]] std::vector<real> breakpoints(real tstop) const;
+
+    /// Complex AC stimulus phasor.
+    [[nodiscard]] cplx ac_phasor() const;
+};
+
+} // namespace acstab::spice
+
+#endif // ACSTAB_SPICE_WAVEFORM_SPEC_H

@@ -1,0 +1,282 @@
+// acstab — the push-button AC-stability analysis tool (paper section 4),
+// reimplemented as a command-line program over the library:
+//
+//   acstab op        <netlist>                         DC operating point
+//   acstab ac        <netlist> --node N [sweep opts]   AC magnitude/phase
+//   acstab tran      <netlist> --node N --tstop T      transient waveform
+//   acstab stability <netlist> [--node N | --all] ...  the paper's method
+//   acstab pz        <netlist>                         (G,C) pencil poles
+//   acstab loopgain  <netlist> --probe V               double-injection probe
+//   acstab run       <netlist>                         execute .op/.ac/.tran/
+//                                                      .stability cards
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/loop_gain.h"
+#include "analysis/pole_zero.h"
+#include "core/analyzer.h"
+#include "core/ascii_plot.h"
+#include "core/report.h"
+#include "numeric/interpolation.h"
+#include "spice/ac_analysis.h"
+#include "spice/dc_analysis.h"
+#include "spice/measure.h"
+#include "spice/parser/netlist_parser.h"
+#include "spice/tran_analysis.h"
+#include "spice/units.h"
+#include "tool/options.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::tool;
+
+int cmd_op(spice::circuit& c, const cli_options&)
+{
+    const spice::dc_result op = spice::dc_operating_point(c);
+    std::printf("operating point (%d Newton iterations%s%s):\n", op.iterations,
+                op.used_gmin_stepping ? ", gmin stepping" : "",
+                op.used_source_stepping ? ", source stepping" : "");
+    for (std::size_t i = 0; i < c.node_count(); ++i)
+        std::printf("  V(%-12s) = %12.6g V\n",
+                    c.node_name(static_cast<spice::node_id>(i)).c_str(), op.solution[i]);
+    return 0;
+}
+
+int cmd_ac(spice::circuit& c, const cli_options& opt)
+{
+    if (opt.node.empty())
+        throw analysis_error("ac: --node is required");
+    const spice::dc_result op = spice::dc_operating_point(c);
+    const std::vector<real> freqs
+        = numeric::log_space(opt.fstart, opt.fstop,
+                             sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
+    const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution);
+    const std::vector<cplx> h = spice::node_response(c, res, opt.node);
+    const std::vector<real> mag_db = spice::db20(h);
+    const std::vector<real> phase = spice::phase_deg_unwrapped(h);
+
+    if (opt.csv) {
+        std::puts("freq_hz,mag_db,phase_deg");
+        for (std::size_t i = 0; i < freqs.size(); ++i)
+            std::printf("%.8g,%.8g,%.8g\n", freqs[i], mag_db[i], phase[i]);
+        return 0;
+    }
+    core::ascii_plot_options po;
+    po.title = "|V(" + opt.node + ")| [dB]";
+    std::fputs(core::ascii_plot(freqs, mag_db, po).c_str(), stdout);
+    po.title = "phase(V(" + opt.node + ")) [deg]";
+    std::fputs(core::ascii_plot(freqs, phase, po).c_str(), stdout);
+    return 0;
+}
+
+int cmd_tran(spice::circuit& c, const cli_options& opt)
+{
+    if (opt.node.empty())
+        throw analysis_error("tran: --node is required");
+    if (!(opt.tstop > 0.0))
+        throw analysis_error("tran: --tstop is required");
+    spice::tran_options topt;
+    topt.tstop = opt.tstop;
+    topt.dt = opt.dt;
+    const spice::tran_result res = spice::transient(c, topt);
+    const std::vector<real> v = spice::node_waveform(c, res, opt.node);
+    if (opt.csv) {
+        std::puts("time_s,volts");
+        for (std::size_t i = 0; i < res.time.size(); ++i)
+            std::printf("%.8g,%.8g\n", res.time[i], v[i]);
+        return 0;
+    }
+    core::ascii_plot_options po;
+    po.log_x = false;
+    po.title = "V(" + opt.node + ") vs time";
+    std::fputs(core::ascii_plot(res.time, v, po).c_str(), stdout);
+    return 0;
+}
+
+int cmd_stability(spice::circuit& c, const cli_options& opt)
+{
+    core::stability_options sopt;
+    sopt.sweep.fstart = opt.fstart;
+    sopt.sweep.fstop = opt.fstop;
+    sopt.sweep.points_per_decade = opt.ppd;
+    sopt.threads = opt.threads;
+    core::stability_analyzer an(c, sopt);
+
+    if (!opt.node.empty()) {
+        const core::node_stability ns = an.analyze_node(opt.node);
+        std::fputs(core::format_node_summary(ns).c_str(), stdout);
+        if (!opt.csv) {
+            core::ascii_plot_options po;
+            po.title = "stability plot P(f) at " + opt.node;
+            std::fputs(core::ascii_plot(ns.plot.freq_hz, ns.plot.p, po).c_str(), stdout);
+        }
+        return 0;
+    }
+    const core::stability_report rep = an.analyze_all_nodes();
+    if (opt.csv)
+        std::fputs(core::format_csv(rep).c_str(), stdout);
+    else
+        std::fputs(core::format_all_nodes_report(rep).c_str(), stdout);
+    if (opt.annotate)
+        std::fputs(core::annotate_circuit(c, rep).c_str(), stdout);
+    return 0;
+}
+
+int cmd_pz(spice::circuit& c, const cli_options& opt)
+{
+    core::stability_analyzer an(c);
+    const auto print = [](const std::vector<analysis::pole>& roots) {
+        for (const auto& p : roots) {
+            if (p.is_complex && p.s.imag() < 0.0)
+                continue; // print each conjugate pair once
+            std::printf("  s = %12.5g %+12.5gj rad/s   f = %-12s zeta = %.4f%s\n", p.s.real(),
+                        p.s.imag(), spice::format_frequency(p.freq_hz).c_str(), p.zeta,
+                        p.is_complex ? "  (complex pair)" : "");
+        }
+    };
+    std::puts("finite poles of the linearized circuit:");
+    print(analysis::circuit_poles(c, an.operating_point()));
+    if (!opt.node.empty()) {
+        std::printf("\nzeros of the driving-point impedance at node '%s':\n",
+                    opt.node.c_str());
+        print(analysis::impedance_zeros_at_node(c, an.operating_point(), opt.node));
+    }
+    return 0;
+}
+
+int cmd_loopgain(spice::circuit& c, const cli_options& opt)
+{
+    if (opt.probe.empty())
+        throw analysis_error("loopgain: --probe <vsource> is required");
+    const std::vector<real> freqs
+        = numeric::log_space(opt.fstart, opt.fstop,
+                             sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
+    const analysis::loop_gain_result lg = analysis::measure_loop_gain(c, opt.probe, freqs);
+    if (opt.csv) {
+        std::puts("freq_hz,t_mag_db,t_phase_deg");
+        const std::vector<real> db = spice::db20(lg.t);
+        const std::vector<real> ph = spice::phase_deg_unwrapped(lg.t);
+        for (std::size_t i = 0; i < freqs.size(); ++i)
+            std::printf("%.8g,%.8g,%.8g\n", freqs[i], db[i], ph[i]);
+        return 0;
+    }
+    core::ascii_plot_options po;
+    po.title = "loop gain |T| [dB] via probe " + opt.probe;
+    std::fputs(core::ascii_plot(freqs, spice::db20(lg.t), po).c_str(), stdout);
+    if (lg.margins.has_unity_crossing) {
+        std::printf("\n0 dB crossover : %s\n",
+                    spice::format_frequency(lg.margins.unity_freq_hz).c_str());
+        std::printf("phase margin   : %.1f deg\n", lg.margins.phase_margin_deg);
+    } else {
+        std::puts("\nloop gain never reaches 0 dB");
+    }
+    return 0;
+}
+
+int cmd_run(spice::parsed_netlist& net, const cli_options& base)
+{
+    if (net.analyses.empty()) {
+        std::puts("netlist contains no analysis cards; try 'acstab stability <netlist> --all'");
+        return 1;
+    }
+    for (const spice::analysis_card& card : net.analyses) {
+        cli_options opt = base;
+        opt.fstart = card.fstart;
+        opt.fstop = card.fstop;
+        opt.ppd = card.points_per_decade;
+        opt.tstop = card.tstop;
+        opt.dt = card.dt;
+        switch (card.kind) {
+        case spice::analysis_kind::op:
+            std::puts("== .op ==");
+            cmd_op(net.ckt, opt);
+            break;
+        case spice::analysis_kind::ac:
+            std::puts("== .ac ==");
+            opt.node = base.node;
+            if (opt.node.empty())
+                std::puts("(skipped: pass --node to select the AC output)");
+            else
+                cmd_ac(net.ckt, opt);
+            break;
+        case spice::analysis_kind::tran:
+            std::puts("== .tran ==");
+            opt.node = base.node;
+            if (opt.node.empty())
+                std::puts("(skipped: pass --node to select the transient output)");
+            else
+                cmd_tran(net.ckt, opt);
+            break;
+        case spice::analysis_kind::stability_node:
+            std::puts("== .stability (single node) ==");
+            opt.node = card.node;
+            cmd_stability(net.ckt, opt);
+            break;
+        case spice::analysis_kind::stability_all:
+            std::puts("== .stability all ==");
+            opt.node.clear();
+            cmd_stability(net.ckt, opt);
+            break;
+        }
+    }
+    return 0;
+}
+
+void print_usage()
+{
+    std::puts("acstab — AC-stability analysis of continuous-time closed-loop circuits");
+    std::puts("usage: acstab <command> <netlist> [options]");
+    std::puts("commands:");
+    std::puts("  op          DC operating point");
+    std::puts("  ac          AC sweep          (--node N)");
+    std::puts("  tran        transient         (--node N --tstop T [--dt D])");
+    std::puts("  stability   stability plots   (--node N | --all)");
+    std::puts("  pz          poles of the linearized circuit");
+    std::puts("  loopgain    loop-gain probe   (--probe VSOURCE)");
+    std::puts("  run         execute the netlist's analysis cards");
+    std::puts("options:");
+    std::puts("  --node NAME --all --probe NAME --fstart HZ --fstop HZ --ppd N");
+    std::puts("  --tstop S --dt S --threads N --csv --annotate");
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        if (argc < 3) {
+            print_usage();
+            return argc < 2 ? 1 : (std::strcmp(argv[1], "--help") == 0 ? 0 : 1);
+        }
+        const std::string command = argv[1];
+        const std::string netlist_path = argv[2];
+        const cli_options opt = parse_cli_options(argc - 3, argv + 3);
+
+        spice::parsed_netlist net = spice::parse_netlist_file(netlist_path);
+        if (!net.title.empty())
+            std::printf("netlist: %s\n", net.title.c_str());
+
+        if (command == "op")
+            return cmd_op(net.ckt, opt);
+        if (command == "ac")
+            return cmd_ac(net.ckt, opt);
+        if (command == "tran")
+            return cmd_tran(net.ckt, opt);
+        if (command == "stability")
+            return cmd_stability(net.ckt, opt);
+        if (command == "pz")
+            return cmd_pz(net.ckt, opt);
+        if (command == "loopgain")
+            return cmd_loopgain(net.ckt, opt);
+        if (command == "run")
+            return cmd_run(net, opt);
+        print_usage();
+        return 1;
+    } catch (const acstab::error& e) {
+        std::fprintf(stderr, "acstab: %s\n", e.what());
+        return 1;
+    }
+}

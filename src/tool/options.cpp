@@ -1,0 +1,58 @@
+#include "tool/options.h"
+
+#include <cmath>
+#include <string_view>
+
+#include "common/error.h"
+#include "spice/units.h"
+
+namespace acstab::tool {
+
+cli_options parse_cli_options(int argc, char** argv)
+{
+    cli_options opt;
+    int i = 0;
+    const auto need_value = [&](std::string_view key) -> std::string {
+        if (i + 1 >= argc)
+            throw analysis_error(std::string(key) + " needs a value");
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string_view key = argv[i];
+        if (key == "--node")
+            opt.node = need_value(key);
+        else if (key == "--probe")
+            opt.probe = need_value(key);
+        else if (key == "--fstart")
+            opt.fstart = spice::parse_spice_number(need_value(key));
+        else if (key == "--fstop")
+            opt.fstop = spice::parse_spice_number(need_value(key));
+        else if (key == "--ppd")
+            opt.ppd = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--tstop")
+            opt.tstop = spice::parse_spice_number(need_value(key));
+        else if (key == "--dt")
+            opt.dt = spice::parse_spice_number(need_value(key));
+        else if (key == "--threads")
+            opt.threads = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--csv")
+            opt.csv = true;
+        else if (key == "--annotate")
+            opt.annotate = true;
+        else if (key == "--all")
+            opt.all_nodes = true;
+        else
+            throw analysis_error("unknown option '" + std::string(key) + "'");
+    }
+    return opt;
+}
+
+std::size_t sweep_point_count(real fstart, real fstop, std::size_t ppd)
+{
+    if (!(fstart > 0.0) || !(fstop > fstart))
+        throw analysis_error("sweep: need 0 < fstart < fstop");
+    const real decades = std::log10(fstop / fstart);
+    return static_cast<std::size_t>(std::ceil(decades * static_cast<real>(ppd))) + 1;
+}
+
+} // namespace acstab::tool

@@ -1,0 +1,35 @@
+// CLI option parsing for the acstab tool.
+#ifndef ACSTAB_TOOL_OPTIONS_H
+#define ACSTAB_TOOL_OPTIONS_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace acstab::tool {
+
+struct cli_options {
+    std::string node;
+    std::string probe;
+    real fstart = 1e3;
+    real fstop = 1e9;
+    std::size_t ppd = 50;
+    real tstop = 0.0;
+    real dt = 0.0;
+    std::size_t threads = 1;
+    bool csv = false;
+    bool annotate = false;
+    bool all_nodes = false;
+};
+
+/// Parse "--key value" style options; throws analysis_error on unknown
+/// keys or malformed values.
+[[nodiscard]] cli_options parse_cli_options(int argc, char** argv);
+
+/// Number of log-sweep points covering [fstart, fstop] at ppd density.
+[[nodiscard]] std::size_t sweep_point_count(real fstart, real fstop, std::size_t ppd);
+
+} // namespace acstab::tool
+
+#endif // ACSTAB_TOOL_OPTIONS_H

@@ -1,0 +1,211 @@
+// Baseline analyses: Bode margins, loop-gain probe, pole pencil, step
+// metrics — validated against the behavioral two-pole loop whose loop gain
+// L(s) = a1 a2 / ((1+s/p1)(1+s/p2)) is known in closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bode.h"
+#include "analysis/loop_gain.h"
+#include "analysis/pole_zero.h"
+#include "analysis/transient_overshoot.h"
+#include "circuits/rlc.h"
+#include "common/error.h"
+#include "core/analyzer.h"
+#include "numeric/interpolation.h"
+#include "numeric/polynomial.h"
+#include "numeric/rational.h"
+#include "spice/circuit.h"
+#include "spice/devices/sources.h"
+
+namespace {
+
+using namespace acstab;
+
+numeric::rational analytic_loop(const circuits::two_pole_loop_spec& spec)
+{
+    // L(s) = a1 a2 / ((1 + s/p1)(1 + s/p2))
+    const real w1 = to_omega(spec.p1_hz);
+    const real w2 = to_omega(spec.p2_hz);
+    return {numeric::polynomial({spec.a1 * spec.a2}),
+            numeric::polynomial({1.0, 1.0 / w1}) * numeric::polynomial({1.0, 1.0 / w2})};
+}
+
+TEST(bode, closed_loop_response_matches_analytic)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    const std::vector<real> freqs = numeric::log_space(1e2, 1e8, 200);
+    const analysis::frequency_response fr
+        = analysis::measure_response(c, nodes.source, nodes.output, freqs);
+
+    const numeric::rational l = analytic_loop(spec);
+    const numeric::rational cl = l.unity_feedback_closed_loop();
+    for (std::size_t i = 0; i < freqs.size(); i += 13) {
+        const real expected = cl.magnitude(to_omega(freqs[i]));
+        EXPECT_NEAR(std::abs(fr.h[i]), expected, 0.02 * std::max(expected, 1e-3))
+            << "f=" << freqs[i];
+    }
+}
+
+TEST(bode, rejects_bad_source)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    const std::vector<real> freqs = numeric::log_space(1e3, 1e6, 30);
+    EXPECT_THROW(analysis::measure_response(c, "nope", nodes.output, freqs), analysis_error);
+    // The probe vsource has zero AC magnitude.
+    EXPECT_THROW(analysis::measure_response(c, nodes.probe, nodes.output, freqs),
+                 analysis_error);
+}
+
+TEST(loop_gain, middlebrook_probe_matches_analytic)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    const std::vector<real> freqs = numeric::log_space(1e2, 1e8, 200);
+    const analysis::loop_gain_result lg = analysis::measure_loop_gain(c, nodes.probe, freqs);
+
+    const numeric::rational l = analytic_loop(spec);
+    for (std::size_t i = 0; i < freqs.size(); i += 11) {
+        const cplx expected = l(cplx{0.0, to_omega(freqs[i])});
+        EXPECT_LT(std::abs(lg.t[i] - expected), 0.03 * std::max(std::abs(expected), 1e-3))
+            << "f=" << freqs[i];
+    }
+}
+
+TEST(loop_gain, margins_match_analytic_crossover)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    const std::vector<real> freqs = numeric::log_space(1e2, 1e9, 400);
+    const analysis::loop_gain_result lg = analysis::measure_loop_gain(c, nodes.probe, freqs);
+
+    // Analytic crossover of the two-pole loop.
+    const numeric::rational l = analytic_loop(spec);
+    real fc_expected = 0.0;
+    {
+        std::vector<real> mags;
+        for (const real f : freqs)
+            mags.push_back(l.magnitude(to_omega(f)));
+        std::vector<real> logf;
+        for (const real f : freqs)
+            logf.push_back(std::log10(f));
+        std::vector<real> db;
+        for (const real m : mags)
+            db.push_back(20.0 * std::log10(m));
+        real x = 0.0;
+        ASSERT_TRUE(numeric::find_crossing(logf, db, 0.0, x));
+        fc_expected = std::pow(10.0, x);
+    }
+    ASSERT_TRUE(lg.margins.has_unity_crossing);
+    EXPECT_NEAR(lg.margins.unity_freq_hz, fc_expected, 0.03 * fc_expected);
+}
+
+TEST(loop_gain, probe_validation)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    const std::vector<real> freqs = numeric::log_space(1e3, 1e6, 30);
+    EXPECT_THROW(analysis::measure_loop_gain(c, "nope", freqs), analysis_error);
+    EXPECT_THROW(analysis::measure_loop_gain(c, nodes.source, freqs), analysis_error);
+}
+
+TEST(pole_zero, rlc_tank_pole_exact)
+{
+    spice::circuit c;
+    circuits::add_parallel_rlc_tank(c, "tank", 0.25, 2e6);
+    core::stability_analyzer an(c);
+    const auto poles = analysis::circuit_poles(c, an.operating_point());
+    analysis::pole dom;
+    ASSERT_TRUE(analysis::dominant_complex_pole(poles, dom));
+    EXPECT_NEAR(dom.freq_hz, 2e6, 2e3);
+    EXPECT_NEAR(dom.zeta, 0.25, 2e-3);
+}
+
+TEST(pole_zero, closed_two_pole_loop_matches_quadratic)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    (void)nodes;
+    core::stability_analyzer an(c);
+    const auto poles = analysis::circuit_poles(c, an.operating_point());
+
+    // Closed-loop denominator: (1+s/w1)(1+s/w2) + a1 a2 = 0.
+    const numeric::rational l = analytic_loop(spec);
+    const numeric::polynomial den = l.den() + l.num();
+    const auto expected = den.roots();
+    analysis::pole dom;
+    ASSERT_TRUE(analysis::dominant_complex_pole(poles, dom));
+    bool matched = false;
+    for (const cplx& e : expected)
+        if (std::abs(e - dom.s) < 0.02 * std::abs(e))
+            matched = true;
+    EXPECT_TRUE(matched) << "dominant pole " << dom.s.real() << "+" << dom.s.imag() << "i";
+}
+
+TEST(pole_zero, real_rc_poles_have_zeta_one)
+{
+    spice::circuit c;
+    circuits::build_rc_ladder(c, 3);
+    core::stability_analyzer an(c);
+    const auto poles = analysis::circuit_poles(c, an.operating_point());
+    EXPECT_GE(poles.size(), 3u);
+    for (const auto& p : poles)
+        if (p.freq_hz < 1e12)
+            EXPECT_FALSE(p.is_complex);
+    EXPECT_TRUE(analysis::complex_pairs(poles).empty());
+}
+
+TEST(step_response, metrics_match_second_order_theory)
+{
+    // Closed loop of the two-pole plant: zeta and wn known analytically.
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    spec.a1 = 10.0;
+    spec.a2 = 10.0;
+    spec.p1_hz = 1e3;
+    spec.p2_hz = 1e5;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+
+    const real w1 = to_omega(spec.p1_hz);
+    const real w2 = to_omega(spec.p2_hz);
+    const real l0 = spec.a1 * spec.a2;
+    // s^2/(w1 w2) + s(1/w1 + 1/w2) + 1 + L0 = 0
+    const real wn = std::sqrt((1.0 + l0) * w1 * w2);
+    const real zeta = 0.5 * (w1 + w2) / wn;
+    ASSERT_LT(zeta, 1.0);
+
+    auto* vin = dynamic_cast<spice::vsource*>(c.find_device(nodes.source));
+    ASSERT_NE(vin, nullptr);
+    vin->set_spec(spice::waveform_spec::make_step(0.0, 1.0, 1e-5, 1e-9));
+
+    analysis::step_options so;
+    so.tstop = 60.0 / (wn / two_pi);
+    const analysis::step_response_metrics m
+        = analysis::measure_step_response(c, nodes.output, so);
+
+    const real expected_overshoot = 100.0 * std::exp(-pi * zeta / std::sqrt(1.0 - zeta * zeta));
+    EXPECT_NEAR(m.overshoot_pct, expected_overshoot, 2.5);
+    const real fd = wn * std::sqrt(1.0 - zeta * zeta) / two_pi;
+    EXPECT_NEAR(m.ringing_freq_hz, fd, 0.08 * fd);
+    EXPECT_NEAR(m.final_value, l0 / (1.0 + l0), 0.01);
+}
+
+TEST(step_response, validates_options)
+{
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    analysis::step_options so;
+    so.tstop = 0.0;
+    EXPECT_THROW(analysis::measure_step_response(c, nodes.output, so), analysis_error);
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+// Stability-plot computation and peak analysis: property sweeps over the
+// damping ratio and natural frequency, special-case classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/second_order.h"
+#include "core/stability_plot.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::core;
+
+stability_plot plot_of_prototype(real zeta, real fn_hz, real fstart, real fstop,
+                                 std::size_t ppd, plot_options popt = {})
+{
+    const auto t = numeric::rational::second_order_lowpass(zeta, to_omega(fn_hz));
+    sweep_spec sweep;
+    sweep.fstart = fstart;
+    sweep.fstop = fstop;
+    sweep.points_per_decade = ppd;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t.magnitude(to_omega(freqs[i]));
+    return compute_stability_plot(freqs, mag, popt);
+}
+
+// ---- property sweep over zeta (paper eq. 1.4) -------------------------
+
+class zeta_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(zeta_sweep, peak_encodes_damping_and_frequency)
+{
+    const real zeta = GetParam();
+    const real fn = 1e6;
+    const stability_plot plot = plot_of_prototype(zeta, fn, 1e3, 1e9, 60);
+    const stability_peak* peak = plot.dominant_pole();
+    ASSERT_NE(peak, nullptr) << "zeta=" << zeta;
+    EXPECT_EQ(peak->flag, peak_flag::normal);
+    // The curvature dip sits at wn itself (not the magnitude resonance).
+    EXPECT_NEAR(peak->freq_hz, fn, fn * 0.03) << "zeta=" << zeta;
+    const real expected = -1.0 / (zeta * zeta);
+    const real tol = zeta < 0.15 ? 0.12 : 0.05; // narrow dips need finer grids
+    EXPECT_NEAR(peak->value, expected, std::fabs(expected) * tol) << "zeta=" << zeta;
+}
+
+INSTANTIATE_TEST_SUITE_P(damping_grid, zeta_sweep,
+                         ::testing::Values(0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7));
+
+// ---- property sweep over natural frequency ----------------------------
+
+class fn_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(fn_sweep, peak_follows_natural_frequency)
+{
+    const real fn = GetParam();
+    const stability_plot plot = plot_of_prototype(0.3, fn, fn / 1e3, fn * 1e3, 50);
+    const stability_peak* peak = plot.dominant_pole();
+    ASSERT_NE(peak, nullptr);
+    EXPECT_NEAR(peak->freq_hz, fn, fn * 0.02);
+    EXPECT_NEAR(peak->value, -1.0 / 0.09, 1.0 / 0.09 * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(frequency_grid, fn_sweep,
+                         ::testing::Values(1e3, 1e4, 1e5, 1e6, 1e7, 1e8));
+
+// ---- grid-density convergence ------------------------------------------
+
+TEST(stability_plot, denser_grids_converge_to_eq14)
+{
+    const real zeta = 0.2;
+    real prev_err = 1e9;
+    for (const std::size_t ppd : {10u, 20u, 40u, 80u}) {
+        const stability_plot plot = plot_of_prototype(zeta, 1e6, 1e3, 1e9, ppd);
+        const stability_peak* peak = plot.dominant_pole();
+        ASSERT_NE(peak, nullptr) << "ppd=" << ppd;
+        const real err = std::fabs(peak->value + 25.0);
+        EXPECT_LT(err, prev_err * 1.1) << "ppd=" << ppd;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 0.35);
+}
+
+// ---- multiple loops ------------------------------------------------------
+
+TEST(stability_plot, two_separated_pole_pairs_both_found)
+{
+    const auto t1 = numeric::rational::second_order_lowpass(0.2, to_omega(1e5));
+    const auto t2 = numeric::rational::second_order_lowpass(0.4, to_omega(1e8));
+    sweep_spec sweep;
+    sweep.fstart = 1e3;
+    sweep.fstop = 1e10;
+    sweep.points_per_decade = 50;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t1.magnitude(to_omega(freqs[i])) * t2.magnitude(to_omega(freqs[i]));
+    const stability_plot plot = compute_stability_plot(freqs, mag);
+
+    std::vector<const stability_peak*> poles;
+    for (const auto& pk : plot.peaks)
+        if (pk.kind == peak_kind::complex_pole)
+            poles.push_back(&pk);
+    ASSERT_EQ(poles.size(), 2u);
+    EXPECT_NEAR(poles[0]->freq_hz, 1e5, 3e3);
+    EXPECT_NEAR(poles[0]->value, -25.0, 1.5);
+    EXPECT_NEAR(poles[1]->freq_hz, 1e8, 3e6);
+    EXPECT_NEAR(poles[1]->value, -6.25, 0.5);
+    // The dominant pole is the least-damped one.
+    EXPECT_EQ(plot.dominant_pole(), poles[0]);
+}
+
+TEST(stability_plot, complex_zero_pair_gives_positive_peak)
+{
+    // A notch: T(s) = (s^2 + 2 zz s + 1) / (s^2 + 2 zp s + 1) with the
+    // zero much less damped than the pole.
+    const real zz = 0.1;
+    const real zp = 0.9;
+    sweep_spec sweep;
+    sweep.fstart = 1e-3;
+    sweep.fstop = 1e3;
+    sweep.points_per_decade = 60;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const cplx s{0.0, freqs[i]};
+        const cplx num = s * s + 2.0 * zz * s + 1.0;
+        const cplx den = s * s + 2.0 * zp * s + 1.0;
+        mag[i] = std::abs(num / den);
+    }
+    const stability_plot plot = compute_stability_plot(freqs, mag);
+    bool found_zero = false;
+    for (const auto& pk : plot.peaks)
+        if (pk.kind == peak_kind::complex_zero && pk.value > 50.0)
+            found_zero = true;
+    EXPECT_TRUE(found_zero);
+    // No under-damped pole exists: dominant pole peak must be weak/absent.
+    const stability_peak* pole = plot.dominant_pole();
+    if (pole != nullptr)
+        EXPECT_GT(pole->value, -2.0);
+}
+
+// ---- real poles are filtered out (the method's core claim) --------------
+
+TEST(stability_plot, real_pole_chain_produces_no_pole_peak)
+{
+    sweep_spec sweep;
+    sweep.fstart = 1e2;
+    sweep.fstop = 1e8;
+    sweep.points_per_decade = 40;
+    const std::vector<real> freqs = sweep.frequencies();
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const real w = freqs[i];
+        // Three well-separated real poles.
+        mag[i] = 1.0
+            / (std::sqrt(1.0 + std::pow(w / 1e4, 2)) * std::sqrt(1.0 + std::pow(w / 1e5, 2))
+               * std::sqrt(1.0 + std::pow(w / 1e6, 2)));
+    }
+    const stability_plot plot = compute_stability_plot(freqs, mag);
+    const stability_peak* peak = plot.dominant_pole();
+    // A single real pole's curvature dip bottoms out at -0.5; a chain can
+    // deepen slightly, but stays far above any genuine complex signature.
+    if (peak != nullptr)
+        EXPECT_GT(peak->value, -1.1);
+}
+
+// ---- special cases -------------------------------------------------------
+
+TEST(stability_plot, end_of_range_flag)
+{
+    // Resonance sits outside (above) the swept band.
+    const stability_plot plot = plot_of_prototype(0.3, 1.15e6, 1e3, 1e6, 40);
+    const stability_peak* peak = plot.dominant_pole();
+    ASSERT_NE(peak, nullptr);
+    EXPECT_EQ(peak->flag, peak_flag::end_of_range);
+}
+
+TEST(stability_plot, min_peak_threshold_filters)
+{
+    plot_options popt;
+    popt.min_peak = 30.0; // above the -25 peak of zeta = 0.2
+    const stability_plot plot = plot_of_prototype(0.2, 1e6, 1e3, 1e9, 40, popt);
+    EXPECT_EQ(plot.dominant_pole(), nullptr);
+}
+
+TEST(stability_plot, shoulder_suppression_removes_false_zeros)
+{
+    const stability_plot with = plot_of_prototype(0.2, 1e6, 1e3, 1e9, 60);
+    std::size_t zeros_with = 0;
+    for (const auto& pk : with.peaks)
+        if (pk.kind == peak_kind::complex_zero)
+            ++zeros_with;
+    EXPECT_EQ(zeros_with, 0u) << "pole shoulders must not be reported as zeros";
+
+    plot_options keep;
+    keep.suppress_pole_shoulders = false;
+    const stability_plot without = plot_of_prototype(0.2, 1e6, 1e3, 1e9, 60, keep);
+    std::size_t zeros_without = 0;
+    for (const auto& pk : without.peaks)
+        if (pk.kind == peak_kind::complex_zero)
+            ++zeros_without;
+    EXPECT_GE(zeros_without, 1u);
+}
+
+TEST(stability_plot, direct_formula_option_agrees)
+{
+    plot_options direct;
+    direct.use_direct_formula = true;
+    const stability_plot a = plot_of_prototype(0.25, 1e6, 1e3, 1e9, 60);
+    const stability_plot b = plot_of_prototype(0.25, 1e6, 1e3, 1e9, 60, direct);
+    const stability_peak* pa = a.dominant_pole();
+    const stability_peak* pb = b.dominant_pole();
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    EXPECT_NEAR(pa->value, pb->value, std::fabs(pa->value) * 0.06);
+    EXPECT_NEAR(pa->freq_hz, pb->freq_hz, pa->freq_hz * 0.02);
+}
+
+TEST(stability_plot, input_validation)
+{
+    const std::vector<real> f{1.0, 2.0, 3.0};
+    const std::vector<real> m{1.0, 1.0, 1.0};
+    EXPECT_THROW(compute_stability_plot(f, m), analysis_error); // too short
+    const std::vector<real> f8{1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<real> m7{1, 1, 1, 1, 1, 1, 1};
+    EXPECT_THROW(compute_stability_plot(f8, m7), analysis_error); // mismatch
+}
+
+TEST(sweep_spec, grid_properties)
+{
+    sweep_spec sweep;
+    sweep.fstart = 1e3;
+    sweep.fstop = 1e6;
+    sweep.points_per_decade = 10;
+    const std::vector<real> f = sweep.frequencies();
+    EXPECT_NEAR(f.front(), 1e3, 1e-9);
+    EXPECT_NEAR(f.back(), 1e6, 1e-6);
+    EXPECT_GE(f.size(), 30u);
+    sweep.fstop = 1e2;
+    EXPECT_THROW(sweep.frequencies(), analysis_error);
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+// End-to-end reproduction checks on the paper's circuits: the Fig. 1
+// op-amp buffer and the Fig. 5 bias generator. Tolerances are the
+// shape-level bands from DESIGN.md, not exact numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bode.h"
+#include "analysis/pole_zero.h"
+#include "analysis/transient_overshoot.h"
+#include "circuits/bias.h"
+#include "circuits/followers.h"
+#include "circuits/opamp.h"
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "numeric/interpolation.h"
+#include "spice/dc_analysis.h"
+
+namespace {
+
+using namespace acstab;
+
+core::stability_options opamp_sweep()
+{
+    core::stability_options opt;
+    opt.sweep.fstart = 1e3;
+    opt.sweep.fstop = 1e9;
+    opt.sweep.points_per_decade = 50;
+    return opt;
+}
+
+TEST(opamp, dc_operating_point_is_sane)
+{
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+    const spice::dc_result op = spice::dc_operating_point(c);
+    // Buffer: output tracks the 2.5 V input within the offset budget.
+    EXPECT_NEAR(spice::node_voltage(c, op.solution, n.out), 2.5, 0.05);
+    // First stage biased between the rails.
+    const real stg1 = spice::node_voltage(c, op.solution, n.stg1);
+    EXPECT_GT(stg1, 3.0);
+    EXPECT_LT(stg1, 4.8);
+    const real tail = spice::node_voltage(c, op.solution, n.tail);
+    EXPECT_GT(tail, 0.8);
+    EXPECT_LT(tail, 2.2);
+}
+
+TEST(opamp, fig4_stability_peak_in_band)
+{
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+    core::stability_analyzer an(c, opamp_sweep());
+    const core::node_stability ns = an.analyze_node(n.out);
+    ASSERT_TRUE(ns.has_peak);
+    EXPECT_TRUE(ns.is_underdamped);
+    // Paper: peak about -29 at about 3.2 MHz; band allows our substitute.
+    EXPECT_GT(ns.dominant.freq_hz, 2.5e6);
+    EXPECT_LT(ns.dominant.freq_hz, 4.0e6);
+    EXPECT_LT(ns.dominant.value, -24.0);
+    EXPECT_GT(ns.dominant.value, -40.0);
+    // Estimated phase margin slightly below 20 degrees (paper section 3).
+    EXPECT_GT(ns.phase_margin_est_deg, 14.0);
+    EXPECT_LT(ns.phase_margin_est_deg, 22.0);
+}
+
+TEST(opamp, fig3_bode_margins_in_band)
+{
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_open_loop(c);
+    const std::vector<real> freqs = numeric::log_space(1e2, 1e9, 300);
+    const analysis::frequency_response fr
+        = analysis::measure_response(c, "vstim", n.out, freqs);
+    std::vector<cplx> loop(fr.h.size());
+    for (std::size_t i = 0; i < loop.size(); ++i)
+        loop[i] = -fr.h[i];
+    const spice::bode_margins m = spice::margins(freqs, loop);
+    ASSERT_TRUE(m.has_unity_crossing);
+    // Paper: ~20 deg phase margin, 0 dB crossover in the low MHz.
+    EXPECT_GT(m.phase_margin_deg, 15.0);
+    EXPECT_LT(m.phase_margin_deg, 26.0);
+    EXPECT_GT(m.unity_freq_hz, 1.5e6);
+    EXPECT_LT(m.unity_freq_hz, 4.0e6);
+}
+
+TEST(opamp, fig2_step_overshoot_in_band)
+{
+    spice::circuit c;
+    circuits::opamp_params p;
+    p.step_volts = 0.01;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c, p);
+    analysis::step_options so;
+    so.tstop = 6e-6;
+    const analysis::step_response_metrics m = analysis::measure_step_response(c, n.out, so);
+    // Paper: about 50-55 % overshoot.
+    EXPECT_GT(m.overshoot_pct, 45.0);
+    EXPECT_LT(m.overshoot_pct, 65.0);
+}
+
+TEST(opamp, method_consistency_stability_vs_transient_vs_pencil)
+{
+    // The paper's central claim (section 3): the stability plot predicts
+    // the transient overshoot and the loop's natural frequency without
+    // breaking the loop.
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+    core::stability_analyzer an(c, opamp_sweep());
+    const core::node_stability ns = an.analyze_node(n.out);
+    ASSERT_TRUE(ns.has_peak);
+
+    // Against the (G,C) pencil ground truth.
+    analysis::pole dom;
+    ASSERT_TRUE(
+        analysis::dominant_complex_pole(analysis::circuit_poles(c, an.operating_point()), dom));
+    EXPECT_NEAR(ns.dominant.freq_hz, dom.freq_hz, 0.03 * dom.freq_hz);
+    EXPECT_NEAR(ns.zeta, dom.zeta, 0.06 * dom.zeta + 0.01);
+
+    // Against the measured transient overshoot.
+    spice::circuit c2;
+    circuits::opamp_params p2;
+    p2.step_volts = 0.01;
+    const circuits::opamp_nodes n2 = circuits::build_opamp_buffer(c2, p2);
+    analysis::step_options so;
+    so.tstop = 6e-6;
+    const analysis::step_response_metrics m = analysis::measure_step_response(c2, n2.out, so);
+    EXPECT_NEAR(ns.overshoot_est_pct, m.overshoot_pct, 6.0);
+    EXPECT_NEAR(ns.dominant.freq_hz, m.ringing_freq_hz, 0.12 * ns.dominant.freq_hz);
+}
+
+TEST(opamp, table2_all_nodes_structure)
+{
+    spice::circuit c;
+    const circuits::opamp_nodes n = circuits::build_opamp_buffer(c);
+    core::stability_analyzer an(c, opamp_sweep());
+    const core::stability_report rep = an.analyze_all_nodes();
+
+    // The main loop groups the output, the feedback input and the
+    // first-stage/compensation nodes at the same natural frequency.
+    ASSERT_FALSE(rep.loops.empty());
+    // Pick the most-populated group in the main-loop band (the tail node
+    // can split into its own adjacent group, as in the paper's Table 2).
+    const core::loop_group* main_loop = nullptr;
+    for (const auto& loop : rep.loops)
+        if (loop.freq_hz > 2.5e6 && loop.freq_hz < 4.0e6
+            && (main_loop == nullptr || loop.members.size() > main_loop->members.size()))
+            main_loop = &loop;
+    ASSERT_NE(main_loop, nullptr);
+    EXPECT_GE(main_loop->members.size(), 3u);
+    bool has_out = false;
+    for (const std::size_t idx : main_loop->members)
+        if (rep.nodes[idx].node == n.out)
+            has_out = true;
+    EXPECT_TRUE(has_out);
+
+    // The bias generator's local loop shows up in the tens of MHz.
+    const core::loop_group* local_loop = nullptr;
+    for (const auto& loop : rep.loops)
+        if (loop.freq_hz > 3e7 && loop.freq_hz < 8e7)
+            for (const std::size_t idx : loop.members)
+                if (rep.nodes[idx].dominant.value < -3.0)
+                    local_loop = &loop;
+    ASSERT_NE(local_loop, nullptr);
+
+    // Supply and driven input are skipped.
+    EXPECT_EQ(rep.skipped_nodes.size(), 2u);
+}
+
+TEST(bias, local_loop_in_band_and_fix_damps_it)
+{
+    const auto dominant_local = [](bool compensated) {
+        spice::circuit c;
+        circuits::bias_params bp;
+        bp.compensated = compensated;
+        circuits::build_standalone_bias(c, bp);
+        core::stability_analyzer an(c);
+        analysis::pole dom;
+        const bool found = analysis::dominant_complex_pole(
+            analysis::circuit_poles(c, an.operating_point()), dom);
+        EXPECT_TRUE(found);
+        return dom;
+    };
+    const analysis::pole before = dominant_local(false);
+    // Paper: local loop near 50 MHz with PM < 50 deg (zeta < 0.5).
+    EXPECT_GT(before.freq_hz, 3.5e7);
+    EXPECT_LT(before.freq_hz, 7e7);
+    EXPECT_GT(before.zeta, 0.3);
+    EXPECT_LT(before.zeta, 0.55);
+
+    const analysis::pole after = dominant_local(true);
+    EXPECT_GT(after.zeta, 0.65);
+}
+
+TEST(bias, stability_report_flags_the_follower_nodes)
+{
+    spice::circuit c;
+    circuits::build_standalone_bias(c);
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e10;
+    opt.sweep.points_per_decade = 40;
+    core::stability_analyzer an(c, opt);
+    const core::stability_report rep = an.analyze_all_nodes();
+    bool rail_flagged = false;
+    for (const auto& ns : rep.nodes)
+        if ((ns.node == "b_ref" || ns.node == "b_fb") && ns.has_peak && ns.is_underdamped
+            && ns.dominant.value < -3.0)
+            rail_flagged = true;
+    EXPECT_TRUE(rail_flagged);
+}
+
+TEST(followers, emitter_follower_rings_with_light_load)
+{
+    spice::circuit c;
+    circuits::follower_params fp;
+    fp.rsource = 3e3;
+    fp.cload = 5e-12;
+    circuits::build_emitter_follower(c, fp);
+    core::stability_analyzer an(c);
+    analysis::pole dom;
+    ASSERT_TRUE(analysis::dominant_complex_pole(
+        analysis::circuit_poles(c, an.operating_point()), dom));
+    EXPECT_LT(dom.zeta, 0.4);
+    EXPECT_GT(dom.freq_hz, 1e7);
+
+    // And the stability sweep sees it at the follower's output node.
+    core::stability_options opt;
+    opt.sweep.fstart = 1e5;
+    opt.sweep.fstop = 1e10;
+    opt.sweep.points_per_decade = 40;
+    core::stability_analyzer an2(c, opt);
+    const core::node_stability ns = an2.analyze_node("f_out");
+    ASSERT_TRUE(ns.has_peak);
+    EXPECT_NEAR(ns.dominant.freq_hz, dom.freq_hz, 0.08 * dom.freq_hz);
+    EXPECT_NEAR(ns.zeta, dom.zeta, 0.08);
+}
+
+TEST(followers, current_mirror_gate_is_well_damped)
+{
+    spice::circuit c;
+    circuits::build_current_mirror(c);
+    core::stability_analyzer an(c);
+    const auto pairs
+        = analysis::complex_pairs(analysis::circuit_poles(c, an.operating_point()));
+    for (const auto& p : pairs)
+        EXPECT_GT(p.zeta, 0.5) << "mirror should not ring at " << p.freq_hz;
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+// Non-uniform-grid differentiation and the stability-function kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "core/second_order.h"
+#include "numeric/differentiation.h"
+#include "numeric/interpolation.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using acstab::real;
+using acstab::numeric::derivative_nonuniform;
+using acstab::numeric::log_log_curvature;
+using acstab::numeric::log_space;
+using acstab::numeric::second_derivative_nonuniform;
+using acstab::numeric::stability_function_direct;
+
+TEST(differentiation, exact_for_quadratics)
+{
+    // y = 3x^2 - 2x + 1 on a deliberately non-uniform grid.
+    const std::vector<real> x{0.0, 0.1, 0.35, 0.5, 0.9, 1.5, 1.7};
+    std::vector<real> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = 3.0 * x[i] * x[i] - 2.0 * x[i] + 1.0;
+    const std::vector<real> d1 = derivative_nonuniform(x, y);
+    const std::vector<real> d2 = second_derivative_nonuniform(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(d1[i], 6.0 * x[i] - 2.0, 1e-10) << "i=" << i;
+    for (std::size_t i = 1; i + 1 < x.size(); ++i)
+        EXPECT_NEAR(d2[i], 6.0, 1e-9) << "i=" << i;
+}
+
+TEST(differentiation, converges_on_sine)
+{
+    const std::size_t n = 400;
+    std::vector<real> x(n);
+    std::vector<real> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = static_cast<real>(i) / static_cast<real>(n - 1) * 3.14;
+        y[i] = std::sin(x[i]);
+    }
+    const std::vector<real> d = derivative_nonuniform(x, y);
+    for (std::size_t i = 0; i < n; i += 37)
+        EXPECT_NEAR(d[i], std::cos(x[i]), 1e-4);
+}
+
+TEST(differentiation, rejects_bad_grids)
+{
+    const std::vector<real> x{1.0, 2.0};
+    const std::vector<real> y{1.0, 2.0};
+    EXPECT_THROW(derivative_nonuniform(x, y), acstab::numeric_error);
+    const std::vector<real> xx{1.0, 2.0, 2.0, 3.0};
+    const std::vector<real> yy{1.0, 2.0, 3.0, 4.0};
+    EXPECT_THROW(derivative_nonuniform(xx, yy), acstab::numeric_error);
+}
+
+TEST(log_log_curvature, zero_for_power_laws)
+{
+    // |T| = k * w^alpha has zero curvature in log-log space: real poles
+    // and zeros far away are filtered out (the paper's key property).
+    for (const real alpha : {-2.0, -1.0, 0.0, 1.0}) {
+        const std::vector<real> f = log_space(1e2, 1e6, 200);
+        std::vector<real> mag(f.size());
+        for (std::size_t i = 0; i < f.size(); ++i)
+            mag[i] = 7.0 * std::pow(f[i], alpha);
+        const std::vector<real> p = log_log_curvature(f, mag);
+        for (std::size_t i = 2; i + 2 < p.size(); i += 11)
+            EXPECT_NEAR(p[i], 0.0, 1e-6) << "alpha=" << alpha;
+    }
+}
+
+TEST(log_log_curvature, matches_analytic_second_order)
+{
+    // Against the closed-form P(w) for the normalized prototype.
+    const real zeta = 0.3;
+    const auto t = acstab::numeric::rational::second_order_lowpass(zeta);
+    const std::vector<real> w = log_space(0.01, 100.0, 600);
+    std::vector<real> mag(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        mag[i] = t.magnitude(w[i]);
+    const std::vector<real> p = log_log_curvature(w, mag);
+    for (std::size_t i = 5; i + 5 < w.size(); i += 23) {
+        const real expected = acstab::core::analytic_stability_function(zeta, w[i]);
+        EXPECT_NEAR(p[i], expected, 0.02 * std::max(1.0, std::fabs(expected))) << "w=" << w[i];
+    }
+}
+
+TEST(log_log_curvature, peak_equals_minus_inverse_zeta_squared)
+{
+    for (const real zeta : {0.1, 0.2, 0.4, 0.7}) {
+        const auto t = acstab::numeric::rational::second_order_lowpass(zeta);
+        const std::vector<real> w = log_space(0.01, 100.0, 2000);
+        std::vector<real> mag(w.size());
+        for (std::size_t i = 0; i < w.size(); ++i)
+            mag[i] = t.magnitude(w[i]);
+        const std::vector<real> p = log_log_curvature(w, mag);
+        const real min = *std::min_element(p.begin(), p.end());
+        EXPECT_NEAR(min, -1.0 / (zeta * zeta), 0.02 / (zeta * zeta)) << "zeta=" << zeta;
+    }
+}
+
+TEST(stability_function_direct, agrees_with_curvature_form)
+{
+    // Paper eq. (1.3) written literally vs the log-log curvature identity.
+    const real zeta = 0.25;
+    const auto t = acstab::numeric::rational::second_order_lowpass(zeta, 2.0 * acstab::pi * 1e4);
+    const std::vector<real> f = log_space(1e2, 1e6, 800);
+    std::vector<real> mag(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i)
+        mag[i] = t.magnitude(acstab::to_omega(f[i]));
+    const std::vector<real> a = log_log_curvature(f, mag);
+    const std::vector<real> b = stability_function_direct(f, mag);
+    for (std::size_t i = 4; i + 4 < f.size(); i += 17)
+        EXPECT_NEAR(a[i], b[i], 0.02 * std::max(1.0, std::fabs(a[i])));
+}
+
+TEST(log_log_curvature, requires_positive_data)
+{
+    const std::vector<real> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<real> y{1.0, -2.0, 3.0, 4.0};
+    EXPECT_THROW(log_log_curvature(x, y), acstab::numeric_error);
+}
+
+TEST(analytic_stability_function, closed_form_properties)
+{
+    using acstab::core::analytic_stability_function;
+    // Exactly -1/zeta^2 at w = 1 for any damping.
+    for (const real zeta : {0.05, 0.1, 0.3, 0.5, 0.9, 1.5})
+        EXPECT_NEAR(analytic_stability_function(zeta, 1.0), -1.0 / (zeta * zeta),
+                    1e-9 / (zeta * zeta));
+    // Vanishes far from resonance.
+    EXPECT_NEAR(analytic_stability_function(0.3, 1e-4), 0.0, 1e-6);
+    EXPECT_NEAR(analytic_stability_function(0.3, 1e4), 0.0, 1e-6);
+}
+
+} // namespace

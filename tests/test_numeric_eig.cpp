@@ -1,0 +1,162 @@
+// Eigenvalue solver: known spectra, companion matrices, balancing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/types.h"
+#include "numeric/eig.h"
+
+namespace {
+
+using acstab::cplx;
+using acstab::real;
+using acstab::numeric::dense_matrix;
+using acstab::numeric::eigenvalues;
+
+void expect_spectrum(std::vector<cplx> got, std::vector<cplx> want, real tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    const auto key = [](const cplx& a, const cplx& b) {
+        if (a.real() != b.real())
+            return a.real() < b.real();
+        return a.imag() < b.imag();
+    };
+    std::sort(got.begin(), got.end(), key);
+    std::sort(want.begin(), want.end(), key);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_LT(std::abs(got[i] - want[i]), tol)
+            << "eig " << i << ": got " << got[i].real() << "+" << got[i].imag() << "i";
+}
+
+TEST(eig, diagonal_matrix)
+{
+    dense_matrix<real> a(3, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = -1.0;
+    a(2, 2) = 7.0;
+    expect_spectrum(eigenvalues(a), {{3.0, 0.0}, {-1.0, 0.0}, {7.0, 0.0}}, 1e-10);
+}
+
+TEST(eig, rotation_gives_complex_pair)
+{
+    // 90-degree rotation: eigenvalues +/- i.
+    dense_matrix<real> a(2, 2);
+    a(0, 1) = -1.0;
+    a(1, 0) = 1.0;
+    expect_spectrum(eigenvalues(a), {{0.0, 1.0}, {0.0, -1.0}}, 1e-10);
+}
+
+TEST(eig, damped_oscillator_block)
+{
+    // Companion of s^2 + 2 zeta wn s + wn^2 with zeta=0.2, wn=3.
+    const real zeta = 0.2;
+    const real wn = 3.0;
+    dense_matrix<real> a(2, 2);
+    a(0, 1) = 1.0;
+    a(1, 0) = -wn * wn;
+    a(1, 1) = -2.0 * zeta * wn;
+    const real re = -zeta * wn;
+    const real im = wn * std::sqrt(1.0 - zeta * zeta);
+    expect_spectrum(eigenvalues(a), {{re, im}, {re, -im}}, 1e-9);
+}
+
+TEST(eig, known_3x3_real_spectrum)
+{
+    // Upper triangular: eigenvalues on the diagonal.
+    dense_matrix<real> a(3, 3);
+    a(0, 0) = 1.0;
+    a(0, 1) = 5.0;
+    a(0, 2) = -2.0;
+    a(1, 1) = 4.0;
+    a(1, 2) = 9.0;
+    a(2, 2) = -3.0;
+    expect_spectrum(eigenvalues(a), {{1.0, 0.0}, {4.0, 0.0}, {-3.0, 0.0}}, 1e-9);
+}
+
+TEST(eig, similarity_invariance_under_scaling)
+{
+    // Badly scaled similarity transform of a known matrix; balancing must
+    // recover the spectrum.
+    dense_matrix<real> a(3, 3);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0e-7;
+    a(1, 0) = 1.0e7;
+    a(1, 1) = 5.0;
+    a(1, 2) = 3.0e-6;
+    a(2, 1) = 2.0e6;
+    a(2, 2) = -4.0;
+    // Reference spectrum from the well-scaled equivalent
+    // D A D^-1 with D = diag(1, 1e7, 1e13) undone:
+    dense_matrix<real> b(3, 3);
+    b(0, 0) = 2.0;
+    b(0, 1) = 1.0;
+    b(1, 0) = 1.0;
+    b(1, 1) = 5.0;
+    b(1, 2) = 3.0;
+    b(2, 1) = 2.0;
+    b(2, 2) = -4.0;
+    std::vector<cplx> ea = eigenvalues(a);
+    std::vector<cplx> eb = eigenvalues(b);
+    expect_spectrum(ea, eb, 1e-6);
+}
+
+TEST(eig, trace_and_determinant_consistency)
+{
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<real> dist(-2.0, 2.0);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 6;
+        dense_matrix<real> a(n, n);
+        real trace = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                a(i, j) = dist(rng);
+            trace += a(i, i);
+        }
+        const std::vector<cplx> eig = eigenvalues(a);
+        cplx sum{0.0, 0.0};
+        for (const cplx& v : eig)
+            sum += v;
+        EXPECT_NEAR(sum.real(), trace, 1e-8);
+        EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+    }
+}
+
+TEST(eig, conjugate_closed)
+{
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<real> dist(-1.0, 1.0);
+    dense_matrix<real> a(8, 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            a(i, j) = dist(rng);
+    const std::vector<cplx> eig = eigenvalues(a);
+    for (const cplx& v : eig) {
+        if (std::fabs(v.imag()) < 1e-12)
+            continue;
+        bool found_conj = false;
+        for (const cplx& w : eig)
+            if (std::abs(w - std::conj(v)) < 1e-7)
+                found_conj = true;
+        EXPECT_TRUE(found_conj) << "unpaired complex eigenvalue";
+    }
+}
+
+TEST(eig, empty_and_one_by_one)
+{
+    dense_matrix<real> a0(0, 0);
+    EXPECT_TRUE(eigenvalues(a0).empty());
+    dense_matrix<real> a1(1, 1);
+    a1(0, 0) = 42.0;
+    expect_spectrum(eigenvalues(a1), {{42.0, 0.0}}, 1e-12);
+}
+
+TEST(eig, rejects_non_square)
+{
+    dense_matrix<real> a(2, 3);
+    EXPECT_THROW(eigenvalues(a), acstab::numeric_error);
+}
+
+} // namespace

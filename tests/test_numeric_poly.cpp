@@ -1,0 +1,184 @@
+// Polynomials, root finding, and rational transfer functions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "numeric/polynomial.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using acstab::cplx;
+using acstab::real;
+using acstab::numeric::polynomial;
+using acstab::numeric::rational;
+
+TEST(polynomial, evaluation_horner)
+{
+    const polynomial p({1.0, -2.0, 3.0}); // 1 - 2x + 3x^2
+    EXPECT_NEAR(p(0.0), 1.0, 1e-15);
+    EXPECT_NEAR(p(1.0), 2.0, 1e-15);
+    EXPECT_NEAR(p(-2.0), 17.0, 1e-15);
+}
+
+TEST(polynomial, arithmetic)
+{
+    const polynomial a({1.0, 1.0});  // 1 + x
+    const polynomial b({-1.0, 1.0}); // -1 + x
+    const polynomial prod = a * b;   // x^2 - 1
+    EXPECT_EQ(prod.degree(), 2u);
+    EXPECT_NEAR(prod.coeff(0), -1.0, 1e-15);
+    EXPECT_NEAR(prod.coeff(1), 0.0, 1e-15);
+    EXPECT_NEAR(prod.coeff(2), 1.0, 1e-15);
+    const polynomial sum = a + b; // 2x
+    EXPECT_EQ(sum.degree(), 1u);
+    EXPECT_NEAR(sum.coeff(1), 2.0, 1e-15);
+    const polynomial diff = a - b; // 2
+    EXPECT_EQ(diff.degree(), 0u);
+    EXPECT_NEAR(diff.coeff(0), 2.0, 1e-15);
+}
+
+TEST(polynomial, derivative)
+{
+    const polynomial p({5.0, 3.0, 0.0, 2.0}); // 5 + 3x + 2x^3
+    const polynomial d = p.derivative();      // 3 + 6x^2
+    EXPECT_EQ(d.degree(), 2u);
+    EXPECT_NEAR(d.coeff(0), 3.0, 1e-15);
+    EXPECT_NEAR(d.coeff(1), 0.0, 1e-15);
+    EXPECT_NEAR(d.coeff(2), 6.0, 1e-15);
+}
+
+TEST(polynomial, trims_leading_zeros)
+{
+    const polynomial p({1.0, 2.0, 0.0, 0.0});
+    EXPECT_EQ(p.degree(), 1u);
+}
+
+TEST(polynomial, quadratic_roots)
+{
+    // (x-2)(x+5) = x^2 + 3x - 10
+    const polynomial p({-10.0, 3.0, 1.0});
+    auto roots = p.roots();
+    ASSERT_EQ(roots.size(), 2u);
+    std::sort(roots.begin(), roots.end(),
+              [](const cplx& a, const cplx& b) { return a.real() < b.real(); });
+    EXPECT_LT(std::abs(roots[0] - cplx{-5.0, 0.0}), 1e-9);
+    EXPECT_LT(std::abs(roots[1] - cplx{2.0, 0.0}), 1e-9);
+}
+
+TEST(polynomial, complex_roots_of_resonator)
+{
+    // s^2 + 0.4 s + 1: zeta=0.2, wn=1.
+    const polynomial p({1.0, 0.4, 1.0});
+    const auto roots = p.roots();
+    ASSERT_EQ(roots.size(), 2u);
+    for (const cplx& r : roots) {
+        EXPECT_NEAR(std::abs(r), 1.0, 1e-9);
+        EXPECT_NEAR(r.real(), -0.2, 1e-9);
+    }
+}
+
+TEST(polynomial, from_roots_round_trip)
+{
+    const std::vector<real> roots{-1.0, 2.0, -3.5, 0.25};
+    const polynomial p = polynomial::from_roots(roots);
+    EXPECT_EQ(p.degree(), 4u);
+    for (const real r : roots)
+        EXPECT_NEAR(p(r), 0.0, 1e-10);
+}
+
+TEST(polynomial, from_complex_roots_real_coeffs)
+{
+    const std::vector<cplx> roots{{-1.0, 2.0}, {-1.0, -2.0}, {-3.0, 0.0}};
+    const polynomial p = polynomial::from_complex_roots(roots);
+    EXPECT_EQ(p.degree(), 3u);
+    // (s^2 + 2s + 5)(s + 3)
+    EXPECT_NEAR(p.coeff(0), 15.0, 1e-12);
+    EXPECT_NEAR(p.coeff(1), 11.0, 1e-12);
+    EXPECT_NEAR(p.coeff(2), 5.0, 1e-12);
+    EXPECT_NEAR(p.coeff(3), 1.0, 1e-12);
+}
+
+TEST(polynomial, from_complex_roots_requires_conjugates)
+{
+    EXPECT_THROW(polynomial::from_complex_roots({{1.0, 2.0}}), acstab::numeric_error);
+}
+
+TEST(polynomial, degree_ten_recovers_roots)
+{
+    std::vector<real> roots;
+    for (int k = 1; k <= 10; ++k)
+        roots.push_back(static_cast<real>(k) * 0.3 - 1.6);
+    const polynomial p = polynomial::from_roots(roots);
+    auto found = p.roots();
+    ASSERT_EQ(found.size(), 10u);
+    std::sort(found.begin(), found.end(),
+              [](const cplx& a, const cplx& b) { return a.real() < b.real(); });
+    std::sort(roots.begin(), roots.end());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+        EXPECT_NEAR(found[i].real(), roots[i], 1e-6);
+        EXPECT_NEAR(found[i].imag(), 0.0, 1e-6);
+    }
+}
+
+TEST(rational, second_order_magnitude)
+{
+    const real zeta = 0.3;
+    const rational t = rational::second_order_lowpass(zeta);
+    EXPECT_NEAR(t.magnitude(0.0), 1.0, 1e-12);
+    // |T(j1)| = 1/(2 zeta) at the normalized natural frequency.
+    EXPECT_NEAR(t.magnitude(1.0), 1.0 / (2.0 * zeta), 1e-12);
+    // High-frequency rolloff ~ 1/w^2.
+    EXPECT_NEAR(t.magnitude(100.0) * 1e4, 1.0, 1e-2);
+}
+
+TEST(rational, second_order_phase)
+{
+    const rational t = rational::second_order_lowpass(0.5);
+    EXPECT_NEAR(t.phase(1.0), -acstab::pi / 2.0, 1e-12); // -90 deg at wn
+    EXPECT_GT(t.phase(0.01), -0.03);
+    EXPECT_LT(t.phase(100.0), -3.0);
+}
+
+TEST(rational, poles_of_second_order)
+{
+    const real zeta = 0.25;
+    const real wn = 2.0e3;
+    const rational t = rational::second_order_lowpass(zeta, wn);
+    auto poles = t.poles();
+    ASSERT_EQ(poles.size(), 2u);
+    for (const cplx& p : poles) {
+        EXPECT_NEAR(std::abs(p), wn, wn * 1e-9);
+        EXPECT_NEAR(-p.real() / std::abs(p), zeta, 1e-9);
+    }
+}
+
+TEST(rational, unity_feedback_closed_loop)
+{
+    // L(s) = 10/(s+1): closed loop 10/(s+11).
+    const rational l{polynomial({10.0}), polynomial({1.0, 1.0})};
+    const rational cl = l.unity_feedback_closed_loop();
+    EXPECT_NEAR(cl.magnitude(0.0), 10.0 / 11.0, 1e-12);
+    auto poles = cl.poles();
+    ASSERT_EQ(poles.size(), 1u);
+    EXPECT_LT(std::abs(poles[0] - cplx{-11.0, 0.0}), 1e-9);
+}
+
+TEST(rational, product)
+{
+    const rational a{polynomial({2.0}), polynomial({1.0, 1.0})};
+    const rational b{polynomial({3.0}), polynomial({1.0, 0.5})};
+    const rational c = a * b;
+    EXPECT_NEAR(c.magnitude(0.0), 6.0, 1e-12);
+    EXPECT_EQ(c.den().degree(), 2u);
+}
+
+TEST(rational, rejects_zero_denominator)
+{
+    EXPECT_THROW(rational(polynomial({1.0}), polynomial({0.0})), acstab::numeric_error);
+}
+
+} // namespace

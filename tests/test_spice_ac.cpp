@@ -1,0 +1,200 @@
+// AC small-signal analysis against closed-form network responses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/interpolation.h"
+#include "spice/ac_analysis.h"
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+#include "spice/devices/controlled.h"
+#include "spice/devices/mosfet.h"
+#include "spice/devices/passive.h"
+#include "spice/devices/sources.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::spice;
+
+struct rc_fixture {
+    circuit c;
+    real r = 1e3;
+    real cap = 1e-9;
+    rc_fixture()
+    {
+        const node_id in = c.node("in");
+        const node_id out = c.node("out");
+        c.add<vsource>("vin", in, ground_node, waveform_spec::make_ac(0.0, 1.0));
+        c.add<resistor>("r1", in, out, r);
+        c.add<capacitor>("c1", out, ground_node, cap);
+    }
+};
+
+TEST(ac, rc_lowpass_magnitude_and_phase)
+{
+    rc_fixture f;
+    const dc_result op = dc_operating_point(f.c);
+    const std::vector<real> freqs = numeric::log_space(1e3, 1e8, 60);
+    const ac_result res = ac_sweep(f.c, freqs, op.solution);
+    const std::vector<cplx> vout = node_response(f.c, res, "out");
+    const real fc = 1.0 / (two_pi * f.r * f.cap); // ~159 kHz
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const real ratio = freqs[i] / fc;
+        const real mag_expected = 1.0 / std::sqrt(1.0 + ratio * ratio);
+        const real ph_expected = -std::atan(ratio);
+        EXPECT_NEAR(std::abs(vout[i]), mag_expected, 1e-9) << "f=" << freqs[i];
+        EXPECT_NEAR(std::arg(vout[i]), ph_expected, 1e-9) << "f=" << freqs[i];
+    }
+}
+
+TEST(ac, rlc_series_resonance)
+{
+    circuit c;
+    const node_id in = c.node("in");
+    const node_id m = c.node("m");
+    const node_id out = c.node("out");
+    const real r = 50.0;
+    const real l = 1e-6;
+    const real cap = 1e-9;
+    c.add<vsource>("vin", in, ground_node, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r1", in, m, r);
+    c.add<inductor>("l1", m, out, l);
+    c.add<capacitor>("c1", out, ground_node, cap);
+    const dc_result op = dc_operating_point(c);
+
+    const real f0 = 1.0 / (two_pi * std::sqrt(l * cap)); // ~5.03 MHz
+    const ac_result res = ac_sweep(c, {f0}, op.solution);
+    const std::vector<cplx> vout = node_response(c, res, "out");
+    // At resonance the cap voltage is Q times the drive, -90 degrees.
+    const real q = std::sqrt(l / cap) / r;
+    EXPECT_NEAR(std::abs(vout[0]), q, q * 1e-6);
+    EXPECT_NEAR(std::arg(vout[0]), -pi / 2.0, 1e-6);
+}
+
+TEST(ac, inductor_branch_current)
+{
+    // A series resistor keeps the DC system nonsingular (an ideal source
+    // directly across an ideal inductor has an indeterminate DC current).
+    circuit c;
+    const node_id in = c.node("in");
+    const node_id m = c.node("m");
+    const real r = 10.0;
+    const real l = 1e-3;
+    c.add<vsource>("vin", in, ground_node, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r1", in, m, r);
+    auto& l1 = c.add<inductor>("l1", m, ground_node, l);
+    const dc_result op = dc_operating_point(c);
+    const real f = 1e3;
+    const ac_result res = ac_sweep(c, {f}, op.solution);
+    const cplx il = res.solution[0][static_cast<std::size_t>(l1.branch())];
+    const cplx expected = cplx{1.0, 0.0} / cplx{r, to_omega(f) * l};
+    EXPECT_LT(std::abs(il - expected), 1e-9);
+}
+
+TEST(ac, vccs_amplifier_gain)
+{
+    circuit c;
+    const node_id in = c.node("in");
+    const node_id out = c.node("out");
+    c.add<vsource>("vin", in, ground_node, waveform_spec::make_ac(0.0, 1.0));
+    c.add<vccs>("gm", ground_node, out, in, ground_node, 2e-3);
+    c.add<resistor>("rl", out, ground_node, 5e3);
+    const dc_result op = dc_operating_point(c);
+    const ac_result res = ac_sweep(c, {1e4}, op.solution);
+    EXPECT_NEAR(std::abs(node_response(c, res, "out")[0]), 10.0, 1e-9);
+}
+
+TEST(ac, exclusive_source_zeroes_others)
+{
+    circuit c;
+    const node_id a = c.node("a");
+    const node_id b = c.node("b");
+    c.add<vsource>("v1", a, ground_node, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r1", a, ground_node, 1e3);
+    auto& i2 = c.add<isource>("i2", ground_node, b, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r2", b, ground_node, 1e3);
+    const dc_result op = dc_operating_point(c);
+
+    ac_options opt;
+    opt.exclusive_source = &i2;
+    const ac_result res = ac_sweep(c, {1e3}, op.solution, opt);
+    // v1 is AC-zeroed: node a silent; i2's 1 A into 1 kOhm gives 1 kV.
+    EXPECT_NEAR(std::abs(node_response(c, res, "a")[0]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(node_response(c, res, "b")[0]), 1e3, 1e-6);
+}
+
+TEST(ac, zero_all_sources_flag)
+{
+    circuit c;
+    const node_id a = c.node("a");
+    c.add<vsource>("v1", a, ground_node, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r1", a, ground_node, 1e3);
+    const dc_result op = dc_operating_point(c);
+
+    const std::size_t n = c.unknown_count();
+    ac_params p;
+    p.omega = to_omega(1e3);
+    p.zero_all_sources = true;
+    system_builder<cplx> b(n);
+    for (const auto& dev : c.devices())
+        dev->stamp_ac(op.solution, p, b);
+    for (const cplx& v : b.rhs())
+        EXPECT_EQ(v, (cplx{0.0, 0.0}));
+}
+
+TEST(ac, mos_common_source_gain_matches_small_signal)
+{
+    circuit c;
+    const node_id vdd = c.node("vdd");
+    const node_id g = c.node("g");
+    const node_id d = c.node("d");
+    c.add<vsource>("vdd_s", vdd, ground_node, 5.0);
+    c.add<vsource>("vg", g, ground_node, waveform_spec::make_ac(1.2, 1.0));
+    mosfet_model nm;
+    nm.vto = 0.7;
+    nm.kp = 100e-6;
+    nm.lambda = 0.0;
+    nm.gamma = 0.0;
+    nm.cox = 0.0; // no caps: flat response
+    auto& m1 = c.add<mosfet>("m1", d, g, ground_node, ground_node, nm, 20e-6, 2e-6);
+    const real rd = 10e3;
+    c.add<resistor>("rd", vdd, d, rd);
+    const dc_result op = dc_operating_point(c);
+
+    const mosfet_small_signal ss = m1.small_signal(op.solution);
+    ASSERT_EQ(ss.region, 2); // saturation
+    const ac_result res = ac_sweep(c, {1e4}, op.solution);
+    const real gain = std::abs(node_response(c, res, "d")[0]);
+    EXPECT_NEAR(gain, ss.gm * rd, ss.gm * rd * 1e-6);
+}
+
+TEST(ac, gshunt_regularizes_floating_node)
+{
+    circuit c;
+    const node_id a = c.node("a");
+    const node_id fl = c.node("fl");
+    c.add<isource>("i1", ground_node, a, waveform_spec::make_ac(0.0, 1.0));
+    c.add<resistor>("r1", a, ground_node, 1e3);
+    c.add<capacitor>("cx", fl, ground_node, 1e-12); // floating island
+    dc_options dopt;
+    const dc_result op = dc_operating_point(c, dopt);
+
+    ac_options opt;
+    opt.gshunt = 1e-9;
+    const ac_result res = ac_sweep(c, {1e6}, op.solution, opt);
+    EXPECT_NEAR(std::abs(node_response(c, res, "a")[0]), 1e3, 1.0);
+}
+
+TEST(ac, rejects_bad_inputs)
+{
+    rc_fixture f;
+    const dc_result op = dc_operating_point(f.c);
+    EXPECT_THROW(ac_sweep(f.c, {}, op.solution), analysis_error);
+    EXPECT_THROW(ac_sweep(f.c, {-1.0}, op.solution), analysis_error);
+    std::vector<real> wrong_op(op.solution.size() + 1, 0.0);
+    EXPECT_THROW(ac_sweep(f.c, {1e3}, wrong_op), analysis_error);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+// Waveform measurements: dB/phase, step metrics, Bode margins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/interpolation.h"
+#include "numeric/rational.h"
+#include "spice/measure.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::spice;
+
+TEST(measure, db20_values)
+{
+    EXPECT_NEAR(db20(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(db20(10.0), 20.0, 1e-12);
+    EXPECT_NEAR(db20(0.01), -40.0, 1e-12);
+}
+
+TEST(measure, phase_unwrap_monotone_lag)
+{
+    // Three cascaded poles accumulate -270 degrees; unwrapping must not
+    // fold the phase back.
+    const auto h = [](real w) {
+        const cplx p{1.0, w};
+        return cplx{1.0, 0.0} / (p * p * p);
+    };
+    std::vector<cplx> resp;
+    std::vector<real> freqs = numeric::log_space(0.01, 100.0, 100);
+    for (const real w : freqs)
+        resp.push_back(h(w));
+    const std::vector<real> ph = phase_deg_unwrapped(resp);
+    EXPECT_NEAR(ph.front(), 0.0, 2.0);
+    EXPECT_NEAR(ph.back(), -3.0 * 90.0, 3.0);
+    for (std::size_t i = 1; i < ph.size(); ++i)
+        EXPECT_LE(ph[i], ph[i - 1] + 1e-9);
+}
+
+TEST(measure, overshoot_of_damped_sine)
+{
+    // y(t) = 1 - exp(-z wn t) cos(wd t)/..., sampled analytically.
+    const real zeta = 0.3;
+    const real wn = 1.0;
+    const real wd = wn * std::sqrt(1.0 - zeta * zeta);
+    std::vector<real> t;
+    std::vector<real> y;
+    for (int i = 0; i < 4000; ++i) {
+        const real tt = i * 0.01;
+        t.push_back(tt);
+        y.push_back(1.0
+                    - std::exp(-zeta * wn * tt)
+                        * (std::cos(wd * tt) + zeta / std::sqrt(1.0 - zeta * zeta)
+                               * std::sin(wd * tt)));
+    }
+    const real os = overshoot_percent(y, 0.0, 1.0);
+    EXPECT_NEAR(os, 100.0 * std::exp(-pi * zeta / std::sqrt(1.0 - zeta * zeta)), 0.5);
+    const real fr = ringing_frequency(t, y, 1.0);
+    EXPECT_NEAR(fr, wd / two_pi, 0.05 * wd / two_pi);
+}
+
+TEST(measure, overshoot_negative_going_step)
+{
+    std::vector<real> y{1.0, 0.5, -0.2, 0.05, 0.0, 0.0};
+    // Step from 1 to 0: peak undershoot -0.2 -> overshoot 20 %.
+    EXPECT_NEAR(overshoot_percent(y, 1.0, 0.0), 20.0, 1e-9);
+}
+
+TEST(measure, final_value_tail_mean)
+{
+    std::vector<real> y(100, 3.0);
+    y[0] = 100.0;
+    EXPECT_NEAR(final_value(y), 3.0, 1e-12);
+}
+
+TEST(measure, settling_time)
+{
+    std::vector<real> t;
+    std::vector<real> y;
+    for (int i = 0; i <= 100; ++i) {
+        t.push_back(static_cast<real>(i));
+        y.push_back(i < 40 ? 2.0 : 1.0); // settles exactly at t = 40
+    }
+    EXPECT_NEAR(settling_time(t, y, 1.0), 40.0, 1e-12);
+}
+
+TEST(measure, margins_of_integrator_loop)
+{
+    // L(s) = wc/s: crossover at wc with 90 degrees of phase margin and no
+    // -180 crossing.
+    const real fc = 1e4;
+    std::vector<real> freqs = numeric::log_space(1e2, 1e6, 200);
+    std::vector<cplx> loop;
+    for (const real f : freqs)
+        loop.push_back(cplx{0.0, -1.0} * (fc / f));
+    const bode_margins m = margins(freqs, loop);
+    ASSERT_TRUE(m.has_unity_crossing);
+    EXPECT_NEAR(m.unity_freq_hz, fc, fc * 0.02);
+    EXPECT_NEAR(m.phase_margin_deg, 90.0, 0.5);
+    EXPECT_FALSE(m.has_phase_crossing);
+}
+
+TEST(measure, margins_of_three_pole_loop)
+{
+    // L(s) = 100 / (1 + s/w0)^3: analytic PM/GM available.
+    const real f0 = 1e3;
+    std::vector<real> freqs = numeric::log_space(10.0, 1e6, 400);
+    std::vector<cplx> loop;
+    for (const real f : freqs) {
+        const cplx den = std::pow(cplx{1.0, f / f0}, 3);
+        loop.push_back(cplx{100.0, 0.0} / den);
+    }
+    const bode_margins m = margins(freqs, loop);
+    ASSERT_TRUE(m.has_unity_crossing);
+    ASSERT_TRUE(m.has_phase_crossing);
+    // |L| = 1 at w/w0 = sqrt(100^(2/3) - 1) ~ 4.53.
+    EXPECT_NEAR(m.unity_freq_hz, 4.53e3, 0.1e3);
+    // Phase -180 at w/w0 = tan(60 deg) = sqrt(3).
+    EXPECT_NEAR(m.phase_cross_freq_hz, std::sqrt(3.0) * f0, 0.05e3);
+    // GM = -20log10(100/8) = -21.9 -> gain margin is negative (unstable).
+    EXPECT_NEAR(m.gain_margin_db, -20.0 * std::log10(100.0 / 8.0), 0.5);
+}
+
+TEST(measure, error_handling)
+{
+    std::vector<real> empty;
+    EXPECT_THROW(overshoot_percent(empty, 0.0, 1.0), analysis_error);
+    std::vector<real> one{1.0};
+    EXPECT_THROW(overshoot_percent(one, 0.5, 0.5), analysis_error);
+    EXPECT_THROW(final_value(empty), analysis_error);
+    std::vector<real> t{0.0, 1.0};
+    std::vector<cplx> h{{1.0, 0.0}};
+    EXPECT_THROW(margins(t, h), analysis_error);
+}
+
+} // namespace

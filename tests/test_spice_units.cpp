@@ -1,0 +1,70 @@
+// SPICE number parsing and engineering formatting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::spice;
+
+TEST(units, plain_numbers)
+{
+    EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1e-9"), 1e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.5E6"), 2.5e6);
+}
+
+TEST(units, suffixes)
+{
+    EXPECT_DOUBLE_EQ(parse_spice_number("1k"), 1e3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.2u"), 2.2e-6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("10MEG"), 10e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("10meg"), 10e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3m"), 3e-3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("5n"), 5e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("7p"), 7e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1f"), 1e-15);
+    EXPECT_DOUBLE_EQ(parse_spice_number("4G"), 4e9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1T"), 1e12);
+}
+
+TEST(units, trailing_unit_names_ignored)
+{
+    EXPECT_DOUBLE_EQ(parse_spice_number("10kOhm"), 10e3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("5pF"), 5e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3V"), 3.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.5uA"), 2.5e-6);
+}
+
+TEST(units, malformed_rejected)
+{
+    EXPECT_FALSE(try_parse_spice_number("").has_value());
+    EXPECT_FALSE(try_parse_spice_number("abc").has_value());
+    EXPECT_FALSE(try_parse_spice_number("1.2.3").has_value());
+    EXPECT_FALSE(try_parse_spice_number("3k9").has_value());
+    EXPECT_THROW(parse_spice_number("oops"), parse_error);
+}
+
+TEST(units, engineering_format)
+{
+    EXPECT_EQ(format_engineering(0.0), "0");
+    EXPECT_EQ(format_engineering(1e3), "1k");
+    EXPECT_EQ(format_engineering(3.162e6), "3.162M");
+    EXPECT_EQ(format_engineering(-2.5e-9), "-2.5n");
+    EXPECT_EQ(format_engineering(4.7e-12), "4.7p");
+    EXPECT_EQ(format_frequency(3.16e6), "3.16MHz");
+    EXPECT_EQ(format_frequency(50e6, 3), "50MHz");
+}
+
+TEST(units, format_round_trip)
+{
+    for (const double v : {1.0, 12.5, 999.0, 1.5e3, 2.7e-6, 8.1e9, 3.3e-13}) {
+        const std::string s = format_engineering(v, 9);
+        EXPECT_NEAR(parse_spice_number(s), v, std::abs(v) * 1e-6) << s;
+    }
+}
+
+} // namespace

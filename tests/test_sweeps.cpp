@@ -1,0 +1,76 @@
+// Parameterized re-analysis (in-tool sweeps).
+#include <gtest/gtest.h>
+
+#include "circuits/bias.h"
+#include "circuits/rlc.h"
+#include "core/sweeps.h"
+#include "spice/devices/passive.h"
+#include "spice/devices/sources.h"
+
+namespace {
+
+using namespace acstab;
+
+TEST(sweeps, tank_damping_sweep_tracks_parameter)
+{
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e8;
+    opt.sweep.points_per_decade = 50;
+    const auto points = core::sweep_stability(
+        [](spice::circuit& c, real zeta) {
+            circuits::add_parallel_rlc_tank(c, "tank", zeta, 1e6);
+            return std::string("tank");
+        },
+        {0.1, 0.2, 0.4}, opt);
+    ASSERT_EQ(points.size(), 3u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(points[i].dc_converged);
+        ASSERT_TRUE(points[i].node.has_peak);
+        EXPECT_NEAR(points[i].node.zeta, points[i].parameter, 0.15 * points[i].parameter);
+    }
+    const std::string table = core::format_sweep(points, "zeta");
+    EXPECT_NE(table.find("zeta"), std::string::npos);
+    EXPECT_NE(table.find("1MHz"), std::string::npos);
+}
+
+TEST(sweeps, bias_temperature_sweep_keeps_loop_in_band)
+{
+    // The zero-TC reference's local loop must stay in the tens of MHz and
+    // under-damped across the industrial temperature range.
+    const auto points = core::sweep_stability(
+        [](spice::circuit& c, real temp) {
+            circuits::bias_params bp;
+            bp.temp_celsius = temp;
+            const circuits::bias_nodes n = circuits::build_standalone_bias(c, bp);
+            return n.rail;
+        },
+        {-40.0, 27.0, 125.0});
+    for (const auto& p : points) {
+        ASSERT_TRUE(p.dc_converged) << "T=" << p.parameter;
+        ASSERT_TRUE(p.node.has_peak) << "T=" << p.parameter;
+        EXPECT_GT(p.node.dominant.freq_hz, 2e7) << "T=" << p.parameter;
+        EXPECT_LT(p.node.dominant.freq_hz, 1.2e8) << "T=" << p.parameter;
+        EXPECT_LT(p.node.zeta, 0.7) << "T=" << p.parameter;
+    }
+}
+
+TEST(sweeps, reports_non_convergence_instead_of_throwing)
+{
+    const auto points = core::sweep_stability(
+        [](spice::circuit& c, real) {
+            // Pathological: vsource loop with an inductor -> singular DC.
+            const auto a = c.node("a");
+            c.add<spice::vsource>("v1", a, spice::ground_node,
+                                  spice::waveform_spec::make_ac(0.0, 1.0));
+            c.add<spice::inductor>("l1", a, spice::ground_node, 1e-3);
+            return std::string("a");
+        },
+        {1.0});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_FALSE(points[0].dc_converged);
+    const std::string table = core::format_sweep(points, "p");
+    EXPECT_NE(table.find("DC did not converge"), std::string::npos);
+}
+
+} // namespace

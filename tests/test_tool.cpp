@@ -1,0 +1,98 @@
+// CLI option parsing and ASCII plotting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/ascii_plot.h"
+#include "tool/options.h"
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::tool;
+
+std::vector<char*> argv_of(std::initializer_list<const char*> args)
+{
+    static std::vector<std::string> storage;
+    storage.assign(args.begin(), args.end());
+    std::vector<char*> out;
+    for (auto& s : storage)
+        out.push_back(s.data());
+    return out;
+}
+
+TEST(cli_options, defaults)
+{
+    auto args = argv_of({});
+    const cli_options opt = parse_cli_options(0, args.data());
+    EXPECT_TRUE(opt.node.empty());
+    EXPECT_DOUBLE_EQ(opt.fstart, 1e3);
+    EXPECT_DOUBLE_EQ(opt.fstop, 1e9);
+    EXPECT_EQ(opt.ppd, 50u);
+    EXPECT_FALSE(opt.csv);
+}
+
+TEST(cli_options, full_set)
+{
+    auto args = argv_of({"--node", "out", "--fstart", "10k", "--fstop", "1g", "--ppd", "25",
+                         "--tstop", "5u", "--dt", "1n", "--threads", "4", "--csv",
+                         "--annotate", "--all", "--probe", "vp"});
+    const cli_options opt = parse_cli_options(static_cast<int>(args.size()), args.data());
+    EXPECT_EQ(opt.node, "out");
+    EXPECT_DOUBLE_EQ(opt.fstart, 1e4);
+    EXPECT_DOUBLE_EQ(opt.fstop, 1e9);
+    EXPECT_EQ(opt.ppd, 25u);
+    EXPECT_DOUBLE_EQ(opt.tstop, 5e-6);
+    EXPECT_DOUBLE_EQ(opt.dt, 1e-9);
+    EXPECT_EQ(opt.threads, 4u);
+    EXPECT_TRUE(opt.csv);
+    EXPECT_TRUE(opt.annotate);
+    EXPECT_TRUE(opt.all_nodes);
+    EXPECT_EQ(opt.probe, "vp");
+}
+
+TEST(cli_options, errors)
+{
+    auto missing = argv_of({"--node"});
+    EXPECT_THROW(parse_cli_options(1, missing.data()), analysis_error);
+    auto unknown = argv_of({"--wat", "1"});
+    EXPECT_THROW(parse_cli_options(2, unknown.data()), analysis_error);
+    auto bad_num = argv_of({"--fstart", "abc"});
+    EXPECT_THROW(parse_cli_options(2, bad_num.data()), parse_error);
+}
+
+TEST(cli_options, sweep_point_count)
+{
+    EXPECT_EQ(sweep_point_count(1e3, 1e6, 10), 31u);
+    EXPECT_EQ(sweep_point_count(1e3, 1e4, 40), 41u);
+    EXPECT_THROW(sweep_point_count(1e6, 1e3, 10), analysis_error);
+}
+
+TEST(ascii_plot, renders_extremes_and_title)
+{
+    std::vector<real> x{1.0, 10.0, 100.0, 1000.0};
+    std::vector<real> y{0.0, 5.0, -5.0, 0.0};
+    core::ascii_plot_options opt;
+    opt.title = "my plot";
+    const std::string s = core::ascii_plot(x, y, opt);
+    EXPECT_NE(s.find("my plot"), std::string::npos);
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find("5"), std::string::npos);
+    EXPECT_NE(s.find("-5"), std::string::npos);
+}
+
+TEST(ascii_plot, linear_axis_and_errors)
+{
+    std::vector<real> x{0.0, 1.0, 2.0};
+    std::vector<real> y{1.0, 1.0, 1.0}; // flat series must not divide by 0
+    core::ascii_plot_options opt;
+    opt.log_x = false;
+    EXPECT_NO_THROW((void)core::ascii_plot(x, y, opt));
+
+    std::vector<real> neg{-1.0, 1.0, 2.0};
+    core::ascii_plot_options logopt;
+    EXPECT_THROW((void)core::ascii_plot(neg, y, logopt), analysis_error);
+    std::vector<real> one{1.0};
+    EXPECT_THROW((void)core::ascii_plot(one, one, opt), analysis_error);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+// Impedance-zero analysis and validation of the shipped example netlists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pole_zero.h"
+#include "circuits/rlc.h"
+#include "common/error.h"
+#include "core/analyzer.h"
+#include "spice/circuit.h"
+#include "spice/devices/passive.h"
+#include "spice/parser/netlist_parser.h"
+
+#ifndef ACSTAB_NETLIST_DIR
+#define ACSTAB_NETLIST_DIR "."
+#endif
+
+namespace {
+
+using namespace acstab;
+using namespace acstab::spice;
+
+TEST(impedance_zeros, series_rc_branch_zero)
+{
+    // Z at node n of (R1 + 1/sC to ground) || R2: the numerator root is
+    // s = -1/(R1 C); shorting n leaves exactly that RC pole.
+    circuit c;
+    const node_id n = c.node("n");
+    const node_id m = c.node("m");
+    const real r1 = 1e3;
+    const real cap = 1e-9;
+    c.add<resistor>("r1", n, m, r1);
+    c.add<capacitor>("c1", m, ground_node, cap);
+    c.add<resistor>("r2", n, ground_node, 10e3);
+    core::stability_analyzer an(c);
+    const auto zeros = analysis::impedance_zeros_at_node(c, an.operating_point(), "n");
+    ASSERT_EQ(zeros.size(), 1u);
+    EXPECT_FALSE(zeros[0].is_complex);
+    EXPECT_NEAR(zeros[0].s.real(), -1.0 / (r1 * cap), 0.01 / (r1 * cap));
+}
+
+TEST(impedance_zeros, tank_zero_at_dc)
+{
+    // Parallel RLC tank: Z = sL / (s^2 LC + sL/R + 1) has its only finite
+    // zero at s = 0 (the inductor's DC short).
+    circuit c;
+    circuits::add_parallel_rlc_tank(c, "tank", 0.3, 1e6);
+    core::stability_analyzer an(c);
+    const auto zeros = analysis::impedance_zeros_at_node(c, an.operating_point(), "tank");
+    ASSERT_FALSE(zeros.empty());
+    // All reported zeros sit far below the tank's natural frequency.
+    for (const auto& z : zeros)
+        EXPECT_LT(z.freq_hz, 1e3);
+}
+
+TEST(impedance_zeros, complex_zero_from_shorted_subtank)
+{
+    // A series R + LC-tank branch hanging off the probed node: shorting
+    // the node leaves the LC tank resonating -> complex zero pair of Z.
+    circuit c;
+    const node_id n = c.node("n");
+    const node_id m = c.node("m");
+    c.add<resistor>("rload", n, ground_node, 1e3);
+    c.add<resistor>("rser", n, m, 100.0);
+    const real l = 1e-6;
+    const real cap = 1e-9;
+    c.add<inductor>("l1", m, ground_node, l);
+    c.add<capacitor>("c1", m, ground_node, cap);
+    core::stability_analyzer an(c);
+    const auto zeros = analysis::impedance_zeros_at_node(c, an.operating_point(), "n");
+    bool found = false;
+    const real f0 = 1.0 / (two_pi * std::sqrt(l * cap));
+    for (const auto& z : zeros)
+        if (z.is_complex && std::fabs(z.freq_hz - f0) < 0.02 * f0)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(impedance_zeros, validates_node)
+{
+    circuit c;
+    circuits::add_parallel_rlc_tank(c, "tank", 0.3, 1e6);
+    core::stability_analyzer an(c);
+    const auto& op = an.operating_point();
+    EXPECT_THROW((void)analysis::impedance_zeros_at_node(c, op, "nope"), analysis_error);
+    EXPECT_THROW((void)analysis::impedance_zeros_at_node(c, op, "0"), analysis_error);
+}
+
+// ---- the netlists shipped in netlists/ must stay valid --------------------
+
+TEST(shipped_netlists, rlc_tank_reproduces_eq14)
+{
+    parsed_netlist net
+        = parse_netlist_file(std::string(ACSTAB_NETLIST_DIR) + "/rlc_tank.sp");
+    ASSERT_EQ(net.analyses.size(), 1u);
+    core::stability_options opt;
+    opt.sweep.fstart = net.analyses[0].fstart;
+    opt.sweep.fstop = net.analyses[0].fstop;
+    opt.sweep.points_per_decade = net.analyses[0].points_per_decade;
+    core::stability_analyzer an(net.ckt, opt);
+    const core::node_stability ns = an.analyze_node(net.analyses[0].node);
+    ASSERT_TRUE(ns.has_peak);
+    EXPECT_NEAR(ns.zeta, 0.2, 0.01);
+    EXPECT_NEAR(ns.dominant.freq_hz, 1e6, 2e4);
+}
+
+TEST(shipped_netlists, follower_shows_local_loop)
+{
+    parsed_netlist net
+        = parse_netlist_file(std::string(ACSTAB_NETLIST_DIR) + "/follower.sp");
+    core::stability_options opt;
+    opt.sweep.fstart = 1e5;
+    opt.sweep.fstop = 1e10;
+    opt.sweep.points_per_decade = 50;
+    core::stability_analyzer an(net.ckt, opt);
+    const core::stability_report rep = an.analyze_all_nodes();
+    bool ringing = false;
+    for (const auto& ns : rep.nodes)
+        if (ns.has_peak && ns.is_underdamped && ns.dominant.value < -10.0
+            && ns.dominant.freq_hz > 1e7)
+            ringing = true;
+    EXPECT_TRUE(ringing);
+}
+
+TEST(shipped_netlists, two_pole_loop_matches_builder)
+{
+    parsed_netlist net
+        = parse_netlist_file(std::string(ACSTAB_NETLIST_DIR) + "/two_pole_loop.sp");
+    core::stability_analyzer an(net.ckt);
+    const core::node_stability from_text = an.analyze_node("out");
+
+    spice::circuit c;
+    circuits::two_pole_loop_spec spec;
+    const auto nodes = circuits::build_two_pole_loop(c, spec);
+    core::stability_analyzer an2(c);
+    const core::node_stability from_builder = an2.analyze_node(nodes.output);
+
+    ASSERT_TRUE(from_text.has_peak);
+    ASSERT_TRUE(from_builder.has_peak);
+    EXPECT_NEAR(from_text.dominant.freq_hz, from_builder.dominant.freq_hz,
+                0.02 * from_builder.dominant.freq_hz);
+    EXPECT_NEAR(from_text.zeta, from_builder.zeta, 0.02);
+}
+
+} // namespace

@@ -1,14 +1,23 @@
 // A2 — solver ablation: dense reference LU vs sparse Gilbert–Peierls on
-// growing RC ladders (complex AC solves), and serial vs threaded
-// all-nodes sweeps. Prints a scaling table; benchmarks both paths.
+// growing RC ladders (complex AC solves), linearize-once + factor-once
+// (sweep engine) vs re-stamp-per-frequency, and engine thread scaling on
+// the all-nodes stability sweep. Prints scaling tables plus one
+// machine-readable JSON array (the ACSTAB_BENCH_JSON line) for the bench
+// trajectory; benchmarks both paths.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "circuits/opamp.h"
 #include "circuits/rlc.h"
 #include "core/analyzer.h"
+#include "engine/linearized_snapshot.h"
+#include "engine/reference_sweep.h"
+#include "engine/sweep_engine.h"
 #include "spice/ac_analysis.h"
 #include "spice/circuit.h"
 #include "spice/dc_analysis.h"
@@ -16,6 +25,33 @@
 namespace {
 
 using namespace acstab;
+
+struct measurement {
+    std::string bench;
+    std::string mode;
+    std::size_t threads = 1;
+    double ms = 0.0;
+    double max_rel_err = 0.0; ///< vs the serial re-stamp baseline
+};
+
+std::vector<measurement>& results()
+{
+    static std::vector<measurement> r;
+    return r;
+}
+
+void emit_json()
+{
+    std::fputs("ACSTAB_BENCH_JSON [", stdout);
+    for (std::size_t i = 0; i < results().size(); ++i) {
+        const measurement& m = results()[i];
+        std::printf("%s{\"bench\":\"%s\",\"mode\":\"%s\",\"threads\":%zu,"
+                    "\"ms\":%.4f,\"max_rel_err\":%.3g}",
+                    i == 0 ? "" : ",", m.bench.c_str(), m.mode.c_str(), m.threads, m.ms,
+                    m.max_rel_err);
+    }
+    std::puts("]");
+}
 
 double time_ac_ms(spice::circuit& c, spice::solver_kind kind, int repeats)
 {
@@ -52,21 +88,167 @@ void print_ablation()
                     dense, sparse, dense / sparse);
     }
 
-    std::puts("\nserial vs threaded all-nodes sweep on the op-amp buffer (ms):");
-    for (const std::size_t threads : {1u, 2u, 4u}) {
-        spice::circuit c;
-        (void)circuits::build_opamp_buffer(c);
+    std::puts("");
+}
+
+/// The pre-engine all-nodes algorithm: re-stamp every device, rebuild the
+/// triplet matrix and freshly factor (full symbolic analysis) at every
+/// frequency, then back-solve one unit-current RHS per node. Serial.
+/// magnitude[node][freq].
+std::vector<std::vector<real>> allnodes_restamp_baseline(spice::circuit& c,
+                                                         const std::vector<real>& op,
+                                                         const std::vector<real>& freqs,
+                                                         real gshunt)
+{
+    c.finalize();
+    const std::size_t n = c.unknown_count();
+    const std::size_t nodes = c.node_count();
+    const std::vector<bool> forced = c.source_forced_nodes();
+    std::vector<std::vector<real>> magnitude(nodes, std::vector<real>(freqs.size(), 0.0));
+    std::vector<cplx> rhs(n, cplx{});
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+        spice::ac_params p;
+        p.omega = to_omega(freqs[fi]);
+        p.zero_all_sources = true;
+        spice::system_builder<cplx> b(n);
+        for (const auto& dev : c.devices())
+            dev->stamp_ac(op, p, b);
+        for (std::size_t i = 0; i < nodes; ++i)
+            b.add(static_cast<spice::node_id>(i), static_cast<spice::node_id>(i),
+                  cplx{gshunt, 0.0});
+        const spice::factored_system<cplx> fact(b, spice::solver_kind::sparse);
+        for (std::size_t k = 0; k < nodes; ++k) {
+            if (forced[k])
+                continue;
+            std::fill(rhs.begin(), rhs.end(), cplx{});
+            rhs[k] = cplx{1.0, 0.0};
+            magnitude[k][fi] = std::abs(fact.solve(rhs)[k]);
+        }
+    }
+    return magnitude;
+}
+
+/// The same sweep through the unified engine: linearize once, one shared
+/// pattern, refactor per frequency, batched multi-RHS, threaded.
+std::vector<std::vector<real>> allnodes_engine(spice::circuit& c, const std::vector<real>& op,
+                                               const std::vector<real>& freqs, real gshunt,
+                                               std::size_t threads)
+{
+    c.finalize();
+    const std::size_t nodes = c.node_count();
+    const std::vector<bool> forced = c.source_forced_nodes();
+    engine::snapshot_options sopt;
+    sopt.gshunt = gshunt;
+    sopt.zero_all_sources = true;
+    const engine::linearized_snapshot snap(c, op, sopt);
+
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < nodes; ++k)
+        if (!forced[k])
+            injections.push_back({k, cplx{1.0, 0.0}});
+
+    std::vector<std::vector<real>> magnitude(nodes, std::vector<real>(freqs.size(), 0.0));
+    engine::sweep_engine_options eopt;
+    eopt.threads = threads;
+    engine::sweep_engine(eopt).run_injections(
+        snap, freqs, injections,
+        [&magnitude, &injections](std::size_t fi, std::size_t ri, std::vector<cplx>&& sol) {
+            magnitude[injections[ri].index][fi] = std::abs(sol[injections[ri].index]);
+        });
+    return magnitude;
+}
+
+double max_rel_err(const std::vector<std::vector<real>>& a,
+                   const std::vector<std::vector<real>>& b)
+{
+    double worst = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        for (std::size_t f = 0; f < a[k].size(); ++f) {
+            const double scale = std::max({std::fabs(a[k][f]), std::fabs(b[k][f]), 1e-30});
+            worst = std::max(worst, std::fabs(a[k][f] - b[k][f]) / scale);
+        }
+    return worst;
+}
+
+void print_engine_ablation()
+{
+    std::puts("==============================================================================");
+    std::puts("A2b — all-nodes stability sweep on the op-amp buffer (40 ppd, 1 kHz - 1 GHz)");
+    std::puts("      re-stamp-per-frequency vs linearize-once engine, with thread scaling");
+    std::puts("==============================================================================");
+    spice::circuit c;
+    (void)circuits::build_opamp_buffer(c);
+    const spice::dc_result op = spice::dc_operating_point(c);
+    core::sweep_spec sweep;
+    sweep.points_per_decade = 40;
+    const std::vector<real> freqs = sweep.frequencies();
+    const real gshunt = 1e-9;
+
+    const auto time_ms = [](const auto& fn) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(stop - start).count();
+    };
+
+    std::vector<std::vector<real>> baseline;
+    const double restamp_ms = time_ms([&] {
+        baseline = allnodes_restamp_baseline(c, op.solution, freqs, gshunt);
+    });
+    std::printf("  re-stamp per frequency (serial)   : %8.1f ms\n", restamp_ms);
+    results().push_back({"allnodes_opamp", "restamp", 1, restamp_ms, 0.0});
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        std::vector<std::vector<real>> mag;
+        const double ms = time_ms([&] {
+            mag = allnodes_engine(c, op.solution, freqs, gshunt, threads);
+        });
+        const double err = max_rel_err(baseline, mag);
+        std::printf("  engine, %zu thread(s)              : %8.1f ms   (%.2fx, max rel err %.2g)\n",
+                    threads, ms, restamp_ms / ms, err);
+        results().push_back({"allnodes_opamp", "engine", threads, ms, err});
+    }
+
+    std::puts("\n  single-RHS AC sweep on a 640-section RC ladder (20 points):");
+    spice::circuit ladder;
+    circuits::build_rc_ladder(ladder, 640);
+    const spice::dc_result lop = spice::dc_operating_point(ladder);
+    std::vector<real> lfreqs;
+    for (int i = 0; i < 20; ++i)
+        lfreqs.push_back(1e3 * std::pow(10.0, i * 0.3));
+    const double ref_ms = time_ms([&] {
+        const spice::ac_result r = engine::reference_ac_sweep(ladder, lfreqs, lop.solution);
+        benchmark::DoNotOptimize(r.solution.data());
+    });
+    std::printf("    re-stamp + fresh factor (serial): %8.1f ms\n", ref_ms);
+    results().push_back({"ac_ladder640", "restamp", 1, ref_ms, 0.0});
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        spice::ac_options opt;
+        opt.threads = threads;
+        const double ms = time_ms([&] {
+            const spice::ac_result r = spice::ac_sweep(ladder, lfreqs, lop.solution, opt);
+            benchmark::DoNotOptimize(r.solution.data());
+        });
+        std::printf("    engine, %zu thread(s)            : %8.1f ms   (%.2fx)\n", threads, ms,
+                    ref_ms / ms);
+        results().push_back({"ac_ladder640", "engine", threads, ms, 0.0});
+    }
+
+    std::puts("\nend-to-end analyze_all_nodes (report building included, ms):");
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        spice::circuit cc;
+        (void)circuits::build_opamp_buffer(cc);
         core::stability_options opt;
         opt.sweep.points_per_decade = 40;
         opt.threads = threads;
-        core::stability_analyzer an(c, opt);
+        core::stability_analyzer an(cc, opt);
         (void)an.operating_point();
-        const auto start = std::chrono::steady_clock::now();
-        const core::stability_report rep = an.analyze_all_nodes();
-        const auto stop = std::chrono::steady_clock::now();
-        benchmark::DoNotOptimize(rep.nodes.data());
-        std::printf("  %zu thread(s): %8.1f ms\n", threads,
-                    std::chrono::duration<double, std::milli>(stop - start).count());
+        const double ms = time_ms([&] {
+            const core::stability_report rep = an.analyze_all_nodes();
+            benchmark::DoNotOptimize(rep.nodes.data());
+        });
+        std::printf("  %zu thread(s): %8.1f ms\n", threads, ms);
+        results().push_back({"analyze_all_nodes_opamp", "engine", threads, ms, 0.0});
     }
     std::puts("");
 }
@@ -91,6 +273,8 @@ BENCHMARK(bm_ladder_ac)->Args({40, 0})->Args({40, 1})->Args({320, 0})->Args({320
 int main(int argc, char** argv)
 {
     print_ablation();
+    print_engine_ablation();
+    emit_json();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,13 @@
+* Emitter follower driving a capacitive load: the local feedback loop
+* through the base-emitter junction rings near 100 MHz (Table 2's
+* "follower" class of local loop).
+.model fnpn npn is=1e-16 bf=150 br=2 vaf=80 cje=0.25p vje=0.75 mje=0.33
++ cjc=0.15p vjc=0.6 mjc=0.4 tf=0.5n tr=10n
+vdd_supply vdd 0 5
+vbias f_src 0 2.5 ac 1
+rsource f_src f_in 10k
+qf vdd f_in f_out fnpn
+if_load f_out 0 1m
+cload f_out 0 50p
+.stability all 1e5 1e10 50
+.end

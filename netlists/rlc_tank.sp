@@ -1,0 +1,7 @@
+* Parallel RLC tank, fn = 1 MHz, zeta = 0.2 (paper eq. 1.4 fixture)
+* Z(s) = sL / (s^2 LC + sL/R + 1); the stability plot peaks at -1/zeta^2.
+r1 tank 0 397.887
+l1 tank 0 25.3303u
+c1 tank 0 1n
+.stability tank 1e4 1e8 50
+.end

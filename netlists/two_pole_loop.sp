@@ -1,0 +1,16 @@
+* Behavioral two-pole unity-feedback loop:
+*   L(s) = a1 a2 / ((1 + s/p1)(1 + s/p2)),  a1 = a2 = 100,
+*   p1 = 1 kHz, p2 = 1 MHz (same values as circuits::build_two_pole_loop).
+* Stage 1: gm1 = a1/r1 into r1 || c1 with c1 = 1/(2 pi p1 r1).
+g1 0 s1 in fb 0.01
+r1 s1 0 10k
+c1 s1 0 15.9155n
+* Stage 2: gm2 = a2/r2 into r2 || c2 with c2 = 1/(2 pi p2 r2).
+g2 0 out s1 0 0.01
+r2 out 0 10k
+c2 out 0 15.9155p
+* Feedback wire through the loop-gain probe (plus on the driving side).
+vprobe out fb 0
+rfb_bleed fb 0 1e12
+vin in 0 ac 1
+.end

@@ -1,7 +1,8 @@
 #include "analysis/loop_gain.h"
 
 #include "common/error.h"
-#include "spice/ac_analysis.h"
+#include "engine/linearized_snapshot.h"
+#include "engine/sweep_engine.h"
 #include "spice/devices/sources.h"
 
 namespace acstab::analysis {
@@ -27,53 +28,44 @@ loop_gain_result measure_loop_gain(spice::circuit& c, const std::string& probe_v
     dc.gmin = opt.gmin;
     const spice::dc_result op = spice::dc_operating_point(c, dc);
 
-    spice::ac_options ac;
-    ac.solver = opt.solver;
-    ac.gmin = opt.gmin;
-    ac.gshunt = opt.gshunt;
-    ac.exclusive_source = probe;
-
-    // Run 1: voltage injection through the probe itself.
-    const spice::waveform_spec saved = probe->spec();
-    probe->set_spec(spice::waveform_spec::make_ac(0.0, 1.0));
-    spice::ac_result run_v;
-    try {
-        run_v = spice::ac_sweep(c, freqs_hz, op.solution, ac);
-    } catch (...) {
-        probe->set_spec(saved);
-        throw;
-    }
-    probe->set_spec(saved);
-
-    // Run 2: current injection into the receiving node y; the probe (back
-    // to 0 V AC) measures the branch current on the driving side.
-    const std::string inj_name = "iloop_inject__" + probe_vsource;
-    auto& inj = c.add<spice::isource>(inj_name, spice::ground_node, node_y,
-                                      spice::waveform_spec::make_ac(0.0, 1.0));
-    spice::ac_result run_i;
-    try {
-        spice::ac_options ac_i = ac;
-        ac_i.exclusive_source = &inj;
-        run_i = spice::ac_sweep(c, freqs_hz, op.solution, ac_i);
-    } catch (...) {
-        c.remove_device(inj_name);
-        throw;
-    }
-    c.remove_device(inj_name);
+    // Both injections act on the same zero-stimulus linearized system and
+    // differ only in the right-hand side, so one engine pass covers them:
+    //   rhs 0 — voltage injection: 1 V AC on the probe's branch equation;
+    //   rhs 1 — current injection: 1 A AC into the receiving node y.
+    engine::snapshot_options sopt;
+    sopt.gmin = opt.gmin;
+    sopt.gshunt = opt.gshunt;
+    sopt.zero_all_sources = true;
+    const engine::linearized_snapshot snap(c, op.solution, sopt);
 
     const std::size_t branch = static_cast<std::size_t>(probe->branch());
+    engine::sweep_engine_options eopt;
+    eopt.threads = opt.threads;
+    eopt.solver = opt.solver;
+    const engine::sweep_engine eng(eopt);
+
     loop_gain_result out;
     out.freq_hz = freqs_hz;
     out.tv.resize(freqs_hz.size());
     out.ti.resize(freqs_hz.size());
     out.t.resize(freqs_hz.size());
+    std::vector<std::vector<cplx>> run_v(freqs_hz.size());
+    std::vector<std::vector<cplx>> run_i(freqs_hz.size());
+    eng.run_injections(snap, freqs_hz,
+                       {{branch, cplx{1.0, 0.0}},
+                        {static_cast<std::size_t>(node_y), cplx{1.0, 0.0}}},
+                       [&run_v, &run_i](std::size_t fi, std::size_t ri,
+                                        std::vector<cplx>&& sol) {
+                           (ri == 0 ? run_v : run_i)[fi] = std::move(sol);
+                       });
+
     for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
-        const cplx vx = run_v.solution[k][static_cast<std::size_t>(node_x)];
-        const cplx vy = run_v.solution[k][static_cast<std::size_t>(node_y)];
+        const cplx vx = run_v[k][static_cast<std::size_t>(node_x)];
+        const cplx vy = run_v[k][static_cast<std::size_t>(node_y)];
         const cplx tv = -vx / vy;
         // Probe branch current flows plus(x) -> minus(y); with 1 A pushed
         // into y, the B-side current is i + 1.
-        const cplx i = run_i.solution[k][branch];
+        const cplx i = run_i[k][branch];
         const cplx ti = -i / (i + cplx{1.0, 0.0});
         out.tv[k] = tv;
         out.ti[k] = ti;

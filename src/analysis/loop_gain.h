@@ -14,6 +14,11 @@
 //   current i measures the A-side share and Ti = -i/(i + 1).
 //   Middlebrook combination: T = (Tv*Ti - 1) / (Tv + Ti + 2), exact for
 //   arbitrary port impedances when reverse transmission is negligible.
+//
+// Through the sweep engine both injections are just two right-hand sides
+// of the same zero-stimulus linearized system, so the historical pair of
+// full serial AC runs collapses into ONE pass: a single factorization and
+// two back-solves per frequency, parallel over the grid.
 #ifndef ACSTAB_ANALYSIS_LOOP_GAIN_H
 #define ACSTAB_ANALYSIS_LOOP_GAIN_H
 
@@ -39,6 +44,8 @@ struct loop_gain_options {
     spice::solver_kind solver = spice::solver_kind::sparse;
     real gmin = 1e-12;
     real gshunt = 0.0;
+    /// Worker threads for the sweep (1 = serial, 0 = all hardware threads).
+    std::size_t threads = 1;
     spice::dc_options dc;
 };
 

@@ -2,13 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "core/second_order.h"
-#include "spice/ac_analysis.h"
-#include "spice/devices/sources.h"
+#include "engine/linearized_snapshot.h"
+#include "engine/sweep_engine.h"
 
 namespace acstab::core {
+
+namespace {
+
+    /// Snapshot with every AC stimulus zeroed: the stability sweeps inject
+    /// their own unit-current right-hand sides.
+    engine::linearized_snapshot make_injection_snapshot(spice::circuit& c,
+                                                        const std::vector<real>& op,
+                                                        const stability_options& opt)
+    {
+        engine::snapshot_options sopt;
+        sopt.gmin = opt.gmin;
+        sopt.gshunt = opt.gshunt;
+        sopt.zero_all_sources = true;
+        return engine::linearized_snapshot(c, op, sopt);
+    }
+
+    engine::sweep_engine make_engine(const stability_options& opt)
+    {
+        engine::sweep_engine_options eopt;
+        eopt.threads = opt.threads;
+        eopt.solver = opt.solver;
+        return engine::sweep_engine(eopt);
+    }
+
+} // namespace
 
 stability_analyzer::stability_analyzer(spice::circuit& c, stability_options opt)
     : circuit_(c), opt_(std::move(opt))
@@ -57,28 +81,19 @@ node_stability stability_analyzer::analyze_node(const std::string& node_name)
     const std::vector<real>& op = operating_point();
     const std::vector<real> freqs = opt_.sweep.frequencies();
 
-    // Attach the AC current stimulus to the node (paper section 6), run
-    // the sweep with every other AC source zeroed, then detach.
-    const std::string probe_name = "istab_probe__" + node_name;
-    auto& probe = circuit_.add<spice::isource>(
-        probe_name, spice::ground_node, *node,
-        spice::waveform_spec::make_ac(0.0, opt_.stimulus_amps));
-    std::vector<real> magnitude;
-    try {
-        spice::ac_options ac;
-        ac.solver = opt_.solver;
-        ac.gmin = opt_.gmin;
-        ac.gshunt = opt_.gshunt;
-        ac.exclusive_source = &probe;
-        const spice::ac_result res = spice::ac_sweep(circuit_, freqs, op, ac);
-        magnitude = res.unknown_magnitude(static_cast<std::size_t>(*node));
-        for (real& m : magnitude)
-            m /= opt_.stimulus_amps; // normalize to impedance
-    } catch (...) {
-        circuit_.remove_device(probe_name);
-        throw;
-    }
-    circuit_.remove_device(probe_name);
+    // The paper attaches an AC current stimulus to the node with every
+    // other AC source zeroed; in engine terms that is a single injected
+    // right-hand side against the zero-stimulus snapshot.
+    const engine::linearized_snapshot snap = make_injection_snapshot(circuit_, op, opt_);
+    const std::size_t k = static_cast<std::size_t>(*node);
+
+    std::vector<real> magnitude(freqs.size(), 0.0);
+    make_engine(opt_).run_injections(
+        snap, freqs, {{k, cplx{opt_.stimulus_amps, 0.0}}},
+        [&magnitude, k, this](std::size_t fi, std::size_t, std::vector<cplx>&& sol) {
+            // Normalize to impedance.
+            magnitude[fi] = std::abs(sol[k]) / opt_.stimulus_amps;
+        });
 
     return make_node_result(node_name, freqs, std::move(magnitude));
 }
@@ -89,7 +104,6 @@ stability_report stability_analyzer::analyze_all_nodes()
     circuit_.finalize();
 
     const std::size_t node_count = circuit_.node_count();
-    const std::size_t unknowns = circuit_.unknown_count();
     const std::vector<real> freqs = opt_.sweep.frequencies();
     const std::size_t nf = freqs.size();
 
@@ -97,54 +111,25 @@ stability_report stability_analyzer::analyze_all_nodes()
     if (opt_.skip_forced_nodes)
         forced = circuit_.source_forced_nodes();
 
+    // One unit-current right-hand side per analyzable node: the engine
+    // factors Y(jw) once per frequency and back-solves the whole batch
+    // (algebraically identical to the paper's one-simulation-per-node
+    // loop, orders of magnitude faster), parallel over frequencies on the
+    // shared pool.
+    const engine::linearized_snapshot snap = make_injection_snapshot(circuit_, op, opt_);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < node_count; ++k)
+        if (!forced[k])
+            injections.push_back({k, cplx{1.0, 0.0}}); // unit current into node k
+
     // magnitude[node][freq]
     std::vector<std::vector<real>> magnitude(node_count, std::vector<real>(nf, 0.0));
-
-    const auto solve_band = [&](std::size_t begin, std::size_t end) {
-        std::vector<cplx> rhs(unknowns, cplx{});
-        for (std::size_t fi = begin; fi < end; ++fi) {
-            spice::ac_params p;
-            p.omega = to_omega(freqs[fi]);
-            p.gmin = opt_.gmin;
-            p.zero_all_sources = true;
-
-            spice::system_builder<cplx> b(unknowns);
-            for (const auto& dev : circuit_.devices())
-                dev->stamp_ac(op, p, b);
-            if (opt_.gshunt > 0.0)
-                for (std::size_t i = 0; i < node_count; ++i)
-                    b.add(static_cast<spice::node_id>(i), static_cast<spice::node_id>(i),
-                          cplx{opt_.gshunt, 0.0});
-
-            const spice::factored_system<cplx> fact(b, opt_.solver);
-            for (std::size_t k = 0; k < node_count; ++k) {
-                if (forced[k])
-                    continue;
-                std::fill(rhs.begin(), rhs.end(), cplx{});
-                rhs[k] = cplx{1.0, 0.0}; // unit current injected into node k
-                const std::vector<cplx> sol = fact.solve(rhs);
-                magnitude[k][fi] = std::abs(sol[k]);
-            }
-        }
-    };
-
-    const std::size_t workers = std::max<std::size_t>(1, std::min(opt_.threads, nf));
-    if (workers == 1) {
-        solve_band(0, nf);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        const std::size_t chunk = (nf + workers - 1) / workers;
-        for (std::size_t w = 0; w < workers; ++w) {
-            const std::size_t begin = w * chunk;
-            const std::size_t end = std::min(nf, begin + chunk);
-            if (begin >= end)
-                break;
-            pool.emplace_back(solve_band, begin, end);
-        }
-        for (auto& th : pool)
-            th.join();
-    }
+    make_engine(opt_).run_injections(
+        snap, freqs, injections,
+        [&magnitude, &injections](std::size_t fi, std::size_t ri, std::vector<cplx>&& sol) {
+            const std::size_t k = injections[ri].index;
+            magnitude[k][fi] = std::abs(sol[k]);
+        });
 
     stability_report report;
     for (std::size_t k = 0; k < node_count; ++k) {

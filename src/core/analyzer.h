@@ -4,12 +4,14 @@
 // without modifying anything else — sweeps it over frequency, and builds
 // the node's stability plot with an estimated phase margin.
 //
-// All-nodes mode evaluates every circuit node. Internally it exploits
-// linearity: the complex MNA matrix is factored once per frequency and
-// back-solved with one unit-current right-hand side per node, which is
-// algebraically identical to the paper's one-simulation-per-node loop but
-// orders of magnitude faster. Frequencies are distributed over a thread
-// pool (the paper lists "computer farm run capability" as future work).
+// All-nodes mode evaluates every circuit node. Both modes run through the
+// unified sweep engine (src/engine/): devices are linearized once into a
+// G + jwC snapshot, the complex MNA matrix is factored once per frequency
+// and back-solved with one unit-current right-hand side per node — which
+// is algebraically identical to the paper's one-simulation-per-node loop
+// but orders of magnitude faster — and frequencies are distributed over
+// the shared persistent thread pool (the paper lists "computer farm run
+// capability" as future work).
 #ifndef ACSTAB_CORE_ANALYZER_H
 #define ACSTAB_CORE_ANALYZER_H
 
@@ -35,7 +37,8 @@ struct stability_options {
     /// Node-to-ground regularization so driving-point impedances of
     /// capacitively floating nodes stay finite.
     real gshunt = 1e-9;
-    /// Worker threads for the all-nodes sweep (1 = serial).
+    /// Worker threads for the frequency sweeps (1 = serial, 0 = all
+    /// hardware threads).
     std::size_t threads = 1;
     /// Skip nodes held by ideal voltage sources (their impedance is 0).
     bool skip_forced_nodes = true;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "engine/sweep_engine.h"
 #include "spice/units.h"
 
 namespace acstab::core {
@@ -11,22 +12,29 @@ std::vector<sweep_point_result>
 sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
                 const std::vector<real>& parameter_values, const stability_options& opt)
 {
-    std::vector<sweep_point_result> out;
-    out.reserve(parameter_values.size());
-    for (const real value : parameter_values) {
-        sweep_point_result point;
-        point.parameter = value;
+    // Points run concurrently on the shared pool; the per-point analysis
+    // is forced serial so a corner farm of cheap points does not fight
+    // the frequency-level parallelism for cores.
+    stability_options point_opt = opt;
+    point_opt.threads = 1;
+
+    std::vector<sweep_point_result> out(parameter_values.size());
+    engine::sweep_engine_options eopt;
+    eopt.threads = opt.threads;
+    const engine::sweep_engine eng(eopt);
+    eng.for_each(parameter_values.size(), [&](std::size_t i) {
+        sweep_point_result& point = out[i];
+        point.parameter = parameter_values[i];
         spice::circuit c;
-        const std::string node = factory(c, value);
+        const std::string node = factory(c, parameter_values[i]);
         try {
-            stability_analyzer an(c, opt);
+            stability_analyzer an(c, point_opt);
             point.node = an.analyze_node(node);
         } catch (const convergence_error&) {
             point.dc_converged = false;
             point.node.node = node;
         }
-        out.push_back(std::move(point));
-    }
+    });
     return out;
 }
 

@@ -24,6 +24,12 @@ struct sweep_point_result {
 /// Build-and-analyze at each parameter value. The factory receives the
 /// parameter value and must populate a fresh circuit, returning the name
 /// of the node to watch. DC non-convergence is recorded, not thrown.
+///
+/// Parameter points are dispatched onto the shared sweep-engine pool
+/// (opt.threads workers; each point's inner frequency sweep then runs
+/// serially to avoid oversubscription). Results are slotted by index, so
+/// ordering is deterministic regardless of scheduling. The factory must
+/// be thread-safe when opt.threads != 1.
 [[nodiscard]] std::vector<sweep_point_result>
 sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
                 const std::vector<real>& parameter_values, const stability_options& opt = {});

@@ -1,0 +1,186 @@
+#include "engine/sweep_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/error.h"
+#include "engine/thread_pool.h"
+#include "numeric/lu.h"
+#include "numeric/sparse_lu.h"
+
+namespace acstab::engine {
+
+namespace {
+
+    /// Relative infinity-norm residual of Y x = b (0 when b is zero).
+    real relative_residual(const numeric::csc_matrix<cplx>& y, const std::vector<cplx>& x,
+                           const std::vector<cplx>& b)
+    {
+        const std::vector<cplx> yx = y.multiply(x);
+        real rnorm = 0.0;
+        real bnorm = 0.0;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            rnorm = std::max(rnorm, std::abs(yx[i] - b[i]));
+            bnorm = std::max(bnorm, std::abs(b[i]));
+        }
+        return bnorm > 0.0 ? rnorm / bnorm : 0.0;
+    }
+
+    /// Per-worker solver state: a pattern workspace plus a factorization
+    /// that is refactored in place frequency to frequency.
+    class chunk_solver {
+    public:
+        /// omega_ref seeds the symbolic analysis and pivot order that
+        /// refactor() reuses; the chunk's middle frequency serves both
+        /// ends of a log-spaced range far better than its first point.
+        chunk_solver(const linearized_snapshot& snap, const sweep_engine_options& opt,
+                     real omega_ref)
+            : snap_(snap), opt_(opt), work_(snap.make_workspace())
+        {
+            if (opt_.solver == spice::solver_kind::sparse) {
+                snap_.assemble(omega_ref, work_);
+                fresh_factor();
+            }
+        }
+
+        /// Factor Y(j w); returns false only if the matrix is singular
+        /// (which throws, matching the direct path).
+        void factor(real omega)
+        {
+            snap_.assemble(omega, work_);
+            if (opt_.solver == spice::solver_kind::dense) {
+                dense_.emplace(work_.to_dense());
+                return;
+            }
+            try {
+                sparse_->refactor(work_);
+                refactored_ = true;
+            } catch (const numeric_error&) {
+                // Zero pivot under the reused pivot order; fall back.
+                fresh_factor();
+            }
+        }
+
+        [[nodiscard]] std::vector<cplx> solve(const std::vector<cplx>& rhs)
+        {
+            if (dense_)
+                return dense_->solve(rhs);
+            std::vector<cplx> x = sparse_->solve(rhs);
+            if (refactored_) {
+                // Guard the reused pivots once per frequency: far from the
+                // symbolic reference frequency they can lose accuracy.
+                refactored_ = false;
+                if (relative_residual(work_, x, rhs) > opt_.refactor_guard_tol) {
+                    fresh_factor();
+                    x = sparse_->solve(rhs);
+                }
+            }
+            return x;
+        }
+
+    private:
+        void fresh_factor()
+        {
+            numeric::sparse_lu<cplx>::options lu_opt;
+            lu_opt.prepare_refactor = true;
+            sparse_.emplace(work_, lu_opt);
+            refactored_ = false;
+        }
+
+        const linearized_snapshot& snap_;
+        const sweep_engine_options& opt_;
+        numeric::csc_matrix<cplx> work_;
+        std::optional<numeric::sparse_lu<cplx>> sparse_;
+        std::optional<numeric::lu_decomposition<cplx>> dense_;
+        bool refactored_ = false;
+    };
+
+} // namespace
+
+sweep_engine::sweep_engine(sweep_engine_options opt) : opt_(opt) {}
+
+std::size_t sweep_engine::resolved_threads() const noexcept
+{
+    return opt_.threads == 0 ? thread_pool::hardware_threads() : opt_.threads;
+}
+
+namespace {
+
+    /// Shared chunked sweep: get_rhs(ri, scratch) returns right-hand side
+    /// ri, materializing it into the worker-local scratch buffer only
+    /// when it is not already stored densely.
+    void run_chunks(const linearized_snapshot& snap, const sweep_engine_options& opt,
+                    std::size_t threads, const std::vector<real>& freqs_hz, std::size_t nrhs,
+                    const std::function<const std::vector<cplx>&(std::size_t,
+                                                                 std::vector<cplx>&)>& get_rhs,
+                    const sweep_engine::sink& out)
+    {
+        if (freqs_hz.empty())
+            throw analysis_error("sweep engine: empty frequency list");
+        for (const real f : freqs_hz)
+            if (!(f > 0.0))
+                throw analysis_error("sweep engine: frequencies must be positive");
+        if (nrhs == 0)
+            return;
+
+        // Balanced contiguous partition: exactly `workers` chunks, sizes
+        // differing by at most one (a ceil-sized chunk count would leave
+        // part of the thread budget idle).
+        const std::size_t nf = freqs_hz.size();
+        const std::size_t workers = std::max<std::size_t>(1, std::min(threads, nf));
+        const std::size_t base = nf / workers;
+        const std::size_t rem = nf % workers;
+
+        thread_pool::shared().parallel_for(workers, workers, [&](std::size_t w) {
+            const std::size_t begin = w * base + std::min(w, rem);
+            const std::size_t end = begin + base + (w < rem ? 1 : 0);
+            chunk_solver solver(snap, opt, to_omega(freqs_hz[begin + (end - begin) / 2]));
+            std::vector<cplx> scratch(snap.size());
+            for (std::size_t fi = begin; fi < end; ++fi) {
+                solver.factor(to_omega(freqs_hz[fi]));
+                for (std::size_t ri = 0; ri < nrhs; ++ri)
+                    out(fi, ri, solver.solve(get_rhs(ri, scratch)));
+            }
+        });
+    }
+
+} // namespace
+
+void sweep_engine::run(const linearized_snapshot& snap, const std::vector<real>& freqs_hz,
+                       const std::vector<std::vector<cplx>>& rhs_batch, const sink& out) const
+{
+    for (const std::vector<cplx>& rhs : rhs_batch)
+        if (rhs.size() != snap.size())
+            throw analysis_error("sweep engine: right-hand side has wrong length");
+    run_chunks(snap, opt_, resolved_threads(), freqs_hz, rhs_batch.size(),
+               [&rhs_batch](std::size_t ri, std::vector<cplx>&) -> const std::vector<cplx>& {
+                   return rhs_batch[ri];
+               },
+               out);
+}
+
+void sweep_engine::run_injections(const linearized_snapshot& snap,
+                                  const std::vector<real>& freqs_hz,
+                                  const std::vector<injection>& injections,
+                                  const sink& out) const
+{
+    for (const injection& inj : injections)
+        if (inj.index >= snap.size())
+            throw analysis_error("sweep engine: injection index out of range");
+    run_chunks(snap, opt_, resolved_threads(), freqs_hz, injections.size(),
+               [&injections](std::size_t ri,
+                             std::vector<cplx>& scratch) -> const std::vector<cplx>& {
+                   std::fill(scratch.begin(), scratch.end(), cplx{});
+                   scratch[injections[ri].index] = injections[ri].value;
+                   return scratch;
+               },
+               out);
+}
+
+void sweep_engine::for_each(std::size_t count, const std::function<void(std::size_t)>& fn) const
+{
+    thread_pool::shared().parallel_for(count, std::max<std::size_t>(1, resolved_threads()), fn);
+}
+
+} // namespace acstab::engine

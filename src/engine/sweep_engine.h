@@ -1,0 +1,87 @@
+// The unified small-signal sweep engine.
+//
+// One executor behind every frequency-domain analysis (ac, stability
+// single-node and all-nodes, loop gain, in-tool parameter sweeps):
+//
+//   * the frequency grid is partitioned into contiguous chunks dispatched
+//     on the shared thread_pool (deterministic partition for a given
+//     thread count, so results are reproducible run to run);
+//   * per frequency the linearized snapshot is assembled into a
+//     worker-local CSC workspace and factored ONCE; the first frequency a
+//     worker sees pays the full symbolic+numeric factorization, later
+//     frequencies reuse the pattern through sparse_lu::refactor with a
+//     residual guard that falls back to a fresh factorization;
+//   * an arbitrary batch of right-hand sides is back-solved per point —
+//     the paper's one-stimulus-per-node loop becomes one factorization
+//     plus N back-solves.
+//
+// for_each() exposes the same pool for coarse-grained parameter-point
+// dispatch (corner/TEMP sweeps), with results slotted by index so
+// ordering stays deterministic regardless of scheduling.
+#ifndef ACSTAB_ENGINE_SWEEP_ENGINE_H
+#define ACSTAB_ENGINE_SWEEP_ENGINE_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "engine/linearized_snapshot.h"
+#include "spice/mna.h"
+
+namespace acstab::engine {
+
+struct sweep_engine_options {
+    /// Worker threads (1 = serial on the calling thread, 0 = all hardware
+    /// threads).
+    std::size_t threads = 1;
+    spice::solver_kind solver = spice::solver_kind::sparse;
+    /// Relative residual above which a refactored system is re-factored
+    /// from scratch (guards the reused pivot order far from the symbolic
+    /// reference frequency).
+    real refactor_guard_tol = 1e-10;
+};
+
+class sweep_engine {
+public:
+    explicit sweep_engine(sweep_engine_options opt = {});
+
+    [[nodiscard]] const sweep_engine_options& options() const noexcept { return opt_; }
+
+    /// Threads this engine will actually use.
+    [[nodiscard]] std::size_t resolved_threads() const noexcept;
+
+    /// Called once per (frequency index, rhs index) pair with the solved
+    /// unknown vector. May be invoked concurrently from pool workers, but
+    /// each (fi, ri) slot exactly once — writing disjoint output slots
+    /// needs no locking.
+    using sink = std::function<void(std::size_t fi, std::size_t ri, std::vector<cplx>&& sol)>;
+
+    /// Solve Y(j 2 pi f) x = rhs for every sweep frequency and every
+    /// right-hand side in the batch.
+    void run(const linearized_snapshot& snap, const std::vector<real>& freqs_hz,
+             const std::vector<std::vector<cplx>>& rhs_batch, const sink& out) const;
+
+    /// A single-entry right-hand side: `value` injected at one unknown
+    /// (the stability sweeps' unit-current stimuli). Workers expand these
+    /// into one reused buffer, so a batch of N injections costs O(n)
+    /// memory instead of the O(N * n) of dense rhs vectors.
+    struct injection {
+        std::size_t index = 0;
+        cplx value{1.0, 0.0};
+    };
+
+    /// run() with one sparse injection per right-hand side.
+    void run_injections(const linearized_snapshot& snap, const std::vector<real>& freqs_hz,
+                        const std::vector<injection>& injections, const sink& out) const;
+
+    /// Dispatch fn(0..count-1) on the shared pool (at most resolved_threads
+    /// in flight). Used for parameter-point sweeps; fn must be thread-safe.
+    void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+private:
+    sweep_engine_options opt_;
+};
+
+} // namespace acstab::engine
+
+#endif // ACSTAB_ENGINE_SWEEP_ENGINE_H

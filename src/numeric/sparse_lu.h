@@ -29,6 +29,11 @@ public:
         /// Factor columns in ascending nonzero-count order (cheap
         /// fill-reducing heuristic).
         bool order_columns = true;
+        /// Keep the full symbolic reach in L/U (even entries that are
+        /// numerically zero at factorization time) so refactor() can reuse
+        /// the pattern for a matrix with the same structure but different
+        /// values. Costs a few explicit zeros; required before refactor().
+        bool prepare_refactor = false;
     };
 
     explicit sparse_lu(const csc_matrix<T>& a, options opt = {}) : n_(a.cols())
@@ -74,6 +79,54 @@ public:
         for (std::size_t c = 0; c < n_; ++c)
             x[q_[c]] = y[c];
         return x;
+    }
+
+    /// Recompute the numeric factorization for a matrix with the SAME
+    /// sparsity pattern as the one originally factored, reusing the pivot
+    /// order and the symbolic L/U structure (no search, no allocation).
+    /// Requires options::prepare_refactor at construction. Throws
+    /// numeric_error on an exactly-zero pivot; the factorization is then
+    /// in an undefined state and must be rebuilt from scratch.
+    void refactor(const csc_matrix<T>& a)
+    {
+        if (!refactor_ready_)
+            throw numeric_error("sparse_lu: refactor requires prepare_refactor");
+        if (a.rows() != n_ || a.cols() != n_)
+            throw numeric_error("sparse_lu: refactor size mismatch");
+        // Work in pivot space: w[pinv_[row]] accumulates the current
+        // column; every position touched lies in the stored L/U pattern
+        // and is cleared as it is consumed, keeping w all-zero between
+        // columns.
+        std::vector<T>& w = refactor_work_;
+        w.assign(n_, T{});
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t col = q_[k];
+            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
+                w[pinv_[a.row_idx()[p]]] += a.values()[p];
+            // Left-looking update: consume U rows in ascending pivot order
+            // (sorted by factor() when prepare_refactor is set).
+            const std::size_t ulast = ucol_ptr_[k + 1] - 1;
+            for (std::size_t p = ucol_ptr_[k]; p < ulast; ++p) {
+                const std::size_t j = urow_[p];
+                const T wj = w[j];
+                uval_[p] = wj;
+                w[j] = T{};
+                if (wj == T{})
+                    continue;
+                for (std::size_t q = lcol_ptr_[j]; q < lcol_ptr_[j + 1]; ++q)
+                    w[lrow_[q]] -= lval_[q] * wj;
+            }
+            const T pivot = w[k];
+            w[k] = T{};
+            if (pivot == T{})
+                throw numeric_error("sparse_lu: refactor hit a zero pivot at column "
+                                    + std::to_string(col));
+            uval_[ulast] = pivot;
+            for (std::size_t p = lcol_ptr_[k]; p < lcol_ptr_[k + 1]; ++p) {
+                lval_[p] = w[lrow_[p]] / pivot;
+                w[lrow_[p]] = T{};
+            }
+        }
     }
 
 private:
@@ -178,10 +231,12 @@ private:
             const T pivot = x[static_cast<std::size_t>(ipiv)];
 
             // Emit U(:, k): previously pivotal rows plus the diagonal last.
+            // prepare_refactor keeps numerically-zero reach entries so the
+            // emitted pattern is purely symbolic (value-independent).
             for (const std::size_t i : postorder) {
                 if (pinv[i] == unset)
                     continue;
-                if (x[i] != T{}) {
+                if (opt.prepare_refactor || x[i] != T{}) {
                     urow_.push_back(static_cast<std::size_t>(pinv[i]));
                     uval_.push_back(x[i]);
                 }
@@ -193,7 +248,7 @@ private:
             // Emit L(:, k) scaled by the pivot (unit diagonal implicit).
             pinv[static_cast<std::size_t>(ipiv)] = static_cast<std::ptrdiff_t>(k);
             for (const std::size_t i : postorder) {
-                if (pinv[i] == unset && x[i] != T{}) {
+                if (pinv[i] == unset && (opt.prepare_refactor || x[i] != T{})) {
                     lrow_.push_back(i);
                     lval_.push_back(x[i] / pivot);
                 }
@@ -208,6 +263,26 @@ private:
             pinv_[i] = static_cast<std::size_t>(pinv[i]);
         for (auto& r : lrow_)
             r = pinv_[r];
+
+        if (opt.prepare_refactor) {
+            // refactor() consumes each U column in ascending pivot order;
+            // sort the off-diagonal entries (solve order is insensitive).
+            std::vector<std::pair<std::size_t, T>> col;
+            for (std::size_t k = 0; k < n_; ++k) {
+                const std::size_t begin = ucol_ptr_[k];
+                const std::size_t last = ucol_ptr_[k + 1] - 1;
+                col.clear();
+                for (std::size_t p = begin; p < last; ++p)
+                    col.emplace_back(urow_[p], uval_[p]);
+                std::sort(col.begin(), col.end(),
+                          [](const auto& a, const auto& b) { return a.first < b.first; });
+                for (std::size_t p = begin; p < last; ++p) {
+                    urow_[p] = col[p - begin].first;
+                    uval_[p] = col[p - begin].second;
+                }
+            }
+            refactor_ready_ = true;
+        }
     }
 
     std::size_t n_ = 0;
@@ -217,6 +292,8 @@ private:
     std::vector<T> uval_;
     std::vector<std::size_t> pinv_; // original row -> pivot position
     std::vector<std::size_t> q_;    // pivot step -> original column
+    bool refactor_ready_ = false;
+    std::vector<T> refactor_work_;
 };
 
 } // namespace acstab::numeric

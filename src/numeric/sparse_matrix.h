@@ -90,6 +90,18 @@ public:
             col_ptr_[c + 1] += col_ptr_[c];
     }
 
+    /// Assemble directly from a known sparsity pattern and aligned values
+    /// (the sweep engine refills one shared pattern at every frequency).
+    csc_matrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> col_ptr,
+               std::vector<std::size_t> row_idx, std::vector<T> values)
+        : rows_(rows), cols_(cols), col_ptr_(std::move(col_ptr)), row_idx_(std::move(row_idx)),
+          values_(std::move(values))
+    {
+        if (col_ptr_.size() != cols_ + 1 || row_idx_.size() != values_.size()
+            || col_ptr_.back() != values_.size())
+            throw numeric_error("csc: inconsistent pattern arrays");
+    }
+
     [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
     [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
@@ -97,6 +109,18 @@ public:
     [[nodiscard]] const std::vector<std::size_t>& col_ptr() const noexcept { return col_ptr_; }
     [[nodiscard]] const std::vector<std::size_t>& row_idx() const noexcept { return row_idx_; }
     [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+
+    /// Mutable value storage for in-place refills of a fixed pattern.
+    [[nodiscard]] std::vector<T>& values_mut() noexcept { return values_; }
+
+    [[nodiscard]] dense_matrix<T> to_dense() const
+    {
+        dense_matrix<T> d(rows_, cols_);
+        for (std::size_t c = 0; c < cols_; ++c)
+            for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
+                d(row_idx_[k], c) += values_[k];
+        return d;
+    }
 
     [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const
     {

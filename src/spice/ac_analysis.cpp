@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "engine/linearized_snapshot.h"
+#include "engine/sweep_engine.h"
+
 namespace acstab::spice {
 
 std::vector<cplx> ac_result::unknown_response(std::size_t index) const
@@ -26,33 +29,30 @@ ac_result ac_sweep(circuit& c, const std::vector<real>& freqs_hz, const std::vec
     c.finalize();
     if (freqs_hz.empty())
         throw analysis_error("ac sweep: empty frequency list");
+    for (const real f : freqs_hz)
+        if (!(f > 0.0))
+            throw analysis_error("ac sweep: frequencies must be positive");
     if (op.size() != c.unknown_count())
         throw analysis_error("ac sweep: operating point has wrong size");
 
-    const std::size_t n = c.unknown_count();
-    const std::size_t nodes = c.node_count();
+    engine::snapshot_options sopt;
+    sopt.gmin = opt.gmin;
+    sopt.gshunt = opt.gshunt;
+    sopt.exclusive_source = opt.exclusive_source;
+    const engine::linearized_snapshot snap(c, op, sopt);
+
+    engine::sweep_engine_options eopt;
+    eopt.threads = opt.threads;
+    eopt.solver = opt.solver;
+    const engine::sweep_engine eng(eopt);
 
     ac_result res;
     res.freq_hz = freqs_hz;
-    res.solution.reserve(freqs_hz.size());
-
-    for (const real f : freqs_hz) {
-        if (!(f > 0.0))
-            throw analysis_error("ac sweep: frequencies must be positive");
-        ac_params p;
-        p.omega = to_omega(f);
-        p.gmin = opt.gmin;
-        p.exclusive_source = opt.exclusive_source;
-
-        system_builder<cplx> b(n);
-        for (const auto& dev : c.devices())
-            dev->stamp_ac(op, p, b);
-        if (opt.gshunt > 0.0)
-            for (std::size_t i = 0; i < nodes; ++i)
-                b.add(static_cast<node_id>(i), static_cast<node_id>(i), cplx{opt.gshunt, 0.0});
-
-        res.solution.push_back(solve_system(b, opt.solver));
-    }
+    res.solution.resize(freqs_hz.size());
+    eng.run(snap, freqs_hz, {snap.stimulus_rhs()},
+            [&res](std::size_t fi, std::size_t, std::vector<cplx>&& sol) {
+                res.solution[fi] = std::move(sol);
+            });
     return res;
 }
 

@@ -1,5 +1,8 @@
-// Small-signal AC analysis: linearize every device at the DC operating
-// point and solve the complex MNA system at each sweep frequency.
+// Small-signal AC analysis: linearize every device ONCE at the DC
+// operating point (engine::linearized_snapshot) and solve the complex MNA
+// system at each sweep frequency through the shared sweep engine, which
+// reuses one sparsity pattern, refactors numerically between frequencies
+// and distributes the grid over the process-wide thread pool.
 #ifndef ACSTAB_SPICE_AC_ANALYSIS_H
 #define ACSTAB_SPICE_AC_ANALYSIS_H
 
@@ -21,6 +24,8 @@ struct ac_options {
     /// When non-null, AC stimuli of all other sources are zeroed (the
     /// paper's auto-zero feature); this one drives the circuit alone.
     const device* exclusive_source = nullptr;
+    /// Worker threads for the sweep (1 = serial, 0 = all hardware threads).
+    std::size_t threads = 1;
 };
 
 /// Complex response of every MNA unknown over a frequency sweep.

@@ -53,7 +53,9 @@ int cmd_ac(spice::circuit& c, const cli_options& opt)
     const std::vector<real> freqs
         = numeric::log_space(opt.fstart, opt.fstop,
                              sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
-    const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution);
+    spice::ac_options aopt;
+    aopt.threads = opt.threads;
+    const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution, aopt);
     const std::vector<cplx> h = spice::node_response(c, res, opt.node);
     const std::vector<real> mag_db = spice::db20(h);
     const std::vector<real> phase = spice::phase_deg_unwrapped(h);
@@ -154,7 +156,10 @@ int cmd_loopgain(spice::circuit& c, const cli_options& opt)
     const std::vector<real> freqs
         = numeric::log_space(opt.fstart, opt.fstop,
                              sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
-    const analysis::loop_gain_result lg = analysis::measure_loop_gain(c, opt.probe, freqs);
+    analysis::loop_gain_options lopt;
+    lopt.threads = opt.threads;
+    const analysis::loop_gain_result lg
+        = analysis::measure_loop_gain(c, opt.probe, freqs, lopt);
     if (opt.csv) {
         std::puts("freq_hz,t_mag_db,t_phase_deg");
         const std::vector<real> db = spice::db20(lg.t);
@@ -239,7 +244,7 @@ void print_usage()
     std::puts("  run         execute the netlist's analysis cards");
     std::puts("options:");
     std::puts("  --node NAME --all --probe NAME --fstart HZ --fstop HZ --ppd N");
-    std::puts("  --tstop S --dt S --threads N --csv --annotate");
+    std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
 }
 
 } // namespace

@@ -17,6 +17,8 @@ struct cli_options {
     std::size_t ppd = 50;
     real tstop = 0.0;
     real dt = 0.0;
+    /// Worker threads for frequency-domain sweeps (1 = serial, 0 = all
+    /// hardware threads).
     std::size_t threads = 1;
     bool csv = false;
     bool annotate = false;

@@ -49,24 +49,27 @@ loop_gain_result measure_loop_gain(spice::circuit& c, const std::string& probe_v
     out.tv.resize(freqs_hz.size());
     out.ti.resize(freqs_hz.size());
     out.t.resize(freqs_hz.size());
-    std::vector<std::vector<cplx>> run_v(freqs_hz.size());
-    std::vector<std::vector<cplx>> run_i(freqs_hz.size());
+    // Only three solution entries matter; extract them in the sink
+    // instead of copying whole solution vectors out of the engine.
+    std::vector<cplx> vx(freqs_hz.size()), vy(freqs_hz.size()), ii(freqs_hz.size());
     eng.run_injections(snap, freqs_hz,
                        {{branch, cplx{1.0, 0.0}},
                         {static_cast<std::size_t>(node_y), cplx{1.0, 0.0}}},
-                       [&run_v, &run_i](std::size_t fi, std::size_t ri,
-                                        std::vector<cplx>&& sol) {
-                           (ri == 0 ? run_v : run_i)[fi] = std::move(sol);
+                       [&vx, &vy, &ii, node_x, node_y, branch](std::size_t fi, std::size_t ri,
+                                                               std::span<const cplx> sol) {
+                           if (ri == 0) {
+                               vx[fi] = sol[static_cast<std::size_t>(node_x)];
+                               vy[fi] = sol[static_cast<std::size_t>(node_y)];
+                           } else {
+                               ii[fi] = sol[branch];
+                           }
                        });
 
     for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
-        const cplx vx = run_v[k][static_cast<std::size_t>(node_x)];
-        const cplx vy = run_v[k][static_cast<std::size_t>(node_y)];
-        const cplx tv = -vx / vy;
+        const cplx tv = -vx[k] / vy[k];
         // Probe branch current flows plus(x) -> minus(y); with 1 A pushed
         // into y, the B-side current is i + 1.
-        const cplx i = run_i[k][branch];
-        const cplx ti = -i / (i + cplx{1.0, 0.0});
+        const cplx ti = -ii[k] / (ii[k] + cplx{1.0, 0.0});
         out.tv[k] = tv;
         out.ti[k] = ti;
         out.t[k] = (tv * ti - cplx{1.0, 0.0}) / (tv + ti + cplx{2.0, 0.0});

@@ -90,7 +90,7 @@ node_stability stability_analyzer::analyze_node(const std::string& node_name)
     std::vector<real> magnitude(freqs.size(), 0.0);
     make_engine(opt_).run_injections(
         snap, freqs, {{k, cplx{opt_.stimulus_amps, 0.0}}},
-        [&magnitude, k, this](std::size_t fi, std::size_t, std::vector<cplx>&& sol) {
+        [&magnitude, k, this](std::size_t fi, std::size_t, std::span<const cplx> sol) {
             // Normalize to impedance.
             magnitude[fi] = std::abs(sol[k]) / opt_.stimulus_amps;
         });
@@ -126,7 +126,7 @@ stability_report stability_analyzer::analyze_all_nodes()
     std::vector<std::vector<real>> magnitude(node_count, std::vector<real>(nf, 0.0));
     make_engine(opt_).run_injections(
         snap, freqs, injections,
-        [&magnitude, &injections](std::size_t fi, std::size_t ri, std::vector<cplx>&& sol) {
+        [&magnitude, &injections](std::size_t fi, std::size_t ri, std::span<const cplx> sol) {
             const std::size_t k = injections[ri].index;
             magnitude[k][fi] = std::abs(sol[k]);
         });

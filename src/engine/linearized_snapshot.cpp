@@ -87,4 +87,17 @@ void linearized_snapshot::assemble(real omega, numeric::csc_matrix<cplx>& out) c
         v[k] = gvals_[k] + omega * bvals_[k];
 }
 
+std::shared_ptr<const numeric::symbolic_lu<cplx>>
+linearized_snapshot::shared_symbolic(real omega_ref) const
+{
+    const std::lock_guard<std::mutex> lock(symbolic_mutex_);
+    if (symbolic_ == nullptr || symbolic_omega_ != omega_ref) {
+        numeric::csc_matrix<cplx> work = make_workspace();
+        assemble(omega_ref, work);
+        symbolic_ = std::make_shared<const numeric::symbolic_lu<cplx>>(work);
+        symbolic_omega_ = omega_ref;
+    }
+    return symbolic_;
+}
+
 } // namespace acstab::engine

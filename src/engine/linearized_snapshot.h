@@ -21,9 +21,12 @@
 #define ACSTAB_ENGINE_LINEARIZED_SNAPSHOT_H
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
+#include "numeric/sparse_factor.h"
 #include "numeric/sparse_matrix.h"
 #include "spice/circuit.h"
 
@@ -62,6 +65,14 @@ public:
     /// Fill `out` (a workspace from make_workspace()) with Y(j w).
     void assemble(real omega, numeric::csc_matrix<cplx>& out) const;
 
+    /// The shared symbolic LU of this snapshot's pattern: pivot order and
+    /// L/U structure chosen from the values at omega_ref, computed lazily
+    /// once and handed to every sweep worker (which then only refactors
+    /// numerically). Thread-safe; the returned object is immutable. A
+    /// request at a different omega_ref replaces the cached object.
+    [[nodiscard]] std::shared_ptr<const numeric::symbolic_lu<cplx>>
+    shared_symbolic(real omega_ref) const;
+
 private:
     std::size_t n_ = 0;
     std::size_t nodes_ = 0;
@@ -70,6 +81,10 @@ private:
     std::vector<cplx> gvals_; ///< frequency-independent part (w = 0 stamps)
     std::vector<cplx> bvals_; ///< per-rad/s part: Y = gvals + omega * bvals
     std::vector<cplx> rhs_;
+
+    mutable std::mutex symbolic_mutex_;
+    mutable std::shared_ptr<const numeric::symbolic_lu<cplx>> symbolic_;
+    mutable real symbolic_omega_ = -1.0;
 };
 
 } // namespace acstab::engine

@@ -2,50 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <optional>
 
 #include "common/error.h"
 #include "engine/thread_pool.h"
 #include "numeric/lu.h"
-#include "numeric/sparse_lu.h"
+#include "numeric/sparse_factor.h"
 
 namespace acstab::engine {
 
 namespace {
 
-    /// Relative infinity-norm residual of Y x = b (0 when b is zero).
-    real relative_residual(const numeric::csc_matrix<cplx>& y, const std::vector<cplx>& x,
-                           const std::vector<cplx>& b)
-    {
-        const std::vector<cplx> yx = y.multiply(x);
-        real rnorm = 0.0;
-        real bnorm = 0.0;
-        for (std::size_t i = 0; i < b.size(); ++i) {
-            rnorm = std::max(rnorm, std::abs(yx[i] - b[i]));
-            bnorm = std::max(bnorm, std::abs(b[i]));
-        }
-        return bnorm > 0.0 ? rnorm / bnorm : 0.0;
-    }
-
-    /// Per-worker solver state: a pattern workspace plus a factorization
-    /// that is refactored in place frequency to frequency.
+    /// Per-worker solver state: a pattern workspace plus a numeric
+    /// factorization refactored in place frequency to frequency against a
+    /// symbolic object that is either shared across all workers or local
+    /// to the chunk. The steady-state factor/solve loop performs no heap
+    /// allocations; only the fresh-factor fallback (stale pivot order)
+    /// allocates, and only when it actually triggers.
     class chunk_solver {
     public:
-        /// omega_ref seeds the symbolic analysis and pivot order that
-        /// refactor() reuses; the chunk's middle frequency serves both
-        /// ends of a log-spaced range far better than its first point.
+        /// With a shared symbolic object the chunk skips its own symbolic
+        /// pass entirely. Otherwise omega_ref seeds a local analysis; the
+        /// chunk's middle frequency serves both ends of a log-spaced
+        /// range far better than its first point.
         chunk_solver(const linearized_snapshot& snap, const sweep_engine_options& opt,
-                     real omega_ref)
+                     real omega_ref, std::shared_ptr<const numeric::symbolic_lu<cplx>> shared)
             : snap_(snap), opt_(opt), work_(snap.make_workspace())
         {
             if (opt_.solver == spice::solver_kind::sparse) {
-                snap_.assemble(omega_ref, work_);
-                fresh_factor();
+                if (shared != nullptr) {
+                    sym_ = std::move(shared);
+                    num_.emplace(sym_);
+                } else {
+                    snap_.assemble(omega_ref, work_);
+                    fresh_factor();
+                }
+                probe_b_.assign(snap_.size(), cplx{1.0, 0.0});
+                probe_x_.resize(snap_.size());
+                probe_r_.resize(snap_.size());
             }
         }
 
-        /// Factor Y(j w); returns false only if the matrix is singular
-        /// (which throws, matching the direct path).
+        /// Factor Y(j w). Throws numeric_error only if the matrix is
+        /// singular under every pivot order (matching the direct path).
         void factor(real omega)
         {
             snap_.assemble(omega, work_);
@@ -54,46 +55,90 @@ namespace {
                 return;
             }
             try {
-                sparse_->refactor(work_);
-                refactored_ = true;
+                num_->refactor(work_);
             } catch (const numeric_error&) {
-                // Zero pivot under the reused pivot order; fall back.
+                // Exact zero pivot under the reused order; re-pivot from
+                // the current values. A fresh factorization chooses its
+                // pivots from this very matrix, so no guard is needed.
                 fresh_factor();
+                return;
             }
+            // Two-tier guard, at factor time, so every right-hand side of
+            // the batch — not just the first — sees a validated
+            // factorization. Tier 1 is free: the element growth computed
+            // from the refactored values witnesses a stale pivot order.
+            // Only when it looks suspicious does tier 2 solve a dense
+            // all-ones probe (it excites every column, unlike a sparse
+            // user RHS) and measure its backward error with an in-place
+            // SpMV. The witness reads final L/U maxima, so growth that
+            // cancels back down within a column can pass unprobed — the
+            // accepted tradeoff for keeping the per-frequency loop free
+            // of an unconditional extra solve; lower refactor_growth_limit
+            // (0 probes every frequency) to trade speed back for paranoia.
+            if (num_->growth() > opt_.refactor_growth_limit
+                && probe_residual() > opt_.refactor_guard_tol)
+                fresh_factor();
         }
 
-        [[nodiscard]] std::vector<cplx> solve(const std::vector<cplx>& rhs)
+        /// Back-solve a batch of right-hand sides against the current
+        /// factorization; x is column-major n*nrhs (see
+        /// numeric_lu::solve_batch for the aliasing contract).
+        void solve_batch(const cplx* const* b, std::size_t nrhs, cplx* x)
         {
-            if (dense_)
-                return dense_->solve(rhs);
-            std::vector<cplx> x = sparse_->solve(rhs);
-            if (refactored_) {
-                // Guard the reused pivots once per frequency: far from the
-                // symbolic reference frequency they can lose accuracy.
-                refactored_ = false;
-                if (relative_residual(work_, x, rhs) > opt_.refactor_guard_tol) {
-                    fresh_factor();
-                    x = sparse_->solve(rhs);
+            if (dense_) {
+                // Reference path; allocation-freedom is not a goal here.
+                const std::size_t n = snap_.size();
+                for (std::size_t r = 0; r < nrhs; ++r) {
+                    const std::vector<cplx> rhs(b[r], b[r] + n);
+                    const std::vector<cplx> sol = dense_->solve(rhs);
+                    std::copy(sol.begin(), sol.end(), x + r * n);
                 }
+                return;
             }
-            return x;
+            num_->solve_batch(b, nrhs, x);
         }
 
     private:
+        /// Normwise backward error of Y x = 1 for the all-ones probe:
+        /// ||Y x - b||_inf / (||Y||_max ||x||_inf + ||b||_inf), so the
+        /// threshold is meaningful for badly scaled circuits (milliohm
+        /// branches, gigaohm nodes) where an absolute residual would trip
+        /// on every frequency. Allocation-free; runs only when the growth
+        /// witness already flagged the factorization.
+        [[nodiscard]] real probe_residual()
+        {
+            std::copy(probe_b_.begin(), probe_b_.end(), probe_x_.begin());
+            num_->solve_in_place(probe_x_.data());
+            work_.multiply_into(probe_x_, probe_r_);
+            real residual = 0.0;
+            real xmax = 0.0;
+            for (std::size_t i = 0; i < probe_r_.size(); ++i) {
+                residual = std::max(residual, std::abs(probe_r_[i] - probe_b_[i]));
+                xmax = std::max(xmax, std::abs(probe_x_[i]));
+            }
+            real ymax = 0.0;
+            for (const cplx& v : work_.values())
+                ymax = std::max(ymax, std::abs(v));
+            return residual / (ymax * xmax + 1.0);
+        }
+
         void fresh_factor()
         {
-            numeric::sparse_lu<cplx>::options lu_opt;
-            lu_opt.prepare_refactor = true;
-            sparse_.emplace(work_, lu_opt);
-            refactored_ = false;
+            // Adopt the seed values the pivot-selecting analysis computes
+            // anyway instead of repeating the numeric elimination.
+            numeric::symbolic_lu<cplx>::factor_values seed;
+            sym_ = std::make_shared<const numeric::symbolic_lu<cplx>>(
+                work_, numeric::symbolic_lu<cplx>::options{}, &seed);
+            num_.emplace(sym_, std::move(seed));
         }
 
         const linearized_snapshot& snap_;
         const sweep_engine_options& opt_;
         numeric::csc_matrix<cplx> work_;
-        std::optional<numeric::sparse_lu<cplx>> sparse_;
+        std::shared_ptr<const numeric::symbolic_lu<cplx>> sym_;
+        std::optional<numeric::numeric_lu<cplx>> num_;
         std::optional<numeric::lu_decomposition<cplx>> dense_;
-        bool refactored_ = false;
+        std::vector<cplx> probe_b_, probe_x_, probe_r_;
     };
 
 } // namespace
@@ -107,14 +152,19 @@ std::size_t sweep_engine::resolved_threads() const noexcept
 
 namespace {
 
-    /// Shared chunked sweep: get_rhs(ri, scratch) returns right-hand side
-    /// ri, materializing it into the worker-local scratch buffer only
-    /// when it is not already stored densely.
+    constexpr std::size_t no_prev = std::numeric_limits<std::size_t>::max();
+
+    /// Shared chunked sweep. bind_rhs(ri, slot, prev) returns a pointer to
+    /// right-hand side ri, either borrowing caller storage directly or
+    /// materializing into the worker's staging column `slot` (with `prev`
+    /// as the slot's persistent sparse-update state). Right-hand sides are
+    /// frequency independent, so a slot only changes when a different ri
+    /// rotates into it. Templated on the binder so the per-RHS call
+    /// inlines instead of going through a std::function.
+    template <class BindRhs>
     void run_chunks(const linearized_snapshot& snap, const sweep_engine_options& opt,
                     std::size_t threads, const std::vector<real>& freqs_hz, std::size_t nrhs,
-                    const std::function<const std::vector<cplx>&(std::size_t,
-                                                                 std::vector<cplx>&)>& get_rhs,
-                    const sweep_engine::sink& out)
+                    const BindRhs& bind_rhs, const sweep_engine::sink& out)
     {
         if (freqs_hz.empty())
             throw analysis_error("sweep engine: empty frequency list");
@@ -124,10 +174,20 @@ namespace {
         if (nrhs == 0)
             return;
 
+        const std::size_t n = snap.size();
+        const std::size_t nf = freqs_hz.size();
+        const std::size_t block = std::max<std::size_t>(1, std::min(opt.rhs_block, nrhs));
+
+        // One symbolic analysis for the whole sweep, computed (or fetched
+        // from the snapshot's cache) on the calling thread before any
+        // worker starts.
+        std::shared_ptr<const numeric::symbolic_lu<cplx>> shared_sym;
+        if (opt.solver == spice::solver_kind::sparse && opt.shared_symbolic)
+            shared_sym = snap.shared_symbolic(to_omega(freqs_hz[nf / 2]));
+
         // Balanced contiguous partition: exactly `workers` chunks, sizes
         // differing by at most one (a ceil-sized chunk count would leave
         // part of the thread budget idle).
-        const std::size_t nf = freqs_hz.size();
         const std::size_t workers = std::max<std::size_t>(1, std::min(threads, nf));
         const std::size_t base = nf / workers;
         const std::size_t rem = nf % workers;
@@ -135,12 +195,24 @@ namespace {
         thread_pool::shared().parallel_for(workers, workers, [&](std::size_t w) {
             const std::size_t begin = w * base + std::min(w, rem);
             const std::size_t end = begin + base + (w < rem ? 1 : 0);
-            chunk_solver solver(snap, opt, to_omega(freqs_hz[begin + (end - begin) / 2]));
-            std::vector<cplx> scratch(snap.size());
+            chunk_solver solver(snap, opt, to_omega(freqs_hz[begin + (end - begin) / 2]),
+                                shared_sym);
+            // All worker storage is allocated here, once; the frequency
+            // loop below is allocation-free in steady state.
+            std::vector<cplx> staging(block * n, cplx{});
+            std::vector<std::size_t> prev(block, no_prev);
+            std::vector<const cplx*> cols(block);
+            std::vector<cplx> xbuf(block * n);
             for (std::size_t fi = begin; fi < end; ++fi) {
                 solver.factor(to_omega(freqs_hz[fi]));
-                for (std::size_t ri = 0; ri < nrhs; ++ri)
-                    out(fi, ri, solver.solve(get_rhs(ri, scratch)));
+                for (std::size_t r0 = 0; r0 < nrhs; r0 += block) {
+                    const std::size_t bn = std::min(block, nrhs - r0);
+                    for (std::size_t j = 0; j < bn; ++j)
+                        cols[j] = bind_rhs(r0 + j, staging.data() + j * n, prev[j]);
+                    solver.solve_batch(cols.data(), bn, xbuf.data());
+                    for (std::size_t j = 0; j < bn; ++j)
+                        out(fi, r0 + j, std::span<const cplx>(xbuf.data() + j * n, n));
+                }
             }
         });
     }
@@ -154,8 +226,8 @@ void sweep_engine::run(const linearized_snapshot& snap, const std::vector<real>&
         if (rhs.size() != snap.size())
             throw analysis_error("sweep engine: right-hand side has wrong length");
     run_chunks(snap, opt_, resolved_threads(), freqs_hz, rhs_batch.size(),
-               [&rhs_batch](std::size_t ri, std::vector<cplx>&) -> const std::vector<cplx>& {
-                   return rhs_batch[ri];
+               [&rhs_batch](std::size_t ri, cplx*, std::size_t&) -> const cplx* {
+                   return rhs_batch[ri].data();
                },
                out);
 }
@@ -169,11 +241,16 @@ void sweep_engine::run_injections(const linearized_snapshot& snap,
         if (inj.index >= snap.size())
             throw analysis_error("sweep engine: injection index out of range");
     run_chunks(snap, opt_, resolved_threads(), freqs_hz, injections.size(),
-               [&injections](std::size_t ri,
-                             std::vector<cplx>& scratch) -> const std::vector<cplx>& {
-                   std::fill(scratch.begin(), scratch.end(), cplx{});
-                   scratch[injections[ri].index] = injections[ri].value;
-                   return scratch;
+               [&injections](std::size_t ri, cplx* slot, std::size_t& prev) -> const cplx* {
+                   // The slot column is all-zero except for the previously
+                   // staged injection: clear just that index instead of an
+                   // O(n) fill per (frequency x injection).
+                   const injection& inj = injections[ri];
+                   if (prev != no_prev)
+                       slot[prev] = cplx{};
+                   slot[inj.index] = inj.value;
+                   prev = inj.index;
+                   return slot;
                },
                out);
 }

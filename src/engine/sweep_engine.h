@@ -6,14 +6,17 @@
 //   * the frequency grid is partitioned into contiguous chunks dispatched
 //     on the shared thread_pool (deterministic partition for a given
 //     thread count, so results are reproducible run to run);
-//   * per frequency the linearized snapshot is assembled into a
-//     worker-local CSC workspace and factored ONCE; the first frequency a
-//     worker sees pays the full symbolic+numeric factorization, later
-//     frequencies reuse the pattern through sparse_lu::refactor with a
-//     residual guard that falls back to a fresh factorization;
-//   * an arbitrary batch of right-hand sides is back-solved per point —
-//     the paper's one-stimulus-per-node loop becomes one factorization
-//     plus N back-solves.
+//   * the symbolic LU (pivot order, L/U patterns) is computed ONCE per
+//     snapshot at the grid's middle frequency and shared read-only by all
+//     workers; per frequency each worker assembles the snapshot into its
+//     CSC workspace and refactors numerically in place, with a dense-probe
+//     residual guard that falls back to a fresh local factorization when
+//     the reused pivot order degrades (or hits an exact zero pivot);
+//   * right-hand sides are back-solved in batches: one traversal of L and
+//     one of U per batch of up to rhs_block columns, with zero heap
+//     allocations in the steady-state loop — the paper's one-stimulus-
+//     per-node sweep becomes one refactorization plus one batched
+//     back-solve per frequency.
 //
 // for_each() exposes the same pool for coarse-grained parameter-point
 // dispatch (corner/TEMP sweeps), with results slotted by index so
@@ -23,6 +26,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "engine/linearized_snapshot.h"
@@ -39,6 +43,22 @@ struct sweep_engine_options {
     /// from scratch (guards the reused pivot order far from the symbolic
     /// reference frequency).
     real refactor_guard_tol = 1e-10;
+    /// Element growth (largest |L| entry of a refactorization) above
+    /// which the residual guard actually runs its dense-probe check.
+    /// Fresh threshold pivoting bounds growth by 1/pivot_tol = 10, so a
+    /// modest limit keeps every frequency witnessed for free (growth is
+    /// computed inside the refactor loop) while the probe solve + SpMV
+    /// are only paid when the reused pivot order looks stale.
+    real refactor_growth_limit = 1e4;
+    /// Share one symbolic factorization (computed at the sweep's middle
+    /// frequency, cached on the snapshot) across all workers. When false
+    /// each chunk runs its own symbolic analysis, seeded at the chunk's
+    /// middle frequency — kept as an ablation/bisection axis.
+    bool shared_symbolic = true;
+    /// Upper bound on right-hand sides per batched back-solve. Bounds the
+    /// worker-local staging to O(rhs_block * n) while still amortizing
+    /// each L/U traversal across the batch; 1 disables batching.
+    std::size_t rhs_block = 32;
 };
 
 class sweep_engine {
@@ -53,8 +73,9 @@ public:
     /// Called once per (frequency index, rhs index) pair with the solved
     /// unknown vector. May be invoked concurrently from pool workers, but
     /// each (fi, ri) slot exactly once — writing disjoint output slots
-    /// needs no locking.
-    using sink = std::function<void(std::size_t fi, std::size_t ri, std::vector<cplx>&& sol)>;
+    /// needs no locking. The span borrows a worker buffer that is only
+    /// valid for the duration of the call: copy out what you keep.
+    using sink = std::function<void(std::size_t fi, std::size_t ri, std::span<const cplx> sol)>;
 
     /// Solve Y(j 2 pi f) x = rhs for every sweep frequency and every
     /// right-hand side in the batch.
@@ -62,9 +83,11 @@ public:
              const std::vector<std::vector<cplx>>& rhs_batch, const sink& out) const;
 
     /// A single-entry right-hand side: `value` injected at one unknown
-    /// (the stability sweeps' unit-current stimuli). Workers expand these
-    /// into one reused buffer, so a batch of N injections costs O(n)
-    /// memory instead of the O(N * n) of dense rhs vectors.
+    /// (the stability sweeps' unit-current stimuli). Workers stage these
+    /// into reused block columns — updated by clearing only the previously
+    /// set index — so a batch of N injections costs O(rhs_block * n)
+    /// memory and O(1) per-solve setup instead of the O(N * n) of dense
+    /// rhs vectors.
     struct injection {
         std::size_t index = 0;
         cplx value{1.0, 0.0};

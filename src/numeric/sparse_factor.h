@@ -1,0 +1,483 @@
+// The symbolic / numeric split of the left-looking sparse LU
+// (Gilbert–Peierls with threshold partial pivoting).
+//
+//   * symbolic_lu — the immutable, shareable half: pivot order, column
+//     preordering and the full symbolic L/U reach patterns, computed once
+//     per matrix structure. Safe to share (read-only) across any number
+//     of workers via shared_ptr; the sweep engine computes it once per
+//     linearized snapshot instead of once per worker chunk.
+//   * numeric_lu — the lightweight per-worker half: just the L/U values
+//     plus O(n) scratch, refactored in place against the shared symbolic
+//     object frequency to frequency. Its solve_in_place / solve_batch
+//     back-solve whole RHS batches in one L and one U traversal without
+//     a single heap allocation, which is what makes the sweep hot loop
+//     allocation-free.
+//
+// sparse_lu.h keeps the original one-object facade on top of this pair
+// for one-shot factor-and-solve call sites.
+#ifndef ACSTAB_NUMERIC_SPARSE_FACTOR_H
+#define ACSTAB_NUMERIC_SPARSE_FACTOR_H
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "numeric/sparse_matrix.h"
+
+namespace acstab::numeric {
+
+/// Immutable symbolic factorization: pivot order, column ordering and the
+/// L/U sparsity patterns (full symbolic reach, so any matrix with the seed
+/// matrix's pattern can be refactored numerically against it). Pivots are
+/// chosen from the seed matrix's values; the values themselves are
+/// discarded — numeric_lu recomputes them per matrix.
+template <class T>
+class symbolic_lu {
+public:
+    struct options {
+        /// Diagonal entries within pivot_tol of the column maximum are
+        /// preferred, preserving MNA structure and limiting fill-in.
+        double pivot_tol = 0.1;
+        /// Factor columns in ascending nonzero-count order (cheap
+        /// fill-reducing heuristic).
+        bool order_columns = true;
+    };
+
+    /// The numeric L/U values of the seed factorization, aligned with the
+    /// symbolic pattern arrays. The analysis computes them anyway (pivot
+    /// selection needs the elimination); exporting them lets a one-shot
+    /// caller seed its numeric_lu without repeating the numeric pass.
+    struct factor_values {
+        std::vector<T> lval;
+        std::vector<T> uval;
+    };
+
+    explicit symbolic_lu(const csc_matrix<T>& a, options opt = {},
+                         factor_values* values_out = nullptr)
+        : n_(a.cols())
+    {
+        if (a.rows() != n_)
+            throw numeric_error("symbolic_lu: matrix must be square");
+        analyze(a, opt, values_out);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    /// Stored L entries plus the implicit unit diagonal.
+    [[nodiscard]] std::size_t lower_nnz() const noexcept { return lrow_.size() + n_; }
+    [[nodiscard]] std::size_t upper_nnz() const noexcept { return urow_.size(); }
+
+    [[nodiscard]] const std::vector<std::size_t>& lcol_ptr() const noexcept { return lcol_ptr_; }
+    [[nodiscard]] const std::vector<std::size_t>& lrow() const noexcept { return lrow_; }
+    [[nodiscard]] const std::vector<std::size_t>& ucol_ptr() const noexcept { return ucol_ptr_; }
+    /// Off-diagonal rows of each U column are sorted ascending (the order
+    /// numeric_lu::refactor consumes them in); the diagonal is stored last.
+    [[nodiscard]] const std::vector<std::size_t>& urow() const noexcept { return urow_; }
+    /// Original row -> pivot position.
+    [[nodiscard]] const std::vector<std::size_t>& pinv() const noexcept { return pinv_; }
+    /// Pivot step -> original column.
+    [[nodiscard]] const std::vector<std::size_t>& q() const noexcept { return q_; }
+
+private:
+    void analyze(const csc_matrix<T>& a, const options& opt, factor_values* values_out)
+    {
+        constexpr std::ptrdiff_t unset = -1;
+        q_.resize(n_);
+        std::iota(q_.begin(), q_.end(), std::size_t{0});
+        if (opt.order_columns) {
+            std::stable_sort(q_.begin(), q_.end(), [&a](std::size_t i, std::size_t j) {
+                return a.col_ptr()[i + 1] - a.col_ptr()[i] < a.col_ptr()[j + 1] - a.col_ptr()[j];
+            });
+        }
+
+        std::vector<std::ptrdiff_t> pinv(n_, unset);
+        lcol_ptr_.assign(n_ + 1, 0);
+        ucol_ptr_.assign(n_ + 1, 0);
+        // Pivoting needs the numeric elimination; the values live in these
+        // temporaries and are dropped once the pattern is fixed — unless
+        // the caller asked for them via values_out.
+        std::vector<T> lval;
+        std::vector<T> uval;
+
+        std::vector<T> x(n_, T{});
+        std::vector<std::size_t> mark(n_, 0);
+        std::vector<std::size_t> postorder;
+        postorder.reserve(n_);
+        struct frame {
+            std::size_t node;
+            std::size_t child;
+        };
+        std::vector<frame> stack;
+
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t col = q_[k];
+            const std::size_t stamp = k + 1;
+            postorder.clear();
+
+            // Symbolic: depth-first search of the reach set of A(:, col)
+            // through the columns of L built so far.
+            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p) {
+                const std::size_t root = a.row_idx()[p];
+                if (mark[root] == stamp)
+                    continue;
+                mark[root] = stamp;
+                stack.push_back({root, 0});
+                while (!stack.empty()) {
+                    frame& f = stack.back();
+                    const std::ptrdiff_t c = pinv[f.node];
+                    bool descended = false;
+                    if (c >= 0) {
+                        const std::size_t begin = lcol_ptr_[static_cast<std::size_t>(c)];
+                        const std::size_t end = lcol_ptr_[static_cast<std::size_t>(c) + 1];
+                        while (begin + f.child < end) {
+                            const std::size_t next = lrow_[begin + f.child];
+                            ++f.child;
+                            if (mark[next] != stamp) {
+                                mark[next] = stamp;
+                                stack.push_back({next, 0});
+                                descended = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (!descended && (c < 0 || lcol_ptr_[static_cast<std::size_t>(c)] + f.child
+                                           >= lcol_ptr_[static_cast<std::size_t>(c) + 1])) {
+                        postorder.push_back(f.node);
+                        stack.pop_back();
+                    }
+                }
+            }
+
+            // Numeric: scatter A(:, col), then eliminate in reverse postorder.
+            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
+                x[a.row_idx()[p]] = a.values()[p];
+            for (std::size_t idx = postorder.size(); idx-- > 0;) {
+                const std::size_t i = postorder[idx];
+                const std::ptrdiff_t c = pinv[i];
+                if (c < 0)
+                    continue;
+                const T xi = x[i];
+                if (xi == T{})
+                    continue;
+                for (std::size_t p = lcol_ptr_[static_cast<std::size_t>(c)];
+                     p < lcol_ptr_[static_cast<std::size_t>(c) + 1]; ++p)
+                    x[lrow_[p]] -= lval[p] * xi;
+            }
+
+            // Pivot: largest magnitude among not-yet-pivotal rows, with a
+            // threshold preference for the structural diagonal.
+            std::ptrdiff_t ipiv = unset;
+            double best = 0.0;
+            for (const std::size_t i : postorder) {
+                if (pinv[i] != unset)
+                    continue;
+                const double mag = std::abs(x[i]);
+                if (mag > best) {
+                    best = mag;
+                    ipiv = static_cast<std::ptrdiff_t>(i);
+                }
+            }
+            if (ipiv == unset || best == 0.0)
+                throw numeric_error("symbolic_lu: singular matrix at column "
+                                    + std::to_string(col));
+            if (pinv[col] == unset && std::abs(x[col]) >= opt.pivot_tol * best)
+                ipiv = static_cast<std::ptrdiff_t>(col);
+            const T pivot = x[static_cast<std::size_t>(ipiv)];
+
+            // Emit the full symbolic reach of U(:, k) and L(:, k) — even
+            // entries that happen to be numerically zero in the seed — so
+            // the pattern is purely structural (value-independent).
+            for (const std::size_t i : postorder) {
+                if (pinv[i] != unset) {
+                    urow_.push_back(static_cast<std::size_t>(pinv[i]));
+                    uval.push_back(x[i]);
+                }
+            }
+            urow_.push_back(k);
+            uval.push_back(pivot);
+            ucol_ptr_[k + 1] = urow_.size();
+
+            pinv[static_cast<std::size_t>(ipiv)] = static_cast<std::ptrdiff_t>(k);
+            for (const std::size_t i : postorder) {
+                if (pinv[i] == unset) {
+                    lrow_.push_back(i);
+                    lval.push_back(x[i] / pivot);
+                }
+                x[i] = T{};
+            }
+            lcol_ptr_[k + 1] = lrow_.size();
+        }
+
+        // Renumber L's rows into pivot order now that pinv is complete.
+        pinv_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i)
+            pinv_[i] = static_cast<std::size_t>(pinv[i]);
+        for (auto& r : lrow_)
+            r = pinv_[r];
+
+        // refactor() consumes each U column in ascending pivot order;
+        // sort the off-diagonal rows (with their values kept aligned for
+        // a potential export; solve order is insensitive).
+        std::vector<std::pair<std::size_t, T>> col;
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t begin = ucol_ptr_[k];
+            const std::size_t last = ucol_ptr_[k + 1] - 1;
+            col.clear();
+            for (std::size_t p = begin; p < last; ++p)
+                col.emplace_back(urow_[p], uval[p]);
+            std::sort(col.begin(), col.end(),
+                      [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
+            for (std::size_t p = begin; p < last; ++p) {
+                urow_[p] = col[p - begin].first;
+                uval[p] = col[p - begin].second;
+            }
+        }
+
+        if (values_out != nullptr) {
+            values_out->lval = std::move(lval);
+            values_out->uval = std::move(uval);
+        }
+    }
+
+    std::size_t n_ = 0;
+    std::vector<std::size_t> lcol_ptr_, lrow_;
+    std::vector<std::size_t> ucol_ptr_, urow_;
+    std::vector<std::size_t> pinv_;
+    std::vector<std::size_t> q_;
+};
+
+/// Per-worker numeric factorization bound to a shared symbolic_lu. Holds
+/// only L/U values plus O(n) scratch; refactor(), solve_in_place() and
+/// solve_batch() never allocate. One instance is NOT thread-safe (shared
+/// scratch); the symbolic object it points at is.
+template <class T>
+class numeric_lu {
+public:
+    explicit numeric_lu(std::shared_ptr<const symbolic_lu<T>> sym)
+        : sym_(std::move(sym)), lval_(sym_->lrow().size()), uval_(sym_->urow().size()),
+          work_(sym_->size(), T{}), scratch_(sym_->size())
+    {
+    }
+
+    /// Adopt the seed values the symbolic analysis computed anyway, so a
+    /// one-shot factor-and-solve (the sparse_lu facade) does not repeat
+    /// the numeric elimination.
+    numeric_lu(std::shared_ptr<const symbolic_lu<T>> sym,
+               typename symbolic_lu<T>::factor_values&& seed)
+        : sym_(std::move(sym)), lval_(std::move(seed.lval)), uval_(std::move(seed.uval)),
+          work_(sym_->size(), T{}), scratch_(sym_->size())
+    {
+        if (lval_.size() != sym_->lrow().size() || uval_.size() != sym_->urow().size())
+            throw numeric_error("numeric_lu: seed values do not match the symbolic pattern");
+    }
+
+    [[nodiscard]] const symbolic_lu<T>& symbolic() const noexcept { return *sym_; }
+    [[nodiscard]] std::size_t size() const noexcept { return sym_->size(); }
+
+    /// Compute the numeric factors of a matrix with the symbolic object's
+    /// sparsity pattern, reusing its pivot order (no search, no
+    /// allocation). Throws numeric_error on an exactly-zero pivot; the
+    /// values are then undefined but the instance may be refactored again.
+    void refactor(const csc_matrix<T>& a)
+    {
+        const std::size_t n = sym_->size();
+        if (a.rows() != n || a.cols() != n)
+            throw numeric_error("numeric_lu: refactor size mismatch");
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& lrow = sym_->lrow();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        // Work in pivot space: w[pinv[row]] accumulates the current
+        // column; every position touched lies in the stored L/U pattern
+        // and is cleared as it is consumed, keeping w all-zero between
+        // columns (and between refactor calls).
+        std::vector<T>& w = work_;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t col = qperm[k];
+            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
+                w[pinv[a.row_idx()[p]]] += a.values()[p];
+            // Left-looking update: consume U rows in ascending pivot order
+            // (sorted by the symbolic analysis).
+            const std::size_t ulast = ucol_ptr[k + 1] - 1;
+            for (std::size_t p = ucol_ptr[k]; p < ulast; ++p) {
+                const std::size_t j = urow[p];
+                const T wj = w[j];
+                uval_[p] = wj;
+                w[j] = T{};
+                if (wj == T{})
+                    continue;
+                for (std::size_t q = lcol_ptr[j]; q < lcol_ptr[j + 1]; ++q)
+                    w[lrow[q]] -= lval_[q] * wj;
+            }
+            const T pivot = w[k];
+            w[k] = T{};
+            if (pivot == T{}) {
+                // Restore the all-zero invariant before reporting so the
+                // instance stays refactorable.
+                for (std::size_t p = lcol_ptr[k]; p < lcol_ptr[k + 1]; ++p)
+                    w[lrow[p]] = T{};
+                throw numeric_error("numeric_lu: refactor hit a zero pivot at column "
+                                    + std::to_string(col));
+            }
+            uval_[ulast] = pivot;
+            for (std::size_t p = lcol_ptr[k]; p < lcol_ptr[k + 1]; ++p) {
+                lval_[p] = w[lrow[p]] / pivot;
+                w[lrow[p]] = T{};
+            }
+        }
+        // Growth witness from three tight contiguous passes (kept out of
+        // the indirect-indexed elimination loops so they stay lean).
+        const double amax = max_l1(a.values());
+        growth_ = std::max(max_l1(lval_), amax > 0.0 ? max_l1(uval_) / amax : 0.0);
+    }
+
+    /// Element growth of the last refactor (L1-norm proxies): the larger
+    /// of the biggest |L| multiplier and the classical U-side growth
+    /// factor max|U| / max|A|. Fresh threshold pivoting bounds the L side
+    /// by 1/pivot_tol and keeps the U side modest; a reused pivot order
+    /// that has gone stale lets either blow up, so this is the free
+    /// staleness witness the sweep engine's guard reads before deciding
+    /// whether a residual check (and possibly a fresh factorization) is
+    /// warranted.
+    [[nodiscard]] double growth() const noexcept { return growth_; }
+
+    /// Solve A X = B for a batch of right-hand sides without allocating.
+    /// b[r] points at right-hand side r (length n); x is column-major
+    /// n*nrhs and is fully overwritten with the solutions. b[r] must not
+    /// alias any x column (use solve_in_place for that). One traversal of
+    /// L and one of U serves the whole batch, so factor loads amortize
+    /// across the right-hand sides. Non-const (uses the instance
+    /// scratch): per-worker use only.
+    void solve_batch(const T* const* b, std::size_t nrhs, T* x)
+    {
+        const std::size_t n = sym_->size();
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& lrow = sym_->lrow();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+
+        // Scatter every column into pivot order.
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            const T* bc = b[r];
+            T* xc = x + r * n;
+            for (std::size_t i = 0; i < n; ++i)
+                xc[pinv[i]] = bc[i];
+        }
+        // Forward solve with unit-diagonal L, one pass over its columns.
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::size_t pb = lcol_ptr[c];
+            const std::size_t pe = lcol_ptr[c + 1];
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                T* xc = x + r * n;
+                const T yc = xc[c];
+                if (yc == T{})
+                    continue;
+                for (std::size_t p = pb; p < pe; ++p)
+                    xc[lrow[p]] -= lval_[p] * yc;
+            }
+        }
+        // Back solve with U (diagonal entry stored last in each column).
+        for (std::size_t c = n; c-- > 0;) {
+            const std::size_t last = ucol_ptr[c + 1] - 1;
+            const T diag = uval_[last];
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                T* xc = x + r * n;
+                const T v = xc[c] / diag;
+                xc[c] = v;
+                if (v == T{})
+                    continue;
+                for (std::size_t p = ucol_ptr[c]; p < last; ++p)
+                    xc[urow[p]] -= uval_[p] * v;
+            }
+        }
+        // Undo the column ordering (scratch is free again by this point
+        // even when solve_in_place staged b through it: the scatter above
+        // was its last read).
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            T* xc = x + r * n;
+            for (std::size_t c = 0; c < n; ++c)
+                scratch_[qperm[c]] = xc[c];
+            std::copy(scratch_.begin(), scratch_.end(), xc);
+        }
+    }
+
+    /// Solve A x = b with b and the solution in the same length-n buffer.
+    /// Non-const (uses the instance scratch): per-worker use only.
+    void solve_in_place(T* x)
+    {
+        std::copy(x, x + sym_->size(), scratch_.begin());
+        const T* b = scratch_.data();
+        solve_batch(&b, 1, x);
+    }
+
+    /// Allocating single solve. Touches no instance scratch, so — unlike
+    /// solve_batch/solve_in_place — concurrent calls on one shared
+    /// factorization are safe (the sparse_lu facade relies on this).
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const
+    {
+        const std::size_t n = sym_->size();
+        if (b.size() != n)
+            throw numeric_error("numeric_lu: right-hand side has wrong length");
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& lrow = sym_->lrow();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        std::vector<T> y(n);
+        for (std::size_t i = 0; i < n; ++i)
+            y[pinv[i]] = b[i];
+        for (std::size_t c = 0; c < n; ++c) {
+            const T yc = y[c];
+            if (yc == T{})
+                continue;
+            for (std::size_t p = lcol_ptr[c]; p < lcol_ptr[c + 1]; ++p)
+                y[lrow[p]] -= lval_[p] * yc;
+        }
+        for (std::size_t c = n; c-- > 0;) {
+            const std::size_t last = ucol_ptr[c + 1] - 1;
+            const T xc = y[c] / uval_[last];
+            y[c] = xc;
+            if (xc == T{})
+                continue;
+            for (std::size_t p = ucol_ptr[c]; p < last; ++p)
+                y[urow[p]] -= uval_[p] * xc;
+        }
+        std::vector<T> x(n);
+        for (std::size_t c = 0; c < n; ++c)
+            x[qperm[c]] = y[c];
+        return x;
+    }
+
+private:
+    [[nodiscard]] static double max_l1(const std::vector<T>& v) noexcept
+    {
+        double m = 0.0;
+        for (const T& x : v) {
+            const double mag = std::abs(std::real(x)) + std::abs(std::imag(x));
+            if (mag > m)
+                m = mag;
+        }
+        return m;
+    }
+
+    std::shared_ptr<const symbolic_lu<T>> sym_;
+    std::vector<T> lval_;
+    std::vector<T> uval_;
+    std::vector<T> work_;    ///< refactor accumulator (pivot space)
+    std::vector<T> scratch_; ///< permutation staging for batched solves
+    double growth_ = 0.0;
+};
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_SPARSE_FACTOR_H

@@ -1,5 +1,7 @@
-// Left-looking sparse LU (Gilbert–Peierls) with threshold partial pivoting
-// and an optional nonzero-count column preordering.
+// One-object facade over the symbolic/numeric sparse LU split
+// (sparse_factor.h): factor-and-solve for call sites that do not share a
+// symbolic factorization across workers (DC/transient solves, one-shot
+// AC points). The sweep engine uses symbolic_lu + numeric_lu directly.
 //
 // This is the production solver for MNA systems: each column's sparse
 // triangular solve only touches the symbolic reach set, so ladder-like
@@ -8,13 +10,12 @@
 #ifndef ACSTAB_NUMERIC_SPARSE_LU_H
 #define ACSTAB_NUMERIC_SPARSE_LU_H
 
-#include <algorithm>
-#include <cmath>
 #include <cstddef>
-#include <numeric>
+#include <memory>
 #include <vector>
 
 #include "common/error.h"
+#include "numeric/sparse_factor.h"
 #include "numeric/sparse_matrix.h"
 
 namespace acstab::numeric {
@@ -29,271 +30,57 @@ public:
         /// Factor columns in ascending nonzero-count order (cheap
         /// fill-reducing heuristic).
         bool order_columns = true;
-        /// Keep the full symbolic reach in L/U (even entries that are
-        /// numerically zero at factorization time) so refactor() can reuse
-        /// the pattern for a matrix with the same structure but different
-        /// values. Costs a few explicit zeros; required before refactor().
+        /// Allow refactor() calls for matrices with the same structure
+        /// but different values. (The pattern is always symbolic since
+        /// the split; the flag is kept as an API guard so accidental
+        /// refactors of one-shot factorizations still throw.)
         bool prepare_refactor = false;
     };
 
-    explicit sparse_lu(const csc_matrix<T>& a, options opt = {}) : n_(a.cols())
+    explicit sparse_lu(const csc_matrix<T>& a, options opt = {})
+        : sym_(std::make_shared<const symbolic_lu<T>>(
+              a, typename symbolic_lu<T>::options{opt.pivot_tol, opt.order_columns},
+              &seed_values_)),
+          num_(sym_, std::move(seed_values_)), refactor_ready_(opt.prepare_refactor)
     {
-        if (a.rows() != n_)
-            throw numeric_error("sparse_lu: matrix must be square");
-        factor(a, opt);
     }
 
-    [[nodiscard]] std::size_t size() const noexcept { return n_; }
-    [[nodiscard]] std::size_t lower_nnz() const noexcept { return lrow_.size() + n_; }
-    [[nodiscard]] std::size_t upper_nnz() const noexcept { return urow_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return sym_->size(); }
+    [[nodiscard]] std::size_t lower_nnz() const noexcept { return sym_->lower_nnz(); }
+    [[nodiscard]] std::size_t upper_nnz() const noexcept { return sym_->upper_nnz(); }
+
+    /// The immutable symbolic half, shareable with other numeric_lu
+    /// instances (e.g. worker-local refactor loops).
+    [[nodiscard]] const std::shared_ptr<const symbolic_lu<T>>& symbolic() const noexcept
+    {
+        return sym_;
+    }
 
     /// Solve A x = b.
-    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const
-    {
-        if (b.size() != n_)
-            throw numeric_error("sparse_lu: right-hand side has wrong length");
-        // Permute into pivot order.
-        std::vector<T> y(n_);
-        for (std::size_t i = 0; i < n_; ++i)
-            y[pinv_[i]] = b[i];
-        // Forward solve with unit-diagonal L.
-        for (std::size_t c = 0; c < n_; ++c) {
-            const T yc = y[c];
-            if (yc == T{})
-                continue;
-            for (std::size_t p = lcol_ptr_[c]; p < lcol_ptr_[c + 1]; ++p)
-                y[lrow_[p]] -= lval_[p] * yc;
-        }
-        // Back solve with U (diagonal entry stored last in each column).
-        for (std::size_t c = n_; c-- > 0;) {
-            const std::size_t last = ucol_ptr_[c + 1] - 1;
-            const T xc = y[c] / uval_[last];
-            y[c] = xc;
-            if (xc == T{})
-                continue;
-            for (std::size_t p = ucol_ptr_[c]; p < last; ++p)
-                y[urow_[p]] -= uval_[p] * xc;
-        }
-        // Undo the column ordering.
-        std::vector<T> x(n_);
-        for (std::size_t c = 0; c < n_; ++c)
-            x[q_[c]] = y[c];
-        return x;
-    }
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const { return num_.solve(b); }
 
     /// Recompute the numeric factorization for a matrix with the SAME
     /// sparsity pattern as the one originally factored, reusing the pivot
     /// order and the symbolic L/U structure (no search, no allocation).
     /// Requires options::prepare_refactor at construction. Throws
-    /// numeric_error on an exactly-zero pivot; the factorization is then
-    /// in an undefined state and must be rebuilt from scratch.
+    /// numeric_error on an exactly-zero pivot; the values are then
+    /// undefined and must be recomputed (another refactor, or a fresh
+    /// factorization when the pivot order itself has gone stale).
     void refactor(const csc_matrix<T>& a)
     {
         if (!refactor_ready_)
             throw numeric_error("sparse_lu: refactor requires prepare_refactor");
-        if (a.rows() != n_ || a.cols() != n_)
-            throw numeric_error("sparse_lu: refactor size mismatch");
-        // Work in pivot space: w[pinv_[row]] accumulates the current
-        // column; every position touched lies in the stored L/U pattern
-        // and is cleared as it is consumed, keeping w all-zero between
-        // columns.
-        std::vector<T>& w = refactor_work_;
-        w.assign(n_, T{});
-        for (std::size_t k = 0; k < n_; ++k) {
-            const std::size_t col = q_[k];
-            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
-                w[pinv_[a.row_idx()[p]]] += a.values()[p];
-            // Left-looking update: consume U rows in ascending pivot order
-            // (sorted by factor() when prepare_refactor is set).
-            const std::size_t ulast = ucol_ptr_[k + 1] - 1;
-            for (std::size_t p = ucol_ptr_[k]; p < ulast; ++p) {
-                const std::size_t j = urow_[p];
-                const T wj = w[j];
-                uval_[p] = wj;
-                w[j] = T{};
-                if (wj == T{})
-                    continue;
-                for (std::size_t q = lcol_ptr_[j]; q < lcol_ptr_[j + 1]; ++q)
-                    w[lrow_[q]] -= lval_[q] * wj;
-            }
-            const T pivot = w[k];
-            w[k] = T{};
-            if (pivot == T{})
-                throw numeric_error("sparse_lu: refactor hit a zero pivot at column "
-                                    + std::to_string(col));
-            uval_[ulast] = pivot;
-            for (std::size_t p = lcol_ptr_[k]; p < lcol_ptr_[k + 1]; ++p) {
-                lval_[p] = w[lrow_[p]] / pivot;
-                w[lrow_[p]] = T{};
-            }
-        }
+        num_.refactor(a);
     }
 
 private:
-    void factor(const csc_matrix<T>& a, const options& opt)
-    {
-        constexpr std::ptrdiff_t unset = -1;
-        q_.resize(n_);
-        std::iota(q_.begin(), q_.end(), std::size_t{0});
-        if (opt.order_columns) {
-            std::stable_sort(q_.begin(), q_.end(), [&a](std::size_t i, std::size_t j) {
-                return a.col_ptr()[i + 1] - a.col_ptr()[i] < a.col_ptr()[j + 1] - a.col_ptr()[j];
-            });
-        }
-
-        std::vector<std::ptrdiff_t> pinv(n_, unset);
-        lcol_ptr_.assign(n_ + 1, 0);
-        ucol_ptr_.assign(n_ + 1, 0);
-
-        std::vector<T> x(n_, T{});
-        std::vector<std::size_t> mark(n_, 0);
-        std::vector<std::size_t> postorder;
-        postorder.reserve(n_);
-        struct frame {
-            std::size_t node;
-            std::size_t child;
-        };
-        std::vector<frame> stack;
-
-        for (std::size_t k = 0; k < n_; ++k) {
-            const std::size_t col = q_[k];
-            const std::size_t stamp = k + 1;
-            postorder.clear();
-
-            // Symbolic: depth-first search of the reach set of A(:, col)
-            // through the columns of L built so far.
-            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p) {
-                const std::size_t root = a.row_idx()[p];
-                if (mark[root] == stamp)
-                    continue;
-                mark[root] = stamp;
-                stack.push_back({root, 0});
-                while (!stack.empty()) {
-                    frame& f = stack.back();
-                    const std::ptrdiff_t c = pinv[f.node];
-                    bool descended = false;
-                    if (c >= 0) {
-                        const std::size_t begin = lcol_ptr_[static_cast<std::size_t>(c)];
-                        const std::size_t end = lcol_ptr_[static_cast<std::size_t>(c) + 1];
-                        while (begin + f.child < end) {
-                            const std::size_t next = lrow_[begin + f.child];
-                            ++f.child;
-                            if (mark[next] != stamp) {
-                                mark[next] = stamp;
-                                stack.push_back({next, 0});
-                                descended = true;
-                                break;
-                            }
-                        }
-                    }
-                    if (!descended && (c < 0 || lcol_ptr_[static_cast<std::size_t>(c)] + f.child
-                                           >= lcol_ptr_[static_cast<std::size_t>(c) + 1])) {
-                        postorder.push_back(f.node);
-                        stack.pop_back();
-                    }
-                }
-            }
-
-            // Numeric: scatter A(:, col), then eliminate in reverse postorder.
-            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p)
-                x[a.row_idx()[p]] = a.values()[p];
-            for (std::size_t idx = postorder.size(); idx-- > 0;) {
-                const std::size_t i = postorder[idx];
-                const std::ptrdiff_t c = pinv[i];
-                if (c < 0)
-                    continue;
-                const T xi = x[i];
-                if (xi == T{})
-                    continue;
-                for (std::size_t p = lcol_ptr_[static_cast<std::size_t>(c)];
-                     p < lcol_ptr_[static_cast<std::size_t>(c) + 1]; ++p)
-                    x[lrow_[p]] -= lval_[p] * xi;
-            }
-
-            // Pivot: largest magnitude among not-yet-pivotal rows, with a
-            // threshold preference for the structural diagonal.
-            std::ptrdiff_t ipiv = unset;
-            double best = 0.0;
-            for (const std::size_t i : postorder) {
-                if (pinv[i] != unset)
-                    continue;
-                const double mag = std::abs(x[i]);
-                if (mag > best) {
-                    best = mag;
-                    ipiv = static_cast<std::ptrdiff_t>(i);
-                }
-            }
-            if (ipiv == unset || best == 0.0)
-                throw numeric_error("sparse_lu: singular matrix at column "
-                                    + std::to_string(col));
-            if (pinv[col] == unset && std::abs(x[col]) >= opt.pivot_tol * best)
-                ipiv = static_cast<std::ptrdiff_t>(col);
-            const T pivot = x[static_cast<std::size_t>(ipiv)];
-
-            // Emit U(:, k): previously pivotal rows plus the diagonal last.
-            // prepare_refactor keeps numerically-zero reach entries so the
-            // emitted pattern is purely symbolic (value-independent).
-            for (const std::size_t i : postorder) {
-                if (pinv[i] == unset)
-                    continue;
-                if (opt.prepare_refactor || x[i] != T{}) {
-                    urow_.push_back(static_cast<std::size_t>(pinv[i]));
-                    uval_.push_back(x[i]);
-                }
-            }
-            urow_.push_back(k);
-            uval_.push_back(pivot);
-            ucol_ptr_[k + 1] = urow_.size();
-
-            // Emit L(:, k) scaled by the pivot (unit diagonal implicit).
-            pinv[static_cast<std::size_t>(ipiv)] = static_cast<std::ptrdiff_t>(k);
-            for (const std::size_t i : postorder) {
-                if (pinv[i] == unset && (opt.prepare_refactor || x[i] != T{})) {
-                    lrow_.push_back(i);
-                    lval_.push_back(x[i] / pivot);
-                }
-                x[i] = T{};
-            }
-            lcol_ptr_[k + 1] = lrow_.size();
-        }
-
-        // Renumber L's rows into pivot order now that pinv is complete.
-        pinv_.resize(n_);
-        for (std::size_t i = 0; i < n_; ++i)
-            pinv_[i] = static_cast<std::size_t>(pinv[i]);
-        for (auto& r : lrow_)
-            r = pinv_[r];
-
-        if (opt.prepare_refactor) {
-            // refactor() consumes each U column in ascending pivot order;
-            // sort the off-diagonal entries (solve order is insensitive).
-            std::vector<std::pair<std::size_t, T>> col;
-            for (std::size_t k = 0; k < n_; ++k) {
-                const std::size_t begin = ucol_ptr_[k];
-                const std::size_t last = ucol_ptr_[k + 1] - 1;
-                col.clear();
-                for (std::size_t p = begin; p < last; ++p)
-                    col.emplace_back(urow_[p], uval_[p]);
-                std::sort(col.begin(), col.end(),
-                          [](const auto& a, const auto& b) { return a.first < b.first; });
-                for (std::size_t p = begin; p < last; ++p) {
-                    urow_[p] = col[p - begin].first;
-                    uval_[p] = col[p - begin].second;
-                }
-            }
-            refactor_ready_ = true;
-        }
-    }
-
-    std::size_t n_ = 0;
-    std::vector<std::size_t> lcol_ptr_, lrow_;
-    std::vector<T> lval_;
-    std::vector<std::size_t> ucol_ptr_, urow_;
-    std::vector<T> uval_;
-    std::vector<std::size_t> pinv_; // original row -> pivot position
-    std::vector<std::size_t> q_;    // pivot step -> original column
+    /// Declared before sym_/num_: the symbolic analysis fills it and the
+    /// numeric half adopts it (member initialization order is declaration
+    /// order), so one-shot factorizations run the elimination only once.
+    typename symbolic_lu<T>::factor_values seed_values_;
+    std::shared_ptr<const symbolic_lu<T>> sym_;
+    numeric_lu<T> num_;
     bool refactor_ready_ = false;
-    std::vector<T> refactor_work_;
 };
 
 } // namespace acstab::numeric

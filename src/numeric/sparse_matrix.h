@@ -124,13 +124,21 @@ public:
 
     [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const
     {
-        if (x.size() != cols_)
+        std::vector<T> y(rows_);
+        multiply_into(x, y);
+        return y;
+    }
+
+    /// y = A x into a caller-owned buffer (the sweep engine's residual
+    /// guard runs one SpMV per frequency and must not allocate).
+    void multiply_into(const std::vector<T>& x, std::vector<T>& y) const
+    {
+        if (x.size() != cols_ || y.size() != rows_)
             throw numeric_error("csc: vector length mismatch");
-        std::vector<T> y(rows_, T{});
+        std::fill(y.begin(), y.end(), T{});
         for (std::size_t c = 0; c < cols_; ++c)
             for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
                 y[row_idx_[k]] += values_[k] * x[c];
-        return y;
     }
 
 private:

@@ -50,8 +50,8 @@ ac_result ac_sweep(circuit& c, const std::vector<real>& freqs_hz, const std::vec
     res.freq_hz = freqs_hz;
     res.solution.resize(freqs_hz.size());
     eng.run(snap, freqs_hz, {snap.stimulus_rhs()},
-            [&res](std::size_t fi, std::size_t, std::vector<cplx>&& sol) {
-                res.solution[fi] = std::move(sol);
+            [&res](std::size_t fi, std::size_t, std::span<const cplx> sol) {
+                res.solution[fi].assign(sol.begin(), sol.end());
             });
     return res;
 }

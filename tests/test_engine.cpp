@@ -364,7 +364,7 @@ TEST(sweep_engine, validates_inputs)
     const spice::dc_result op = spice::dc_operating_point(c);
     const engine::linearized_snapshot snap(c, op.solution, {});
     const engine::sweep_engine eng;
-    const auto ignore = [](std::size_t, std::size_t, std::vector<cplx>&&) {};
+    const auto ignore = [](std::size_t, std::size_t, std::span<const cplx>) {};
     EXPECT_THROW(eng.run(snap, {}, {snap.stimulus_rhs()}, ignore), analysis_error);
     EXPECT_THROW(eng.run(snap, {-1.0}, {snap.stimulus_rhs()}, ignore), analysis_error);
     EXPECT_THROW(eng.run(snap, {1e3}, {std::vector<cplx>(2)}, ignore), analysis_error);
@@ -393,13 +393,13 @@ TEST(sweep_engine, sparse_injections_match_dense_rhs)
     const engine::sweep_engine eng;
     std::vector<std::vector<cplx>> from_dense(freqs.size() * 2);
     eng.run(snap, freqs, dense_batch,
-            [&from_dense](std::size_t fi, std::size_t ri, std::vector<cplx>&& sol) {
-                from_dense[2 * fi + ri] = std::move(sol);
+            [&from_dense](std::size_t fi, std::size_t ri, std::span<const cplx> sol) {
+                from_dense[2 * fi + ri].assign(sol.begin(), sol.end());
             });
     std::vector<std::vector<cplx>> from_sparse(freqs.size() * 2);
     eng.run_injections(snap, freqs, injections,
-                       [&from_sparse](std::size_t fi, std::size_t ri, std::vector<cplx>&& sol) {
-                           from_sparse[2 * fi + ri] = std::move(sol);
+                       [&from_sparse](std::size_t fi, std::size_t ri, std::span<const cplx> sol) {
+                           from_sparse[2 * fi + ri].assign(sol.begin(), sol.end());
                        });
     ASSERT_EQ(from_dense.size(), from_sparse.size());
     for (std::size_t i = 0; i < from_dense.size(); ++i)

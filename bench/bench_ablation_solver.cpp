@@ -6,9 +6,11 @@
 // (per-worker symbolic analysis, per-RHS allocating solves) vs shared
 // symbolic vs shared symbolic + batched solves. Also audits that the
 // steady-state sweep loop performs zero heap allocations per frequency
-// point, via a global operator-new counter. Prints scaling tables plus
-// one machine-readable JSON array (the ACSTAB_BENCH_JSON line) for the
-// bench trajectory; benchmarks both paths.
+// point, via a global operator-new counter, and (A3) compares the fixed
+// 40/decade grid against the adaptive rational-fit sweep on the three
+// shipped netlists (factor counts, wall time, worst phase-margin delta).
+// Prints scaling tables plus one machine-readable JSON array (the
+// ACSTAB_BENCH_JSON line) for the bench trajectory; benchmarks both paths.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -101,6 +103,8 @@ struct measurement {
     double ms = 0.0;
     double max_rel_err = 0.0;     ///< vs the serial re-stamp baseline
     double allocs_per_freq = -1.0; ///< steady-state heap allocations per frequency (-1 = n/a)
+    long long factors = -1;        ///< LU factorizations of the sweep (-1 = n/a)
+    double max_dpm_deg = -1.0;     ///< worst phase-margin delta vs fixed grid [deg] (-1 = n/a)
 };
 
 std::vector<measurement>& results()
@@ -115,9 +119,10 @@ void emit_json()
     for (std::size_t i = 0; i < results().size(); ++i) {
         const measurement& m = results()[i];
         std::printf("%s{\"bench\":\"%s\",\"mode\":\"%s\",\"threads\":%zu,"
-                    "\"ms\":%.4f,\"max_rel_err\":%.3g,\"allocs_per_freq\":%.3f}",
+                    "\"ms\":%.4f,\"max_rel_err\":%.3g,\"allocs_per_freq\":%.3f,"
+                    "\"factors\":%lld,\"max_dpm_deg\":%.4f}",
                     i == 0 ? "" : ",", m.bench.c_str(), m.mode.c_str(), m.threads, m.ms,
-                    m.max_rel_err, m.allocs_per_freq);
+                    m.max_rel_err, m.allocs_per_freq, m.factors, m.max_dpm_deg);
     }
     std::puts("]");
 }
@@ -498,6 +503,88 @@ void print_alloc_audit()
     results().push_back({"alloc_audit_follower", "engine_steady_state", 1, 0.0, 0.0, rate});
 }
 
+/// A3 — adaptive frequency grid vs the fixed 40/decade sweep on the three
+/// shipped netlists: LU factorization counts, wall time, and the worst
+/// phase-margin delta across all peaked nodes. The adaptive_follower rows
+/// back the CI guard (adaptive factor count must stay <= 1/3 of fixed).
+void print_adaptive_ablation()
+{
+    std::puts("==============================================================================");
+    std::puts("A3 — fixed 40/decade grid vs adaptive rational-fit sweep (all-nodes analysis)");
+    std::puts("==============================================================================");
+    std::puts("netlist          mode        factors   wall [ms]   max |dPM| [deg]");
+    std::puts("------------------------------------------------------------------------------");
+
+    struct workload {
+        const char* key;
+        const char* file;
+        real fstart;
+        real fstop;
+    };
+    const std::vector<workload> workloads = {
+        {"adaptive_follower", "follower.sp", 1e5, 1e10},
+        {"adaptive_rlc_tank", "rlc_tank.sp", 1e4, 1e8},
+        {"adaptive_two_pole", "two_pole_loop.sp", 1e2, 1e8},
+    };
+    const int repeats = 20;
+    const int groups = 3;
+
+    for (const workload& w : workloads) {
+        spice::parsed_netlist net = spice::parse_netlist_file(std::string(ACSTAB_NETLIST_DIR)
+                                                              + "/" + w.file);
+        const auto run_mode = [&](bool adaptive, core::stability_report& rep) {
+            core::stability_options opt;
+            opt.sweep.fstart = w.fstart;
+            opt.sweep.fstop = w.fstop;
+            opt.sweep.points_per_decade = 40;
+            opt.adaptive = adaptive;
+            core::stability_analyzer an(net.ckt, opt);
+            (void)an.operating_point();
+            rep = an.analyze_all_nodes(); // warm caches, keep the report
+            double ms = 1e300;
+            for (int g = 0; g < groups; ++g) {
+                const double group_ms = time_ms([&] {
+                                            for (int r = 0; r < repeats; ++r) {
+                                                rep = an.analyze_all_nodes();
+                                                benchmark::DoNotOptimize(rep.nodes.data());
+                                            }
+                                        })
+                                        / repeats;
+                ms = std::min(ms, group_ms);
+            }
+            return ms;
+        };
+
+        core::stability_report fixed, adaptive;
+        const double fixed_ms = run_mode(false, fixed);
+        const double adaptive_ms = run_mode(true, adaptive);
+
+        // Worst phase-margin delta over nodes both grids agree have peaks.
+        double max_dpm = 0.0;
+        for (const core::node_stability& fn : fixed.nodes) {
+            if (!fn.has_peak)
+                continue;
+            for (const core::node_stability& an : adaptive.nodes)
+                if (an.node == fn.node && an.has_peak)
+                    max_dpm = std::max(max_dpm, std::fabs(an.phase_margin_est_deg
+                                                          - fn.phase_margin_est_deg));
+        }
+
+        std::printf("%-16s fixed     %8zu   %9.3f   %s\n", w.file, fixed.factorizations,
+                    fixed_ms, "(reference)");
+        std::printf("%-16s adaptive  %8zu   %9.3f   %15.4f   (%.1fx fewer factors)\n", w.file,
+                    adaptive.factorizations, adaptive_ms, max_dpm,
+                    static_cast<double>(fixed.factorizations)
+                        / static_cast<double>(std::max<std::size_t>(1,
+                                                                    adaptive.factorizations)));
+        results().push_back({w.key, "fixed_grid", 1, fixed_ms, 0.0, -1.0,
+                             static_cast<long long>(fixed.factorizations), -1.0});
+        results().push_back({w.key, "adaptive", 1, adaptive_ms, 0.0, -1.0,
+                             static_cast<long long>(adaptive.factorizations), max_dpm});
+    }
+    std::puts("");
+}
+
 void bm_ladder_ac(benchmark::State& state)
 {
     spice::circuit c;
@@ -521,6 +608,7 @@ int main(int argc, char** argv)
     print_engine_ablation();
     print_solver_path_ablation();
     print_alloc_audit();
+    print_adaptive_ablation();
     emit_json();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

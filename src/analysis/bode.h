@@ -18,12 +18,22 @@ struct frequency_response {
     std::vector<real> freq_hz;
     std::vector<cplx> h;            ///< V(node) / stimulus
     spice::bode_margins margins;    ///< unity/phase crossings
+    /// LU factorizations behind the sweep (fixed grid: one per point).
+    std::size_t factorizations = 0;
 };
 
 struct bode_options {
     spice::solver_kind solver = spice::solver_kind::sparse;
     real gmin = 1e-12;
     real gshunt = 0.0;
+    /// Worker threads for the sweep (1 = serial, 0 = all hardware threads).
+    std::size_t threads = 1;
+    /// Adaptive frequency grid (engine/adaptive_sweep): the passed grid
+    /// defines band and output density; only model-flagged frequencies
+    /// are factored, the rest are evaluated from the rational model.
+    bool adaptive = false;
+    real fit_tol = 1e-6;
+    std::size_t anchors_per_decade = 4;
     spice::dc_options dc;
 };
 

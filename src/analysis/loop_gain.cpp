@@ -1,6 +1,7 @@
 #include "analysis/loop_gain.h"
 
 #include "common/error.h"
+#include "engine/adaptive_sweep.h"
 #include "engine/linearized_snapshot.h"
 #include "engine/sweep_engine.h"
 #include "spice/devices/sources.h"
@@ -39,33 +40,57 @@ loop_gain_result measure_loop_gain(spice::circuit& c, const std::string& probe_v
     const engine::linearized_snapshot snap(c, op.solution, sopt);
 
     const std::size_t branch = static_cast<std::size_t>(probe->branch());
-    engine::sweep_engine_options eopt;
-    eopt.threads = opt.threads;
-    eopt.solver = opt.solver;
-    const engine::sweep_engine eng(eopt);
+    const std::vector<engine::sweep_engine::injection> injections{
+        {branch, cplx{1.0, 0.0}}, {static_cast<std::size_t>(node_y), cplx{1.0, 0.0}}};
 
     loop_gain_result out;
-    out.freq_hz = freqs_hz;
-    out.tv.resize(freqs_hz.size());
-    out.ti.resize(freqs_hz.size());
-    out.t.resize(freqs_hz.size());
     // Only three solution entries matter; extract them in the sink
     // instead of copying whole solution vectors out of the engine.
-    std::vector<cplx> vx(freqs_hz.size()), vy(freqs_hz.size()), ii(freqs_hz.size());
-    eng.run_injections(snap, freqs_hz,
-                       {{branch, cplx{1.0, 0.0}},
-                        {static_cast<std::size_t>(node_y), cplx{1.0, 0.0}}},
-                       [&vx, &vy, &ii, node_x, node_y, branch](std::size_t fi, std::size_t ri,
-                                                               std::span<const cplx> sol) {
-                           if (ri == 0) {
-                               vx[fi] = sol[static_cast<std::size_t>(node_x)];
-                               vy[fi] = sol[static_cast<std::size_t>(node_y)];
-                           } else {
-                               ii[fi] = sol[branch];
-                           }
-                       });
+    std::vector<cplx> vx, vy, ii;
+    if (opt.adaptive) {
+        // The passed grid defines band and output density; both injections
+        // refine on one shared grid (worst-channel error decides).
+        engine::adaptive_sweep_options aopt = engine::adaptive_options_for_grid(freqs_hz);
+        aopt.anchors_per_decade = opt.anchors_per_decade;
+        aopt.fit_tol = opt.fit_tol;
+        aopt.engine.threads = opt.threads;
+        aopt.engine.solver = opt.solver;
+        const engine::adaptive_sweep_result res = engine::adaptive_sweep(aopt).run_injections(
+            snap, injections,
+            {{0, static_cast<std::size_t>(node_x)}, {0, static_cast<std::size_t>(node_y)},
+             {1, branch}});
+        out.freq_hz = res.freq_hz;
+        out.factorizations = res.factorizations;
+        vx = res.values[0];
+        vy = res.values[1];
+        ii = res.values[2];
+    } else {
+        engine::sweep_engine_options eopt;
+        eopt.threads = opt.threads;
+        eopt.solver = opt.solver;
+        const engine::sweep_engine eng(eopt);
+        out.freq_hz = freqs_hz;
+        out.factorizations = freqs_hz.size();
+        vx.resize(freqs_hz.size());
+        vy.resize(freqs_hz.size());
+        ii.resize(freqs_hz.size());
+        eng.run_injections(snap, freqs_hz, injections,
+                           [&vx, &vy, &ii, node_x, node_y, branch](std::size_t fi,
+                                                                   std::size_t ri,
+                                                                   std::span<const cplx> sol) {
+                               if (ri == 0) {
+                                   vx[fi] = sol[static_cast<std::size_t>(node_x)];
+                                   vy[fi] = sol[static_cast<std::size_t>(node_y)];
+                               } else {
+                                   ii[fi] = sol[branch];
+                               }
+                           });
+    }
 
-    for (std::size_t k = 0; k < freqs_hz.size(); ++k) {
+    out.tv.resize(out.freq_hz.size());
+    out.ti.resize(out.freq_hz.size());
+    out.t.resize(out.freq_hz.size());
+    for (std::size_t k = 0; k < out.freq_hz.size(); ++k) {
         const cplx tv = -vx[k] / vy[k];
         // Probe branch current flows plus(x) -> minus(y); with 1 A pushed
         // into y, the B-side current is i + 1.

@@ -38,6 +38,8 @@ struct loop_gain_result {
     std::vector<cplx> ti;   ///< current-injection partial loop gain
     std::vector<cplx> t;    ///< combined (Middlebrook) loop gain
     spice::bode_margins margins; ///< margins of the combined loop gain
+    /// LU factorizations behind the sweep (fixed grid: one per point).
+    std::size_t factorizations = 0;
 };
 
 struct loop_gain_options {
@@ -46,6 +48,12 @@ struct loop_gain_options {
     real gshunt = 0.0;
     /// Worker threads for the sweep (1 = serial, 0 = all hardware threads).
     std::size_t threads = 1;
+    /// Adaptive frequency grid (engine/adaptive_sweep): the passed grid
+    /// defines the band and output density; only model-flagged points are
+    /// factored, the rest are evaluated from the fitted rational model.
+    bool adaptive = false;
+    real fit_tol = 1e-6;
+    std::size_t anchors_per_decade = 4;
     spice::dc_options dc;
 };
 

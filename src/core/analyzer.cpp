@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/second_order.h"
+#include "engine/adaptive_sweep.h"
 #include "engine/linearized_snapshot.h"
 #include "engine/sweep_engine.h"
 
@@ -30,6 +31,19 @@ namespace {
         eopt.threads = opt.threads;
         eopt.solver = opt.solver;
         return engine::sweep_engine(eopt);
+    }
+
+    engine::adaptive_sweep make_adaptive(const stability_options& opt)
+    {
+        engine::adaptive_sweep_options aopt;
+        aopt.fstart = opt.sweep.fstart;
+        aopt.fstop = opt.sweep.fstop;
+        aopt.output_points_per_decade = opt.sweep.points_per_decade;
+        aopt.anchors_per_decade = opt.anchors_per_decade;
+        aopt.fit_tol = opt.fit_tol;
+        aopt.engine.threads = opt.threads;
+        aopt.engine.solver = opt.solver;
+        return engine::adaptive_sweep(aopt);
     }
 
 } // namespace
@@ -79,17 +93,28 @@ node_stability stability_analyzer::analyze_node(const std::string& node_name)
         throw analysis_error("stability: cannot analyze the ground node");
 
     const std::vector<real>& op = operating_point();
-    const std::vector<real> freqs = opt_.sweep.frequencies();
 
     // The paper attaches an AC current stimulus to the node with every
     // other AC source zeroed; in engine terms that is a single injected
     // right-hand side against the zero-stimulus snapshot.
     const engine::linearized_snapshot snap = make_injection_snapshot(circuit_, op, opt_);
     const std::size_t k = static_cast<std::size_t>(*node);
+    const std::vector<engine::sweep_engine::injection> injections{
+        {k, cplx{opt_.stimulus_amps, 0.0}}};
 
+    if (opt_.adaptive) {
+        const engine::adaptive_sweep_result res
+            = make_adaptive(opt_).run_injections(snap, injections, {{0, k}});
+        std::vector<real> magnitude(res.freq_hz.size());
+        for (std::size_t i = 0; i < magnitude.size(); ++i)
+            magnitude[i] = std::abs(res.values[0][i]) / opt_.stimulus_amps;
+        return make_node_result(node_name, res.freq_hz, std::move(magnitude));
+    }
+
+    const std::vector<real> freqs = opt_.sweep.frequencies();
     std::vector<real> magnitude(freqs.size(), 0.0);
     make_engine(opt_).run_injections(
-        snap, freqs, {{k, cplx{opt_.stimulus_amps, 0.0}}},
+        snap, freqs, injections,
         [&magnitude, k, this](std::size_t fi, std::size_t, std::span<const cplx> sol) {
             // Normalize to impedance.
             magnitude[fi] = std::abs(sol[k]) / opt_.stimulus_amps;
@@ -122,23 +147,47 @@ stability_report stability_analyzer::analyze_all_nodes()
         if (!forced[k])
             injections.push_back({k, cplx{1.0, 0.0}}); // unit current into node k
 
-    // magnitude[node][freq]
-    std::vector<std::vector<real>> magnitude(node_count, std::vector<real>(nf, 0.0));
-    make_engine(opt_).run_injections(
-        snap, freqs, injections,
-        [&magnitude, &injections](std::size_t fi, std::size_t ri, std::span<const cplx> sol) {
-            const std::size_t k = injections[ri].index;
-            magnitude[k][fi] = std::abs(sol[k]);
-        });
-
     stability_report report;
+    std::vector<real> grid = freqs;
+    // magnitude[node][freq]
+    std::vector<std::vector<real>> magnitude(node_count);
+    if (opt_.adaptive && !injections.empty()) {
+        // One channel per injection (each node observes its own driving-
+        // point response); the adaptive driver refines on the worst node
+        // so a single solved grid serves every right-hand side.
+        std::vector<engine::adaptive_channel> channels(injections.size());
+        for (std::size_t ri = 0; ri < injections.size(); ++ri)
+            channels[ri] = {ri, injections[ri].index};
+        const engine::adaptive_sweep_result res
+            = make_adaptive(opt_).run_injections(snap, injections, channels);
+        grid = res.freq_hz;
+        report.factorizations = res.factorizations;
+        for (std::size_t ri = 0; ri < injections.size(); ++ri) {
+            std::vector<real>& mag = magnitude[injections[ri].index];
+            mag.resize(grid.size());
+            for (std::size_t fi = 0; fi < grid.size(); ++fi)
+                mag[fi] = std::abs(res.values[ri][fi]);
+        }
+    } else {
+        for (std::size_t k = 0; k < node_count; ++k)
+            magnitude[k].assign(nf, 0.0);
+        report.factorizations = nf;
+        make_engine(opt_).run_injections(
+            snap, freqs, injections,
+            [&magnitude, &injections](std::size_t fi, std::size_t ri,
+                                      std::span<const cplx> sol) {
+                const std::size_t k = injections[ri].index;
+                magnitude[k][fi] = std::abs(sol[k]);
+            });
+    }
+
     for (std::size_t k = 0; k < node_count; ++k) {
         const std::string& name = circuit_.node_name(static_cast<spice::node_id>(k));
         if (forced[k]) {
             report.skipped_nodes.push_back(name);
             continue;
         }
-        report.nodes.push_back(make_node_result(name, freqs, std::move(magnitude[k])));
+        report.nodes.push_back(make_node_result(name, grid, std::move(magnitude[k])));
     }
 
     std::sort(report.nodes.begin(), report.nodes.end(),

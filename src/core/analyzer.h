@@ -40,6 +40,16 @@ struct stability_options {
     /// Worker threads for the frequency sweeps (1 = serial, 0 = all
     /// hardware threads).
     std::size_t threads = 1;
+    /// Adaptive frequency grid (engine/adaptive_sweep): solve a coarse
+    /// anchor grid, fit a barycentric rational model, factor-and-solve
+    /// only where the model fails a backward-error check, and evaluate
+    /// the dense output grid from the model. Margins stay within
+    /// tolerance of the dense sweep at a fraction of the factorizations.
+    bool adaptive = false;
+    /// Relative backward-error tolerance of the adaptive model.
+    real fit_tol = 1e-6;
+    /// Anchor density of the adaptive sweep's always-solved coarse grid.
+    std::size_t anchors_per_decade = 4;
     /// Skip nodes held by ideal voltage sources (their impedance is 0).
     bool skip_forced_nodes = true;
     /// Relative natural-frequency tolerance when grouping nodes into loops.
@@ -73,6 +83,9 @@ struct stability_report {
     std::vector<node_stability> nodes; ///< sorted by natural frequency
     std::vector<loop_group> loops;
     std::vector<std::string> skipped_nodes; ///< source-forced, not analyzed
+    /// LU factorizations the sweep performed (the fixed grid factors one
+    /// per grid point; the adaptive path usually far fewer).
+    std::size_t factorizations = 0;
 };
 
 class stability_analyzer {

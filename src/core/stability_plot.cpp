@@ -15,11 +15,9 @@ std::vector<real> sweep_spec::frequencies() const
         throw analysis_error("sweep: need 0 < fstart < fstop");
     if (points_per_decade < 4)
         throw analysis_error("sweep: need at least 4 points per decade");
-    const real decades = std::log10(fstop / fstart);
-    const std::size_t n = std::max<std::size_t>(
-        8, static_cast<std::size_t>(std::ceil(decades * static_cast<real>(points_per_decade)))
-            + 1);
-    return numeric::log_space(fstart, fstop, n);
+    // The canonical grid shared with the CLI and the adaptive driver's
+    // anchor/output grids (numeric/interpolation.h).
+    return numeric::log_grid(fstart, fstop, points_per_decade, 8);
 }
 
 const stability_peak* stability_plot::dominant_pole() const noexcept
@@ -54,14 +52,36 @@ stability_plot compute_stability_plot(std::span<const real> freq_hz,
         throw analysis_error("stability plot: frequency/magnitude size mismatch");
     if (freq_hz.size() < 8)
         throw analysis_error("stability plot: need at least 8 sweep points");
+    for (std::size_t i = 1; i < freq_hz.size(); ++i)
+        if (!(freq_hz[i] > freq_hz[i - 1]))
+            throw analysis_error("stability plot: frequencies must be strictly increasing");
 
     stability_plot plot;
-    plot.freq_hz.assign(freq_hz.begin(), freq_hz.end());
-    plot.magnitude.assign(magnitude.begin(), magnitude.end());
-    plot.p = opt.use_direct_formula
-        ? numeric::stability_function_direct(freq_hz, magnitude)
-        : numeric::log_log_curvature(freq_hz, magnitude);
+    // Coalesce near-duplicate frequencies before differentiating: the
+    // curvature stencils divide by the squared spacing, so two samples a
+    // hair apart (an adaptive union grid's output point brushing a solved
+    // point) would turn last-ulp magnitude differences into huge spurious
+    // P excursions. Uniform sweeps are orders of magnitude coarser than
+    // the threshold and pass through untouched.
+    const real min_sep = opt.min_separation_decades * std::log(real{10.0});
+    plot.freq_hz.reserve(freq_hz.size());
+    plot.magnitude.reserve(freq_hz.size());
+    plot.freq_hz.push_back(freq_hz[0]);
+    plot.magnitude.push_back(magnitude[0]);
+    for (std::size_t i = 1; i < freq_hz.size(); ++i) {
+        if (std::log(freq_hz[i] / plot.freq_hz.back()) < min_sep)
+            continue;
+        plot.freq_hz.push_back(freq_hz[i]);
+        plot.magnitude.push_back(magnitude[i]);
+    }
+    if (plot.freq_hz.size() < 8)
+        throw analysis_error("stability plot: need at least 8 distinct sweep points");
 
+    plot.p = opt.use_direct_formula
+        ? numeric::stability_function_direct(plot.freq_hz, plot.magnitude)
+        : numeric::log_log_curvature(plot.freq_hz, plot.magnitude);
+
+    const std::vector<real>& f = plot.freq_hz;
     const std::vector<real>& p = plot.p;
     const std::size_t n = p.size();
     // Boundary samples of the second derivative are copies; treat the two
@@ -69,25 +89,48 @@ stability_plot compute_stability_plot(std::span<const real> freq_hz,
     const std::size_t lo = 2;
     const std::size_t hi = n - 3;
 
+    // Parabolic-refinement bracket around extremum i. On uniform grids
+    // this is the classic (i-1, i, i+1); on non-uniform grids a neighbour
+    // may sit far closer on one side (a refined cluster next to coarse
+    // anchors), and a parabola through such lopsided arms locates the
+    // extremum poorly — walk outward until the arms are within 4:1 in
+    // log-frequency.
+    const auto bracket = [&f, n](std::size_t i, std::size_t& il, std::size_t& ir) {
+        il = i - 1;
+        ir = i + 1;
+        const auto lf = [&f](std::size_t j) { return std::log(f[j]); };
+        // Iterate to a fixpoint: widening one arm can re-break the other
+        // arm's 4:1 condition (e.g. a cluster on one side of a big gap).
+        // il/ir move monotonically toward the ends, so this terminates.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            while (il > 0 && lf(i) - lf(il) < 0.25 * (lf(ir) - lf(i))) {
+                --il;
+                changed = true;
+            }
+            while (ir + 1 < n && lf(ir) - lf(i) < 0.25 * (lf(i) - lf(il))) {
+                ++ir;
+                changed = true;
+            }
+        }
+    };
+
     bool found_pole = false;
     for (std::size_t i = lo; i <= hi; ++i) {
         const bool is_min = p[i] < p[i - 1] && p[i] <= p[i + 1];
         const bool is_max = p[i] > p[i - 1] && p[i] >= p[i + 1];
         if (!is_min && !is_max)
             continue;
-        if (is_min && p[i] < -opt.min_peak) {
-            const auto ref = numeric::refine_extremum(
-                std::log(freq_hz[i - 1]), p[i - 1], std::log(freq_hz[i]), p[i],
-                std::log(freq_hz[i + 1]), p[i + 1]);
-            plot.peaks.push_back({peak_kind::complex_pole, peak_flag::normal,
-                                  std::exp(ref.x), ref.y, i});
-            found_pole = true;
-        } else if (is_max && p[i] > opt.min_peak) {
-            const auto ref = numeric::refine_extremum(
-                std::log(freq_hz[i - 1]), p[i - 1], std::log(freq_hz[i]), p[i],
-                std::log(freq_hz[i + 1]), p[i + 1]);
-            plot.peaks.push_back({peak_kind::complex_zero, peak_flag::normal,
-                                  std::exp(ref.x), ref.y, i});
+        if ((is_min && p[i] < -opt.min_peak) || (is_max && p[i] > opt.min_peak)) {
+            std::size_t il = 0;
+            std::size_t ir = 0;
+            bracket(i, il, ir);
+            const auto ref = numeric::refine_extremum(std::log(f[il]), p[il], std::log(f[i]),
+                                                      p[i], std::log(f[ir]), p[ir]);
+            const peak_kind kind = is_min ? peak_kind::complex_pole : peak_kind::complex_zero;
+            plot.peaks.push_back({kind, peak_flag::normal, std::exp(ref.x), ref.y, i});
+            found_pole = found_pole || is_min;
         }
     }
 
@@ -99,7 +142,7 @@ stability_plot compute_stability_plot(std::span<const real> freq_hz,
         if (*it < -opt.min_peak) {
             const peak_flag flag
                 = (i < lo || i > hi) ? peak_flag::end_of_range : peak_flag::min_max;
-            plot.peaks.push_back({peak_kind::complex_pole, flag, freq_hz[i], *it, i});
+            plot.peaks.push_back({peak_kind::complex_pole, flag, f[i], *it, i});
         }
     }
 

@@ -43,12 +43,23 @@ struct stability_peak {
     peak_flag flag = peak_flag::normal;
     real freq_hz = 0.0;     ///< natural frequency (parabolic-refined)
     real value = 0.0;       ///< performance index (negative for poles)
-    std::size_t index = 0;  ///< sweep index of the extreme sample
+    /// Index of the extreme sample into the plot's freq_hz/p arrays
+    /// (which may be a coalesced subset of the input grid; see
+    /// plot_options::min_separation_decades).
+    std::size_t index = 0;
 };
 
 struct plot_options {
     /// Minimum |P| for a peak to be reported.
     real min_peak = 0.05;
+    /// Grid points closer than this (in decades) are coalesced before
+    /// differentiation. Non-uniform grids — the adaptive sweep's union of
+    /// dense output and solved refinement points — can carry
+    /// near-duplicate frequencies whose tiny spacing amplifies rounding
+    /// noise catastrophically in the second-derivative stencils; uniform
+    /// sweeps at any practical density are far coarser than this and are
+    /// unaffected.
+    real min_separation_decades = 1e-4;
     /// Use the direct eq.-(1.3) discretization instead of the log-log
     /// curvature form (ablation A3; results agree to discretization error).
     bool use_direct_formula = false;

@@ -183,7 +183,9 @@ namespace {
         // worker starts.
         std::shared_ptr<const numeric::symbolic_lu<cplx>> shared_sym;
         if (opt.solver == spice::solver_kind::sparse && opt.shared_symbolic)
-            shared_sym = snap.shared_symbolic(to_omega(freqs_hz[nf / 2]));
+            shared_sym = snap.shared_symbolic(opt.symbolic_omega_ref > 0.0
+                                                  ? opt.symbolic_omega_ref
+                                                  : to_omega(freqs_hz[nf / 2]));
 
         // Balanced contiguous partition: exactly `workers` chunks, sizes
         // differing by at most one (a ceil-sized chunk count would leave

@@ -55,6 +55,12 @@ struct sweep_engine_options {
     /// each chunk runs its own symbolic analysis, seeded at the chunk's
     /// middle frequency — kept as an ablation/bisection axis.
     bool shared_symbolic = true;
+    /// Angular frequency at which the shared symbolic factorization is
+    /// seeded. 0 (the default) uses the middle of each run's grid; the
+    /// adaptive driver pins it to the band's midpoint so its many small
+    /// refinement batches all hit the snapshot's cached symbolic object
+    /// instead of re-running the symbolic analysis per batch.
+    real symbolic_omega_ref = 0.0;
     /// Upper bound on right-hand sides per batched back-solve. Bounds the
     /// worker-local staging to O(rhs_block * n) while still amortizing
     /// each L/U traversal across the batch; 1 disables batching.

@@ -1,0 +1,101 @@
+// AAA-style barycentric rational approximation of sampled frequency
+// responses (Nakatsukasa, Sete, Trefethen; applied to closed-loop
+// responses as in Cooman et al.'s model-free stability analysis).
+//
+// The fit is VECTOR-valued: all components share one set of support
+// points x_j and one weight vector w, so the same barycentric
+// coefficients that reproduce the fitted channels also interpolate any
+// other quantity sampled at the same frequencies (the adaptive sweep
+// driver exploits this to predict full MNA solution vectors from a model
+// fitted only to a handful of observables). Support points are chosen
+// greedily at the worst-error sample; the weights minimize the linearized
+// residual over the non-support samples (smallest singular vector of the
+// stacked Loewner matrix, computed via inverse iteration on the small
+// Hermitian normal matrix).
+#ifndef ACSTAB_NUMERIC_AAA_H
+#define ACSTAB_NUMERIC_AAA_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acstab::numeric {
+
+struct aaa_options {
+    /// Stop once the worst scaled fit error over non-support samples
+    /// drops below this (each component is scaled by its own max
+    /// magnitude, so channels of very different size converge together).
+    real rel_tol = 1e-9;
+    /// Upper bound on support points (the barycentric degree + 1). The
+    /// fit also never uses more than sample_count - 1 support points, so
+    /// at least one sample always constrains the weights.
+    std::size_t max_support = 48;
+};
+
+/// Barycentric coefficients of one evaluation point: either an exact hit
+/// on support point `hit` or a dense coefficient vector over the support
+/// (summing to 1) such that r_c(x) = sum_j coeff[j] * f_c(support[j]).
+struct barycentric_coeffs {
+    bool exact_hit = false;
+    std::size_t hit = 0;
+    std::vector<cplx> coeff;
+    /// |sum w_j/(x-x_j)| / sum |w_j/(x-x_j)|: near-total cancellation
+    /// (values << 1) marks a model pole close to x — the only way a
+    /// rational model can spike between validated frequencies. 1 for
+    /// exact hits.
+    real denom_health = 1.0;
+};
+
+class aaa_model {
+public:
+    aaa_model() = default;
+
+    [[nodiscard]] std::size_t support_count() const noexcept { return support_x_.size(); }
+    [[nodiscard]] std::size_t component_count() const noexcept { return support_f_.size(); }
+    /// Support abscissae, in the order they were selected.
+    [[nodiscard]] const std::vector<real>& support() const noexcept { return support_x_; }
+    /// Index of each support point into the original sample arrays.
+    [[nodiscard]] const std::vector<std::size_t>& support_samples() const noexcept
+    {
+        return support_idx_;
+    }
+    [[nodiscard]] const std::vector<cplx>& weights() const noexcept { return weights_; }
+    /// Worst scaled error over the non-support samples of the final fit.
+    [[nodiscard]] real fit_error() const noexcept { return fit_error_; }
+
+    /// Evaluate component c at x. Exact at support points (barycentric
+    /// interpolation), smooth rational elsewhere.
+    [[nodiscard]] cplx eval(std::size_t c, real x) const;
+
+    /// The barycentric combination coefficients at x, usable to predict
+    /// any vector quantity sampled at the support frequencies.
+    [[nodiscard]] barycentric_coeffs coeffs_at(real x) const;
+
+    /// Evaluate component c with coefficients already computed by
+    /// coeffs_at — the shared-support form makes one coefficient set
+    /// serve every component of a multi-channel evaluation.
+    [[nodiscard]] cplx eval_with(const barycentric_coeffs& bc, std::size_t c) const;
+
+    friend aaa_model aaa_fit(std::span<const real> x,
+                             const std::vector<std::vector<cplx>>& f, const aaa_options& opt);
+
+private:
+    std::vector<real> support_x_;
+    std::vector<std::size_t> support_idx_;
+    std::vector<cplx> weights_;
+    std::vector<std::vector<cplx>> support_f_; ///< [component][support index]
+    real fit_error_ = 0.0;
+};
+
+/// Fit a shared-support barycentric rational model to f[c][i] sampled at
+/// distinct abscissae x[i]. Every component array must have x.size()
+/// entries; at least 3 samples are required.
+[[nodiscard]] aaa_model aaa_fit(std::span<const real> x,
+                                const std::vector<std::vector<cplx>>& f,
+                                const aaa_options& opt = {});
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_AAA_H

@@ -102,6 +102,25 @@ struct parabolic_extremum {
     return g;
 }
 
+/// The canonical log-frequency sweep grid: `ppd` points per decade over
+/// [lo, hi], both endpoints included, never fewer than `min_points`.
+/// Shared by the fixed sweep (core::sweep_spec), the CLI grids and the
+/// adaptive driver's anchor/output grids so every path realizes the same
+/// frequencies for the same (lo, hi, ppd).
+[[nodiscard]] inline std::vector<real> log_grid(real lo, real hi, std::size_t ppd,
+                                                std::size_t min_points = 2)
+{
+    if (!(lo > 0.0) || !(hi > lo))
+        throw numeric_error("log_grid: need 0 < lo < hi");
+    if (ppd == 0)
+        throw numeric_error("log_grid: need at least 1 point per decade");
+    const real decades = std::log10(hi / lo);
+    const std::size_t n = std::max<std::size_t>(
+        std::max<std::size_t>(min_points, 2),
+        static_cast<std::size_t>(std::ceil(decades * static_cast<real>(ppd))) + 1);
+    return log_space(lo, hi, n);
+}
+
 /// Linearly spaced grid from lo to hi inclusive (n >= 2 points).
 [[nodiscard]] inline std::vector<real> lin_space(real lo, real hi, std::size_t n)
 {

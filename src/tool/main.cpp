@@ -17,6 +17,8 @@
 #include "analysis/loop_gain.h"
 #include "analysis/pole_zero.h"
 #include "core/analyzer.h"
+#include "engine/adaptive_sweep.h"
+#include "engine/linearized_snapshot.h"
 #include "core/ascii_plot.h"
 #include "core/report.h"
 #include "numeric/interpolation.h"
@@ -50,13 +52,36 @@ int cmd_ac(spice::circuit& c, const cli_options& opt)
     if (opt.node.empty())
         throw analysis_error("ac: --node is required");
     const spice::dc_result op = spice::dc_operating_point(c);
-    const std::vector<real> freqs
-        = numeric::log_space(opt.fstart, opt.fstop,
-                             sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
-    spice::ac_options aopt;
-    aopt.threads = opt.threads;
-    const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution, aopt);
-    const std::vector<cplx> h = spice::node_response(c, res, opt.node);
+    std::vector<real> freqs;
+    std::vector<cplx> h;
+    if (opt.adaptive) {
+        // Anchor + rational-fit refinement on the selected node's
+        // response; the dense grid is evaluated from the fitted model.
+        const auto node = c.find_node(opt.node);
+        if (!node)
+            throw analysis_error("ac: unknown node '" + opt.node + "'");
+        if (*node < 0)
+            throw analysis_error("ac: cannot plot the ground node");
+        c.finalize();
+        const engine::linearized_snapshot snap(c, op.solution, {});
+        engine::adaptive_sweep_options aopt;
+        aopt.fstart = opt.fstart;
+        aopt.fstop = opt.fstop;
+        aopt.output_points_per_decade = opt.ppd;
+        aopt.anchors_per_decade = opt.anchors_per_decade;
+        aopt.fit_tol = opt.fit_tol;
+        aopt.engine.threads = opt.threads;
+        const engine::adaptive_sweep_result res = engine::adaptive_sweep(aopt).run(
+            snap, {snap.stimulus_rhs()}, {{0, static_cast<std::size_t>(*node)}});
+        freqs = res.freq_hz;
+        h = res.values[0];
+    } else {
+        freqs = numeric::log_grid(opt.fstart, opt.fstop, opt.ppd);
+        spice::ac_options aopt;
+        aopt.threads = opt.threads;
+        const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution, aopt);
+        h = spice::node_response(c, res, opt.node);
+    }
     const std::vector<real> mag_db = spice::db20(h);
     const std::vector<real> phase = spice::phase_deg_unwrapped(h);
 
@@ -105,6 +130,9 @@ int cmd_stability(spice::circuit& c, const cli_options& opt)
     sopt.sweep.fstop = opt.fstop;
     sopt.sweep.points_per_decade = opt.ppd;
     sopt.threads = opt.threads;
+    sopt.adaptive = opt.adaptive;
+    sopt.fit_tol = opt.fit_tol;
+    sopt.anchors_per_decade = opt.anchors_per_decade;
     core::stability_analyzer an(c, sopt);
 
     if (!opt.node.empty()) {
@@ -153,24 +181,25 @@ int cmd_loopgain(spice::circuit& c, const cli_options& opt)
 {
     if (opt.probe.empty())
         throw analysis_error("loopgain: --probe <vsource> is required");
-    const std::vector<real> freqs
-        = numeric::log_space(opt.fstart, opt.fstop,
-                             sweep_point_count(opt.fstart, opt.fstop, opt.ppd));
+    const std::vector<real> freqs = numeric::log_grid(opt.fstart, opt.fstop, opt.ppd);
     analysis::loop_gain_options lopt;
     lopt.threads = opt.threads;
+    lopt.adaptive = opt.adaptive;
+    lopt.fit_tol = opt.fit_tol;
+    lopt.anchors_per_decade = opt.anchors_per_decade;
     const analysis::loop_gain_result lg
         = analysis::measure_loop_gain(c, opt.probe, freqs, lopt);
     if (opt.csv) {
         std::puts("freq_hz,t_mag_db,t_phase_deg");
         const std::vector<real> db = spice::db20(lg.t);
         const std::vector<real> ph = spice::phase_deg_unwrapped(lg.t);
-        for (std::size_t i = 0; i < freqs.size(); ++i)
-            std::printf("%.8g,%.8g,%.8g\n", freqs[i], db[i], ph[i]);
+        for (std::size_t i = 0; i < lg.freq_hz.size(); ++i)
+            std::printf("%.8g,%.8g,%.8g\n", lg.freq_hz[i], db[i], ph[i]);
         return 0;
     }
     core::ascii_plot_options po;
     po.title = "loop gain |T| [dB] via probe " + opt.probe;
-    std::fputs(core::ascii_plot(freqs, spice::db20(lg.t), po).c_str(), stdout);
+    std::fputs(core::ascii_plot(lg.freq_hz, spice::db20(lg.t), po).c_str(), stdout);
     if (lg.margins.has_unity_crossing) {
         std::printf("\n0 dB crossover : %s\n",
                     spice::format_frequency(lg.margins.unity_freq_hz).c_str());
@@ -245,6 +274,8 @@ void print_usage()
     std::puts("options:");
     std::puts("  --node NAME --all --probe NAME --fstart HZ --fstop HZ --ppd N");
     std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
+    std::puts("  --adaptive (rational-fit adaptive grid: factor 5-10x fewer points)");
+    std::puts("  --fit-tol TOL --anchors-per-decade N (adaptive sweep tuning)");
 }
 
 } // namespace

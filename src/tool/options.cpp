@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/error.h"
+#include "numeric/interpolation.h"
 #include "spice/units.h"
 
 namespace acstab::tool {
@@ -35,6 +36,13 @@ cli_options parse_cli_options(int argc, char** argv)
             opt.dt = spice::parse_spice_number(need_value(key));
         else if (key == "--threads")
             opt.threads = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--adaptive")
+            opt.adaptive = true;
+        else if (key == "--fit-tol")
+            opt.fit_tol = spice::parse_spice_number(need_value(key));
+        else if (key == "--anchors-per-decade")
+            opt.anchors_per_decade
+                = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
         else if (key == "--csv")
             opt.csv = true;
         else if (key == "--annotate")
@@ -51,8 +59,9 @@ std::size_t sweep_point_count(real fstart, real fstop, std::size_t ppd)
 {
     if (!(fstart > 0.0) || !(fstop > fstart))
         throw analysis_error("sweep: need 0 < fstart < fstop");
-    const real decades = std::log10(fstop / fstart);
-    return static_cast<std::size_t>(std::ceil(decades * static_cast<real>(ppd))) + 1;
+    // Delegate to the one shared grid helper so the CLI, core::sweep_spec
+    // and the adaptive driver always realize identical grids.
+    return numeric::log_grid(fstart, fstop, ppd).size();
 }
 
 } // namespace acstab::tool

@@ -2,9 +2,11 @@
 // damping ratio and natural frequency, special-case classification.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "numeric/interpolation.h"
 #include "core/second_order.h"
 #include "core/stability_plot.h"
 #include "numeric/rational.h"
@@ -219,6 +221,82 @@ TEST(stability_plot, direct_formula_option_agrees)
     ASSERT_NE(pb, nullptr);
     EXPECT_NEAR(pa->value, pb->value, std::fabs(pa->value) * 0.06);
     EXPECT_NEAR(pa->freq_hz, pb->freq_hz, pa->freq_hz * 0.02);
+}
+
+// ---- non-uniform grids (the adaptive sweep's union grids) ----------------
+
+TEST(stability_plot, nonuniform_union_grid_locates_peak_correctly)
+{
+    // Regression: the adaptive sweep emits a dense log grid merged with
+    // solved refinement points — non-uniform spacing, clusters around the
+    // peak, and (worst case) points brushing each other. Peak/Q
+    // extraction must still read the analytic values.
+    const real zeta = 0.2;
+    const real fn = 1e6;
+    const auto t = numeric::rational::second_order_lowpass(zeta, to_omega(fn));
+
+    std::vector<real> freqs;
+    // Coarse 6/decade backbone away from the peak...
+    for (const real f : numeric::log_space(1e3, 1e9, 37))
+        freqs.push_back(f);
+    // ...a dense refinement cluster across the peak (120/decade)...
+    for (const real f : numeric::log_space(fn / 3.0, fn * 3.0, 115))
+        freqs.push_back(f);
+    // ...and near-duplicates: output points brushing solved points a few
+    // ulps apart, where magnitude rounding noise dwarfs the true slope and
+    // raw 3-point curvature stencils manufacture spurious extrema (without
+    // the coalescing fix this fixture reports a phantom second pole).
+    freqs.push_back(3.3e5 * (1.0 + 2e-15));
+    freqs.push_back(3.3e5);
+    freqs.push_back(7.7e6 * (1.0 + 4e-15));
+    freqs.push_back(7.7e6);
+    std::sort(freqs.begin(), freqs.end());
+    freqs.erase(std::unique(freqs.begin(), freqs.end()), freqs.end());
+
+    std::vector<real> mag(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        mag[i] = t.magnitude(to_omega(freqs[i]));
+
+    const stability_plot plot = compute_stability_plot(freqs, mag);
+    const stability_peak* peak = plot.dominant_pole();
+    ASSERT_NE(peak, nullptr);
+    EXPECT_EQ(peak->flag, peak_flag::normal);
+    EXPECT_NEAR(peak->freq_hz, fn, fn * 0.02);
+    const real expected = -1.0 / (zeta * zeta);
+    EXPECT_NEAR(peak->value, expected, std::fabs(expected) * 0.05);
+    // Exactly one pole must be reported: the near-duplicate pairs must
+    // not masquerade as extra extrema.
+    std::size_t poles = 0;
+    for (const auto& pk : plot.peaks)
+        if (pk.kind == peak_kind::complex_pole)
+            ++poles;
+    EXPECT_EQ(poles, 1u);
+}
+
+TEST(stability_plot, coalescing_leaves_uniform_grids_untouched)
+{
+    const stability_plot plot = plot_of_prototype(0.3, 1e6, 1e3, 1e9, 40);
+    // A 40/decade grid is far coarser than the coalescing threshold:
+    // every input point must survive.
+    sweep_spec sweep;
+    sweep.fstart = 1e3;
+    sweep.fstop = 1e9;
+    sweep.points_per_decade = 40;
+    EXPECT_EQ(plot.freq_hz.size(), sweep.frequencies().size());
+    plot_options off;
+    off.min_separation_decades = 0.0;
+    const stability_plot raw = plot_of_prototype(0.3, 1e6, 1e3, 1e9, 40, off);
+    ASSERT_NE(plot.dominant_pole(), nullptr);
+    ASSERT_NE(raw.dominant_pole(), nullptr);
+    EXPECT_EQ(plot.dominant_pole()->value, raw.dominant_pole()->value);
+    EXPECT_EQ(plot.dominant_pole()->freq_hz, raw.dominant_pole()->freq_hz);
+}
+
+TEST(stability_plot, rejects_unsorted_frequencies)
+{
+    std::vector<real> f{1, 2, 3, 4, 5, 6, 8, 7};
+    std::vector<real> m(8, 1.0);
+    EXPECT_THROW(compute_stability_plot(f, m), analysis_error);
 }
 
 TEST(stability_plot, input_validation)

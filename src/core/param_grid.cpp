@@ -1,0 +1,138 @@
+#include "core/param_grid.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace acstab::core {
+
+namespace {
+
+    [[nodiscard]] std::string format_value(real v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return buf;
+    }
+
+} // namespace
+
+std::string grid_point::label() const
+{
+    std::string out;
+    if (temp_celsius) {
+        out += "T=";
+        out += format_value(*temp_celsius);
+    }
+    if (!corner.empty()) {
+        if (!out.empty())
+            out += ' ';
+        out += "corner=";
+        out += corner;
+    }
+    // The override map is unordered; sort the names so the label is
+    // stable across runs and processes.
+    std::vector<std::string> names;
+    names.reserve(overrides.size());
+    for (const auto& [name, v] : overrides)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+        if (!out.empty())
+            out += ' ';
+        out += name;
+        out += '=';
+        out += format_value(overrides.at(name));
+    }
+    return out.empty() ? "nominal" : out;
+}
+
+spice::parse_options grid_point::parse_options() const
+{
+    spice::parse_options popt;
+    popt.param_overrides = overrides;
+    popt.temp_celsius = temp_celsius;
+    return popt;
+}
+
+std::size_t param_grid::size() const
+{
+    std::unordered_set<std::string> seen;
+    for (const corner_def& c : corners) {
+        if (c.name.empty())
+            throw analysis_error("param grid: corner with an empty name");
+        if (!seen.insert(c.name).second)
+            throw analysis_error("param grid: duplicate corner '" + c.name + "'");
+    }
+    seen.clear();
+    std::size_t total = std::max<std::size_t>(1, temps.size())
+        * std::max<std::size_t>(1, corners.size());
+    for (const param_axis& axis : axes) {
+        if (axis.name.empty())
+            throw analysis_error("param grid: axis with an empty name");
+        if (axis.values.empty())
+            throw analysis_error("param grid: axis '" + axis.name + "' has no values");
+        if (!seen.insert(axis.name).second)
+            throw analysis_error("param grid: duplicate axis '" + axis.name + "'");
+        total *= axis.values.size();
+    }
+    return total;
+}
+
+grid_point param_grid::point(std::size_t index) const
+{
+    const std::size_t total = size(); // also validates the axes
+    if (index >= total)
+        throw analysis_error("param grid: point index " + std::to_string(index)
+                             + " out of range (grid has " + std::to_string(total)
+                             + " points)");
+
+    grid_point pt;
+    pt.index = index;
+
+    // Row-major decode, last axis fastest: peel the param axes from the
+    // back, then the corner digit, then TEMP.
+    std::size_t rest = index;
+    std::vector<std::size_t> axis_digit(axes.size(), 0);
+    for (std::size_t a = axes.size(); a-- > 0;) {
+        axis_digit[a] = rest % axes[a].values.size();
+        rest /= axes[a].values.size();
+    }
+    const std::size_t ncorner = std::max<std::size_t>(1, corners.size());
+    const std::size_t corner_digit = rest % ncorner;
+    rest /= ncorner;
+
+    if (!temps.empty())
+        pt.temp_celsius = temps[rest];
+    if (!corners.empty()) {
+        pt.corner = corners[corner_digit].name;
+        pt.overrides = corners[corner_digit].overrides;
+    }
+    // Axis values override a same-named corner parameter (finer knob).
+    for (std::size_t a = 0; a < axes.size(); ++a)
+        pt.overrides[axes[a].name] = axes[a].values[axis_digit[a]];
+    return pt;
+}
+
+spice::parsed_netlist circuit_template::build(const grid_point& pt) const
+{
+    const spice::parse_options popt = pt.parse_options();
+    if (!text.empty())
+        return spice::parse_netlist(text, popt);
+    if (path.empty())
+        throw analysis_error("circuit template: neither netlist path nor text set");
+    return spice::parse_netlist_file(path, popt);
+}
+
+param_grid grid_from_netlist_cards(const spice::parsed_netlist& net)
+{
+    param_grid grid;
+    grid.temps = net.temp_values;
+    for (const spice::corner_card& c : net.corners)
+        grid.corners.push_back({c.name, c.overrides});
+    return grid;
+}
+
+} // namespace acstab::core

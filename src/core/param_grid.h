@@ -1,0 +1,90 @@
+// Declarative parameter grids for corner/TEMP campaigns (the paper's
+// "computer farm run capability").
+//
+// A param_grid is the cartesian product TEMP x corner x named `.param`
+// axes; a grid_point is one fully decoded cell of that product, carrying
+// everything needed to rebuild the circuit — a temperature override, a
+// corner name and the merged `.param` override map. Both are plain value
+// types: unlike the closure factories of the historical sweep API they
+// serialize, so a campaign planned in one process can be executed shard
+// by shard on independent processes (src/farm/) and merged
+// deterministically by each point's stable global index.
+#ifndef ACSTAB_CORE_PARAM_GRID_H
+#define ACSTAB_CORE_PARAM_GRID_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/parser/netlist_parser.h"
+
+namespace acstab::core {
+
+/// A named `.param` override set ("fast", "slow", "hot_weak", ...).
+struct corner_def {
+    std::string name;
+    spice::parameter_table overrides;
+};
+
+/// One numeric `.param` axis of the grid.
+struct param_axis {
+    std::string name;
+    std::vector<real> values;
+};
+
+/// One decoded grid cell. `index` is the point's stable global position
+/// in the grid's row-major order; shard executors key their result
+/// records on it so a merge reassembles the campaign deterministically.
+struct grid_point {
+    std::size_t index = 0;
+    std::optional<real> temp_celsius;
+    std::string corner; ///< empty = nominal (no corner axis)
+    /// Merged overrides: corner values first, then param axes (an axis
+    /// sharing a corner's parameter name wins — it is the finer knob).
+    spice::parameter_table overrides;
+
+    /// Human-readable cell descriptor ("T=27 corner=fast rload=1000").
+    [[nodiscard]] std::string label() const;
+
+    /// The parser-facing form of this point.
+    [[nodiscard]] spice::parse_options parse_options() const;
+};
+
+/// Cartesian TEMP x corner x `.param` grid. Empty axes contribute a
+/// single nominal value, so an all-empty grid has exactly one point.
+/// Decode order is row-major with TEMP slowest, then corner, then the
+/// param axes in declaration order (last axis fastest) — the global
+/// point indices this defines are the contract shards and merges rely on.
+struct param_grid {
+    std::vector<real> temps;
+    std::vector<corner_def> corners;
+    std::vector<param_axis> axes;
+
+    /// Number of grid points (>= 1; throws analysis_error on an axis with
+    /// no values or a duplicate axis/corner name).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Decode global point `index` into its cell.
+    [[nodiscard]] grid_point point(std::size_t index) const;
+};
+
+/// A circuit rebuildable from a netlist plus a grid point: the value-typed
+/// replacement for the closure factories (closures cannot cross process
+/// boundaries; a path + override map can). Exactly one of `path` / `text`
+/// is used: `text` when non-empty (hermetic tests), else `path`.
+struct circuit_template {
+    std::string path;
+    std::string text;
+
+    /// Parse the netlist with the point's overrides applied.
+    [[nodiscard]] spice::parsed_netlist build(const grid_point& pt) const;
+};
+
+/// Build a param_grid from a parsed netlist's `.temp` / `.corner`
+/// campaign cards (no param axes; add those from CLI flags).
+[[nodiscard]] param_grid grid_from_netlist_cards(const spice::parsed_netlist& net);
+
+} // namespace acstab::core
+
+#endif // ACSTAB_CORE_PARAM_GRID_H

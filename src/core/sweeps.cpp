@@ -8,33 +8,98 @@
 
 namespace acstab::core {
 
-std::vector<sweep_point_result>
-sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
-                const std::vector<real>& parameter_values, const stability_options& opt)
+std::vector<grid_point_result>
+sweep_stability_grid(const grid_circuit_factory& factory, const param_grid& grid,
+                     std::size_t begin, std::size_t end, const stability_options& opt)
 {
+    const std::size_t total = grid.size();
+    if (begin > end || end > total)
+        throw analysis_error("sweep grid: bad point range [" + std::to_string(begin) + ", "
+                             + std::to_string(end) + ") of " + std::to_string(total));
+
     // Points run concurrently on the shared pool; the per-point analysis
     // is forced serial so a corner farm of cheap points does not fight
     // the frequency-level parallelism for cores.
     stability_options point_opt = opt;
     point_opt.threads = 1;
 
-    std::vector<sweep_point_result> out(parameter_values.size());
+    std::vector<grid_point_result> out(end - begin);
     engine::sweep_engine_options eopt;
     eopt.threads = opt.threads;
     const engine::sweep_engine eng(eopt);
-    eng.for_each(parameter_values.size(), [&](std::size_t i) {
-        sweep_point_result& point = out[i];
-        point.parameter = parameter_values[i];
+    eng.for_each(end - begin, [&](std::size_t i) {
+        grid_point_result& res = out[i];
+        res.point = grid.point(begin + i);
         spice::circuit c;
-        const std::string node = factory(c, parameter_values[i]);
+        std::string node;
         try {
+            node = factory(c, res.point);
+            res.node.node = node;
             stability_analyzer an(c, point_opt);
-            point.node = an.analyze_node(node);
-        } catch (const convergence_error&) {
-            point.dc_converged = false;
-            point.node.node = node;
+            res.node = an.analyze_node(node);
+        } catch (const convergence_error& e) {
+            res.status = point_status::dc_failed;
+            res.error = e.what();
+            res.node = node_stability{};
+            res.node.node = node;
+        } catch (const error& e) {
+            // Any other per-point failure — a singular matrix at a
+            // pathological corner, a parse error from an override — is
+            // recorded so the rest of the campaign survives.
+            res.status = point_status::analysis_failed;
+            res.error = e.what();
+            res.node = node_stability{};
+            res.node.node = node;
         }
     });
+    return out;
+}
+
+std::vector<grid_point_result> sweep_stability_grid(const grid_circuit_factory& factory,
+                                                    const param_grid& grid,
+                                                    const stability_options& opt)
+{
+    return sweep_stability_grid(factory, grid, 0, grid.size(), opt);
+}
+
+std::vector<grid_point_result> sweep_stability_grid(const circuit_template& tmpl,
+                                                    const std::string& node,
+                                                    const param_grid& grid,
+                                                    const stability_options& opt)
+{
+    return sweep_stability_grid(
+        [&tmpl, &node](spice::circuit& c, const grid_point& pt) {
+            c = std::move(tmpl.build(pt).ckt);
+            return node;
+        },
+        grid, opt);
+}
+
+std::vector<sweep_point_result>
+sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
+                const std::vector<real>& parameter_values, const stability_options& opt)
+{
+    if (parameter_values.empty())
+        return {};
+
+    // The swept values become a single anonymous grid axis; the grid
+    // runner supplies the per-point dispatch and error capture.
+    param_grid grid;
+    grid.axes.push_back({"value", parameter_values});
+    const std::vector<grid_point_result> res = sweep_stability_grid(
+        [&factory](spice::circuit& c, const grid_point& pt) {
+            return factory(c, pt.overrides.at("value"));
+        },
+        grid, opt);
+
+    std::vector<sweep_point_result> out(res.size());
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        out[i].parameter = parameter_values[i];
+        out[i].node = res[i].node;
+        out[i].status = res[i].status;
+        out[i].error = res[i].error;
+        out[i].dc_converged = res[i].status != point_status::dc_failed;
+    }
     return out;
 }
 
@@ -45,9 +110,12 @@ std::string format_sweep(const std::vector<sweep_point_result>& points,
     os << parameter_name << "        fn            peak        zeta     est. PM\n";
     os << "------------------------------------------------------------------\n";
     for (const sweep_point_result& p : points) {
-        char line[160];
-        if (!p.dc_converged) {
+        char line[200];
+        if (p.status == point_status::dc_failed) {
             std::snprintf(line, sizeof line, "%-12.4g (DC did not converge)\n", p.parameter);
+        } else if (p.status == point_status::analysis_failed) {
+            std::snprintf(line, sizeof line, "%-12.4g (analysis failed: %.120s)\n",
+                          p.parameter, p.error.c_str());
         } else if (!p.node.has_peak) {
             std::snprintf(line, sizeof line, "%-12.4g (no complex-pole peak)\n", p.parameter);
         } else {

@@ -1,8 +1,15 @@
 // Parameterized re-analysis ("in-tool sweeps", paper section 4.2): run the
-// stability analysis across a swept parameter — temperature, a component
-// value, a bias level — by rebuilding the circuit per point through a
-// caller-supplied factory. The paper lists TEMP sweeps and corner runs as
-// in-development features of the original tool.
+// stability analysis across a parameter grid — temperature, corners,
+// named `.param` values — rebuilding the circuit per point.
+//
+// The declarative entry points take a core::param_grid plus either a
+// circuit_template (netlist + per-point overrides; value-typed, so the
+// same description drives the distributed farm in src/farm/) or a
+// builder callback. Every per-point failure is RECORDED, never thrown:
+// a pathological corner (singular matrix, non-convergent DC) must not
+// kill the other points of a campaign. The original closure-factory
+// sweep_stability() survives as a thin compatibility wrapper over the
+// grid API.
 #ifndef ACSTAB_CORE_SWEEPS_H
 #define ACSTAB_CORE_SWEEPS_H
 
@@ -11,30 +18,74 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/param_grid.h"
 
 namespace acstab::core {
 
-/// One sweep point's outcome for a watched node.
+/// Per-point outcome classification. Anything but `ok` leaves the
+/// point's node result empty and its `error` text set.
+enum class point_status {
+    ok,             ///< analysis completed (node may still have no peak)
+    dc_failed,      ///< DC operating point did not converge
+    analysis_failed ///< any other analysis error (singular matrix, ...)
+};
+
+/// One grid point's outcome for the watched node.
+struct grid_point_result {
+    grid_point point;
+    node_stability node;
+    point_status status = point_status::ok;
+    std::string error; ///< diagnostic when status != ok
+};
+
+/// Build the circuit for a grid point into `c` and return the name of the
+/// node to watch. Must be thread-safe when opt.threads != 1.
+using grid_circuit_factory = std::function<std::string(spice::circuit&, const grid_point&)>;
+
+/// Analyze every grid point in [begin, end) (global indices; pass 0 and
+/// grid.size() for the whole grid — this is the farm's shard entry).
+/// Results keep grid order; failures are recorded per point. Points are
+/// dispatched onto the shared sweep-engine pool (opt.threads workers;
+/// each point's inner frequency sweep runs serially to avoid
+/// oversubscription), and results are slotted by index, so ordering and
+/// values are deterministic regardless of scheduling.
+[[nodiscard]] std::vector<grid_point_result>
+sweep_stability_grid(const grid_circuit_factory& factory, const param_grid& grid,
+                     std::size_t begin, std::size_t end, const stability_options& opt = {});
+
+/// Whole-grid convenience overload.
+[[nodiscard]] std::vector<grid_point_result>
+sweep_stability_grid(const grid_circuit_factory& factory, const param_grid& grid,
+                     const stability_options& opt = {});
+
+/// Declarative form: rebuild from a netlist template at each point and
+/// watch `node` everywhere.
+[[nodiscard]] std::vector<grid_point_result>
+sweep_stability_grid(const circuit_template& tmpl, const std::string& node,
+                     const param_grid& grid, const stability_options& opt = {});
+
+/// One sweep point's outcome for a watched node (legacy closure API).
 struct sweep_point_result {
     real parameter = 0.0;
     node_stability node;
+    /// Kept in sync with status (legacy flag; false iff status == dc_failed).
     bool dc_converged = true;
+    point_status status = point_status::ok;
+    std::string error; ///< diagnostic when status != ok
 };
 
-/// Build-and-analyze at each parameter value. The factory receives the
-/// parameter value and must populate a fresh circuit, returning the name
-/// of the node to watch. DC non-convergence is recorded, not thrown.
-///
-/// Parameter points are dispatched onto the shared sweep-engine pool
-/// (opt.threads workers; each point's inner frequency sweep then runs
-/// serially to avoid oversubscription). Results are slotted by index, so
-/// ordering is deterministic regardless of scheduling. The factory must
-/// be thread-safe when opt.threads != 1.
+/// Build-and-analyze at each parameter value (compatibility wrapper over
+/// the grid API: the values become a single anonymous axis). The factory
+/// receives the parameter value and must populate a fresh circuit,
+/// returning the name of the node to watch. Per-point failures — DC
+/// non-convergence and any other analysis error — are recorded, not
+/// thrown. The factory must be thread-safe when opt.threads != 1.
 [[nodiscard]] std::vector<sweep_point_result>
 sweep_stability(const std::function<std::string(spice::circuit&, real)>& factory,
                 const std::vector<real>& parameter_values, const stability_options& opt = {});
 
-/// Render a compact text table of a sweep (parameter, fn, peak, zeta, PM).
+/// Render a compact text table of a sweep (parameter, fn, peak, zeta, PM);
+/// failed points render their status instead of numbers.
 [[nodiscard]] std::string format_sweep(const std::vector<sweep_point_result>& points,
                                        const std::string& parameter_name);
 

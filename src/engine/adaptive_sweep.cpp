@@ -126,8 +126,16 @@ namespace {
 
         // Fit the shared-support rational model to the observable channels
         // at every solved frequency. The fit runs tighter than fit_tol so
-        // model error never dominates the residual-check budget.
-        const auto fit = [&]() {
+        // model error never dominates the residual-check budget. From the
+        // second round on, the refit is warm-started from the previous
+        // round's support set: those frequencies are solved samples that
+        // persist across rounds, so re-deriving each one greedily (one
+        // weight eigen-solve per support point) is pure overhead — the
+        // dominant refit cost on small circuits. The warm refit pays one
+        // eigen-solve for the seed batch plus one per NEW support point,
+        // and the backward-error validation below is unchanged, so the
+        // accuracy contract is unaffected.
+        const auto fit = [&](const numeric::aaa_model* prev) {
             std::vector<real> xs(samples.size());
             std::vector<std::vector<cplx>> data(channels.size(),
                                                 std::vector<cplx>(samples.size()));
@@ -139,6 +147,16 @@ namespace {
             numeric::aaa_options aopt;
             aopt.rel_tol = std::max(opt.fit_tol * 0.25, real{1e-13});
             aopt.max_support = std::min(max_model_order, samples.size() - 1);
+            if (prev != nullptr) {
+                for (const real fx : prev->support()) {
+                    // Support abscissae are bit-identical to sample
+                    // frequencies, so an exact binary search finds them.
+                    const auto it = std::lower_bound(xs.begin(), xs.end(), fx);
+                    if (it != xs.end() && *it == fx)
+                        aopt.seed_support.push_back(
+                            static_cast<std::size_t>(it - xs.begin()));
+                }
+            }
             return numeric::aaa_fit(xs, data, aopt);
         };
 
@@ -203,7 +221,7 @@ namespace {
         numeric::aaa_model model;
         std::size_t saturated_rounds = 0;
         for (std::size_t round = 0;; ++round) {
-            model = fit();
+            model = fit(round == 0 ? nullptr : &model);
 
             // A model that pins its support budget while staying far from
             // tolerance cannot represent the response (very high visible

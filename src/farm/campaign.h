@@ -1,0 +1,65 @@
+// Corner-farm campaign planning: a serializable description of "analyze
+// this node of this netlist at every point of this TEMP x corner x
+// .param grid" (the paper's computer-farm run capability).
+//
+// The spec is the unit of distribution. `acstab farm plan` writes it
+// once; every shard process reads the SAME spec, derives its contiguous
+// slice of global point indices from --shard k/N, and executes
+// independently; the merge step reassembles slotted records. Nothing in
+// the spec is machine-specific (thread counts live on the run command),
+// so a plan file is valid on any host that can read the netlist.
+#ifndef ACSTAB_FARM_CAMPAIGN_H
+#define ACSTAB_FARM_CAMPAIGN_H
+
+#include <cstddef>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/param_grid.h"
+#include "farm/json.h"
+
+namespace acstab::farm {
+
+struct campaign_spec {
+    /// Netlist path as given to `farm plan`; shard processes re-read it,
+    /// so it must resolve on every farm machine (relative to the shared
+    /// working directory, or absolute on a shared filesystem).
+    std::string netlist;
+    /// The watched node (single-node analysis per grid point).
+    std::string node;
+    core::param_grid grid;
+
+    // Frequency-sweep and analysis settings, mirrored from
+    // core::stability_options so every shard analyzes identically.
+    real fstart = 1e3;
+    real fstop = 1e9;
+    std::size_t points_per_decade = 40;
+    bool adaptive = false;
+    real fit_tol = 1e-6;
+    std::size_t anchors_per_decade = 4;
+
+    /// The per-point analysis options this spec pins down. `threads` is
+    /// the executor's machine-local point-level parallelism; it does not
+    /// affect results (points are slotted by index).
+    [[nodiscard]] core::stability_options stability_options(std::size_t threads) const;
+};
+
+/// Spec <-> JSON (the plan file). Round trips exactly: numbers use the
+/// shortest round-trip form and map-valued fields serialize name-sorted.
+[[nodiscard]] json_value to_json(const campaign_spec& spec);
+[[nodiscard]] campaign_spec campaign_from_json(const json_value& doc);
+
+/// Contiguous slice of global point indices [begin, end) owned by shard
+/// `shard` (0-based) of `shard_count`. Every point lands in exactly one
+/// shard; earlier shards take the remainder, so sizes differ by at most
+/// one. Throws analysis_error on shard >= shard_count or shard_count == 0.
+struct shard_range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+[[nodiscard]] shard_range shard_slice(std::size_t total, std::size_t shard,
+                                      std::size_t shard_count);
+
+} // namespace acstab::farm
+
+#endif // ACSTAB_FARM_CAMPAIGN_H

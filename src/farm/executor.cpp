@@ -1,0 +1,244 @@
+#include "farm/executor.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "farm/json_convert.h"
+#include "spice/units.h"
+
+namespace acstab::farm {
+
+namespace {
+
+    constexpr const char* shard_schema = "acstab-farm-shard-v1";
+    constexpr const char* report_schema = "acstab-farm-report-v1";
+
+    [[nodiscard]] const char* status_name(core::point_status s)
+    {
+        switch (s) {
+        case core::point_status::ok: return "ok";
+        case core::point_status::dc_failed: return "dc_failed";
+        case core::point_status::analysis_failed: return "failed";
+        }
+        return "failed";
+    }
+
+    [[nodiscard]] core::point_status status_from_name(const std::string& s)
+    {
+        if (s == "ok")
+            return core::point_status::ok;
+        if (s == "dc_failed")
+            return core::point_status::dc_failed;
+        if (s == "failed")
+            return core::point_status::analysis_failed;
+        throw analysis_error("farm: unknown record status '" + s + "'");
+    }
+
+    [[nodiscard]] json_value record_to_json(const point_record& rec)
+    {
+        json_value obj = json_value::object();
+        obj.set("index", json_value::number(rec.index));
+        if (rec.point.temp_celsius)
+            obj.set("temp", json_value::number(*rec.point.temp_celsius));
+        if (!rec.point.corner.empty())
+            obj.set("corner", json_value::str(rec.point.corner));
+        obj.set("overrides", overrides_to_json(rec.point.overrides));
+        obj.set("label", json_value::str(rec.point.label()));
+        obj.set("status", json_value::str(status_name(rec.status)));
+        if (rec.status != core::point_status::ok) {
+            obj.set("error", json_value::str(rec.error));
+            return obj;
+        }
+        obj.set("has_peak", json_value::boolean(rec.has_peak));
+        if (rec.has_peak) {
+            obj.set("fn_hz", json_value::number(rec.fn_hz));
+            obj.set("peak", json_value::number(rec.peak));
+            obj.set("zeta", json_value::number(rec.zeta));
+            obj.set("phase_margin_deg", json_value::number(rec.phase_margin_deg));
+            obj.set("overshoot_pct", json_value::number(rec.overshoot_pct));
+        }
+        obj.set("freq_hz", reals_to_json(rec.freq_hz));
+        obj.set("magnitude", reals_to_json(rec.magnitude));
+        return obj;
+    }
+
+    [[nodiscard]] point_record record_from_json(const json_value& obj)
+    {
+        point_record rec;
+        rec.index = obj.at("index").as_index();
+        rec.point.index = rec.index;
+        if (const json_value* t = obj.find("temp"))
+            rec.point.temp_celsius = t->as_number();
+        if (const json_value* c = obj.find("corner"))
+            rec.point.corner = c->as_string();
+        for (const auto& [name, v] : obj.at("overrides").members())
+            rec.point.overrides[name] = v.as_number();
+        rec.status = status_from_name(obj.at("status").as_string());
+        if (rec.status != core::point_status::ok) {
+            rec.error = obj.at("error").as_string();
+            return rec;
+        }
+        rec.has_peak = obj.at("has_peak").as_bool();
+        if (rec.has_peak) {
+            rec.fn_hz = obj.at("fn_hz").as_number();
+            rec.peak = obj.at("peak").as_number();
+            rec.zeta = obj.at("zeta").as_number();
+            rec.phase_margin_deg = obj.at("phase_margin_deg").as_number();
+            rec.overshoot_pct = obj.at("overshoot_pct").as_number();
+        }
+        rec.freq_hz = reals_from_json(obj.at("freq_hz"));
+        rec.magnitude = reals_from_json(obj.at("magnitude"));
+        return rec;
+    }
+
+} // namespace
+
+std::vector<point_record> run_shard(const campaign_spec& spec, std::size_t shard,
+                                    std::size_t shard_count, std::size_t threads)
+{
+    if (spec.node.empty())
+        throw analysis_error("farm: campaign has no watched node");
+    const shard_range range = shard_slice(spec.grid.size(), shard, shard_count);
+
+    const core::circuit_template tmpl{spec.netlist, ""};
+    const std::vector<core::grid_point_result> results = core::sweep_stability_grid(
+        [&tmpl, &spec](spice::circuit& c, const core::grid_point& pt) {
+            c = std::move(tmpl.build(pt).ckt);
+            return spec.node;
+        },
+        spec.grid, range.begin, range.end, spec.stability_options(threads));
+
+    std::vector<point_record> records(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::grid_point_result& res = results[i];
+        point_record& rec = records[i];
+        rec.index = res.point.index;
+        rec.point = res.point;
+        rec.status = res.status;
+        rec.error = res.error;
+        if (res.status != core::point_status::ok)
+            continue;
+        rec.has_peak = res.node.has_peak;
+        if (res.node.has_peak) {
+            rec.fn_hz = res.node.dominant.freq_hz;
+            rec.peak = res.node.dominant.value;
+            rec.zeta = res.node.zeta;
+            rec.phase_margin_deg = res.node.phase_margin_est_deg;
+            rec.overshoot_pct = res.node.overshoot_est_pct;
+        }
+        rec.freq_hz = res.node.plot.freq_hz;
+        rec.magnitude = res.node.plot.magnitude;
+    }
+    return records;
+}
+
+json_value shard_to_json(const campaign_spec& spec, std::size_t shard,
+                         std::size_t shard_count, const std::vector<point_record>& records)
+{
+    const shard_range range = shard_slice(spec.grid.size(), shard, shard_count);
+    json_value doc = json_value::object();
+    doc.set("schema", json_value::str(shard_schema));
+    doc.set("campaign", to_json(spec));
+    json_value sh = json_value::object();
+    sh.set("index", json_value::number(shard));
+    sh.set("count", json_value::number(shard_count));
+    sh.set("begin", json_value::number(range.begin));
+    sh.set("end", json_value::number(range.end));
+    doc.set("shard", std::move(sh));
+    json_value recs = json_value::array();
+    for (const point_record& rec : records)
+        recs.push_back(record_to_json(rec));
+    doc.set("records", std::move(recs));
+    return doc;
+}
+
+std::vector<point_record> records_from_json(const json_value& shard_doc)
+{
+    if (const json_value* schema = shard_doc.find("schema");
+        schema == nullptr || schema->as_string() != shard_schema)
+        throw analysis_error("farm: not an acstab shard result (bad schema field)");
+    std::vector<point_record> records;
+    for (const json_value& rec : shard_doc.at("records").items())
+        records.push_back(record_from_json(rec));
+    return records;
+}
+
+json_value merge_shards(const campaign_spec& spec, const std::vector<json_value>& shard_docs)
+{
+    const std::size_t total = spec.grid.size();
+    const std::string spec_bytes = to_json(spec).dump();
+
+    // Slot every shard's records by global index, verifying coverage.
+    std::vector<const json_value*> slots(total, nullptr);
+    for (const json_value& doc : shard_docs) {
+        if (const json_value* schema = doc.find("schema");
+            schema == nullptr || schema->as_string() != shard_schema)
+            throw analysis_error("farm: merge input is not an acstab shard result");
+        if (doc.at("campaign").dump() != spec_bytes)
+            throw analysis_error("farm: shard was produced by a different campaign plan");
+        for (const json_value& rec : doc.at("records").items()) {
+            const std::size_t index = rec.at("index").as_index();
+            if (index >= total)
+                throw analysis_error("farm: record index " + std::to_string(index)
+                                     + " outside the grid");
+            if (slots[index] != nullptr)
+                throw analysis_error("farm: duplicate record for point "
+                                     + std::to_string(index));
+            slots[index] = &rec;
+        }
+    }
+    std::size_t missing = 0;
+    for (const json_value* slot : slots)
+        missing += slot == nullptr ? 1 : 0;
+    if (missing != 0)
+        throw analysis_error("farm: merge is missing " + std::to_string(missing) + " of "
+                             + std::to_string(total) + " points");
+
+    // Re-serializing parsed records is byte-stable: numbers round-trip
+    // exactly and member order was fixed by the producer.
+    json_value report = json_value::object();
+    report.set("schema", json_value::str(report_schema));
+    report.set("campaign", json_value::parse(spec_bytes));
+    report.set("points", json_value::number(total));
+    json_value recs = json_value::array();
+    for (const json_value* slot : slots)
+        recs.push_back(*slot);
+    report.set("records", std::move(recs));
+    return report;
+}
+
+std::string format_report(const json_value& report)
+{
+    if (const json_value* schema = report.find("schema");
+        schema == nullptr || schema->as_string() != report_schema)
+        throw analysis_error("farm: not an acstab farm report (bad schema field)");
+
+    std::string out;
+    const std::string& node = report.at("campaign").at("node").as_string();
+    out += "corner-farm campaign report, node '" + node + "'\n";
+    out += "point  label                                     fn            zeta     est. PM\n";
+    out += "-----------------------------------------------------------------------------\n";
+    for (const json_value& rec : report.at("records").items()) {
+        char line[220];
+        const std::size_t index = rec.at("index").as_index();
+        const std::string& label = rec.at("label").as_string();
+        const std::string& status = rec.at("status").as_string();
+        if (status != "ok") {
+            std::snprintf(line, sizeof line, "%-6zu %-40.40s  (%s: %.80s)\n", index,
+                          label.c_str(), status.c_str(), rec.at("error").as_string().c_str());
+        } else if (!rec.at("has_peak").as_bool()) {
+            std::snprintf(line, sizeof line, "%-6zu %-40.40s  (no complex-pole peak)\n",
+                          index, label.c_str());
+        } else {
+            std::snprintf(line, sizeof line, "%-6zu %-40.40s  %-12s %7.3f  %7.1f deg\n",
+                          index, label.c_str(),
+                          spice::format_frequency(rec.at("fn_hz").as_number()).c_str(),
+                          rec.at("zeta").as_number(),
+                          rec.at("phase_margin_deg").as_number());
+        }
+        out += line;
+    }
+    return out;
+}
+
+} // namespace acstab::farm

@@ -1,0 +1,74 @@
+// Per-shard campaign executor and deterministic merge.
+//
+// run_shard() executes one contiguous slice of a campaign's grid points
+// through the regular analysis stack (core::stability_analyzer over
+// engine::sweep_engine, adaptive sweep included) and emits one
+// index-slotted record per point. Records carry the machine-readable
+// per-point frequency response — not just the summary table — because
+// downstream model-free estimation (Cooman et al.) consumes the raw
+// responses. merge_shards() reassembles shard documents into one report
+// whose bytes are identical to the single-process run: records are
+// keyed by global index, numbers round-trip exactly through the JSON
+// layer, and coverage is verified (every index exactly once).
+#ifndef ACSTAB_FARM_EXECUTOR_H
+#define ACSTAB_FARM_EXECUTOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sweeps.h"
+#include "farm/campaign.h"
+#include "farm/json.h"
+
+namespace acstab::farm {
+
+/// One grid point's serialized outcome.
+struct point_record {
+    std::size_t index = 0; ///< stable global grid index
+    core::grid_point point;
+    core::point_status status = core::point_status::ok;
+    std::string error;
+
+    // Summary (meaningful when status == ok).
+    bool has_peak = false;
+    real fn_hz = 0.0;
+    real peak = 0.0;
+    real zeta = 0.0;
+    real phase_margin_deg = 0.0;
+    real overshoot_pct = 0.0;
+
+    /// Raw response record: the watched node's |Z(j 2 pi f)| samples.
+    std::vector<real> freq_hz;
+    std::vector<real> magnitude;
+};
+
+/// Execute shard `shard` of `shard_count` (points from shard_slice) with
+/// `threads` point-level workers (0 = all cores; per-point analysis is
+/// serial either way, so results do not depend on the thread count).
+[[nodiscard]] std::vector<point_record> run_shard(const campaign_spec& spec,
+                                                  std::size_t shard, std::size_t shard_count,
+                                                  std::size_t threads = 1);
+
+/// Shard result document: campaign echo + slice + records.
+[[nodiscard]] json_value shard_to_json(const campaign_spec& spec, std::size_t shard,
+                                       std::size_t shard_count,
+                                       const std::vector<point_record>& records);
+
+/// Parse one shard document's records (validates the schema field).
+[[nodiscard]] std::vector<point_record> records_from_json(const json_value& shard_doc);
+
+/// Merge shard documents into the campaign report. Verifies that every
+/// shard echoes the same campaign spec and that the records cover every
+/// grid index exactly once; output records are ordered by global index,
+/// making the report byte-identical to a single-process run's.
+[[nodiscard]] json_value merge_shards(const campaign_spec& spec,
+                                      const std::vector<json_value>& shard_docs);
+
+/// Human-readable table of a merged report (label, fn, peak, zeta, PM;
+/// failed points print their status).
+[[nodiscard]] std::string format_report(const json_value& report);
+
+} // namespace acstab::farm
+
+#endif // ACSTAB_FARM_EXECUTOR_H

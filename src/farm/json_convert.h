@@ -1,0 +1,59 @@
+// Shared JSON conversions for farm documents. campaign.cpp and
+// executor.cpp must serialize these types IDENTICALLY forever — the
+// merge step compares campaign echoes byte for byte — so the conversions
+// live here once instead of drifting apart as private copies.
+#ifndef ACSTAB_FARM_JSON_CONVERT_H
+#define ACSTAB_FARM_JSON_CONVERT_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "farm/json.h"
+#include "spice/parser/expression.h"
+
+namespace acstab::farm {
+
+/// parameter_table -> object with name-sorted members (the table is
+/// hash-ordered; sorting makes the bytes deterministic).
+[[nodiscard]] inline json_value overrides_to_json(const spice::parameter_table& table)
+{
+    std::vector<std::string> names;
+    names.reserve(table.size());
+    for (const auto& [name, v] : table)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    json_value obj = json_value::object();
+    for (const std::string& name : names)
+        obj.set(name, json_value::number(table.at(name)));
+    return obj;
+}
+
+[[nodiscard]] inline spice::parameter_table overrides_from_json(const json_value& obj)
+{
+    spice::parameter_table table;
+    for (const auto& [name, v] : obj.members())
+        table[name] = v.as_number();
+    return table;
+}
+
+[[nodiscard]] inline json_value reals_to_json(const std::vector<real>& values)
+{
+    json_value arr = json_value::array();
+    for (const real v : values)
+        arr.push_back(json_value::number(v));
+    return arr;
+}
+
+[[nodiscard]] inline std::vector<real> reals_from_json(const json_value& arr)
+{
+    std::vector<real> out;
+    out.reserve(arr.items().size());
+    for (const json_value& v : arr.items())
+        out.push_back(v.as_number());
+    return out;
+}
+
+} // namespace acstab::farm
+
+#endif // ACSTAB_FARM_JSON_CONVERT_H

@@ -160,6 +160,22 @@ aaa_model aaa_fit(std::span<const real> x, const std::vector<std::vector<cplx>>&
     const std::size_t max_support = std::min(opt.max_support, n - 1);
     real err = std::numeric_limits<real>::infinity();
 
+    // Warm-start seeds: sanitized (in range, unique, within budget) and
+    // promoted before any greedy step, with the weight solve deferred to
+    // the last seed — see aaa_options::seed_support.
+    std::vector<std::size_t> seeds;
+    seeds.reserve(opt.seed_support.size());
+    for (const std::size_t s : opt.seed_support) {
+        if (s >= n || seeds.size() >= max_support)
+            continue;
+        bool dup = false;
+        for (const std::size_t prev : seeds)
+            dup = dup || prev == s;
+        if (!dup)
+            seeds.push_back(s);
+    }
+    std::size_t seed_pos = 0;
+
     // The Loewner matrix A — one row per (sample, component), one column
     // per support point, support rows zeroed — is kept explicitly so the
     // normal matrix M = A^H A can be updated INCREMENTALLY per greedy
@@ -170,18 +186,23 @@ aaa_model aaa_fit(std::span<const real> x, const std::vector<std::vector<cplx>>&
     dense_matrix<cplx> gram(max_support, max_support);
 
     while (model.support_x_.size() < max_support) {
-        // Greedy step: promote the worst non-support sample to support.
         std::size_t worst = n;
-        real worst_err = -1.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            if (is_support[i])
-                continue;
-            real e = 0.0;
-            for (std::size_t c = 0; c < nc; ++c)
-                e = std::max(e, std::abs(f[c][i] - r[c][i]) * wgt[c][i]);
-            if (e > worst_err) {
-                worst_err = e;
-                worst = i;
+        if (seed_pos < seeds.size()) {
+            // Adopt the next warm-start seed instead of searching.
+            worst = seeds[seed_pos++];
+        } else {
+            // Greedy step: promote the worst non-support sample.
+            real worst_err = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (is_support[i])
+                    continue;
+                real e = 0.0;
+                for (std::size_t c = 0; c < nc; ++c)
+                    e = std::max(e, std::abs(f[c][i] - r[c][i]) * wgt[c][i]);
+                if (e > worst_err) {
+                    worst_err = e;
+                    worst = i;
+                }
             }
         }
         if (worst == n)
@@ -232,6 +253,12 @@ aaa_model aaa_fit(std::span<const real> x, const std::vector<std::vector<cplx>>&
             nn += std::norm(v);
         gram(m - 1, m - 1) = cplx{nn, 0.0};
         acols.push_back(std::move(newcol));
+
+        // While seeds remain, the weight solve is deferred: the next
+        // iteration promotes another seed anyway, so intermediate weights
+        // would be discarded unread. One eigen-solve covers the batch.
+        if (seed_pos < seeds.size())
+            continue;
 
         if (m == 1) {
             model.weights_ = {cplx{1.0, 0.0}};

@@ -32,6 +32,15 @@ struct aaa_options {
     /// fit also never uses more than sample_count - 1 support points, so
     /// at least one sample always constrains the weights.
     std::size_t max_support = 48;
+    /// Warm start: sample indices promoted to support up front, before
+    /// any greedy selection. They are adopted in one batch with a SINGLE
+    /// weight solve at the end of seeding (the per-step eigen-solve is
+    /// the refit's dominant cost), so re-fitting after new samples arrive
+    /// — the adaptive sweep's per-round refit — pays one weight solve per
+    /// NEW support point instead of one per support point. Out-of-range
+    /// and duplicate entries are ignored; entries beyond the support
+    /// budget are dropped.
+    std::vector<std::size_t> seed_support;
 };
 
 /// Barycentric coefficients of one evaluation point: either an exact hit

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "spice/devices/bjt.h"
@@ -144,7 +145,17 @@ namespace {
 
     class netlist_builder {
     public:
-        explicit netlist_builder(parsed_netlist& out) : out_(out) {}
+        netlist_builder(parsed_netlist& out, const parse_options& opt) : out_(out), opt_(opt)
+        {
+            // Overrides are seeded before any card is read, so `.param`
+            // expressions that reference an overridden name resolve to the
+            // override value.
+            for (const auto& [name, v] : opt_.param_overrides) {
+                const std::string key = lower(name);
+                out_.parameters[key] = v;
+                overridden_.insert(key);
+            }
+        }
 
         void run(const std::vector<logical_line>& lines)
         {
@@ -231,7 +242,11 @@ namespace {
                     v = *parsed;
                 else
                     v = evaluate_expression(tok, out_.parameters);
-                out_.parameters[name] = v;
+                // An externally overridden parameter keeps its override;
+                // the card still parses (and its expression still
+                // evaluates) so errors surface identically either way.
+                if (overridden_.find(name) == overridden_.end())
+                    out_.parameters[name] = v;
                 i += 3;
             }
         }
@@ -476,11 +491,19 @@ namespace {
             return it == m.params.end() ? fallback : it->second;
         }
 
+        /// Device temperature: a model-local `temp=` wins, then the parse
+        /// option's campaign override, then the device default.
+        [[nodiscard]] real device_temp(const model_def& m, real model_default) const
+        {
+            return get(m, "temp", opt_.temp_celsius.value_or(model_default));
+        }
+
         [[nodiscard]] diode_model diode_from(const model_def& m, const logical_line& line) const
         {
             if (m.type != "d")
                 fail(line, "model is not a diode");
             diode_model d;
+            d.temp = device_temp(m, d.temp);
             d.is = get(m, "is", d.is);
             d.n = get(m, "n", d.n);
             d.cj0 = get(m, "cjo", get(m, "cj0", d.cj0));
@@ -497,6 +520,7 @@ namespace {
                 fail(line, "model is not a BJT");
             bjt_model q;
             q.polarity = m.type == "npn" ? bjt_polarity::npn : bjt_polarity::pnp;
+            q.temp = device_temp(m, q.temp);
             q.is = get(m, "is", q.is);
             q.bf = get(m, "bf", q.bf);
             q.br = get(m, "br", q.br);
@@ -609,6 +633,28 @@ namespace {
                 card.kind = analysis_kind::tran;
                 card.dt = value(line, line.tokens[1]);
                 card.tstop = value(line, line.tokens[2]);
+            } else if (head == ".temp") {
+                // Campaign card: the TEMP axis of a corner farm grid.
+                if (line.tokens.size() < 2)
+                    fail(line, ".temp expects at least one temperature");
+                for (std::size_t i = 1; i < line.tokens.size(); ++i)
+                    out_.temp_values.push_back(value(line, line.tokens[i]));
+                return;
+            } else if (head == ".corner") {
+                // Campaign card: .corner name [param = value ...]
+                if (line.tokens.size() < 2)
+                    fail(line, ".corner expects a name");
+                corner_card corner;
+                corner.name = lower(line.tokens[1]);
+                std::size_t i = 2;
+                while (i < line.tokens.size()) {
+                    if (i + 2 >= line.tokens.size() || line.tokens[i + 1] != "=")
+                        fail(line, ".corner expects param = value pairs");
+                    corner.overrides[lower(line.tokens[i])] = value(line, line.tokens[i + 2]);
+                    i += 3;
+                }
+                out_.corners.push_back(std::move(corner));
+                return;
             } else if (head == ".stability") {
                 card.kind = analysis_kind::stability_all;
                 std::size_t i = 1;
@@ -634,6 +680,8 @@ namespace {
         }
 
         parsed_netlist& out_;
+        const parse_options& opt_;
+        std::unordered_set<std::string> overridden_;
         std::vector<logical_line> main_body_;
         std::unordered_map<std::string, model_def> models_;
         std::unordered_map<std::string, subckt_def> subckts_;
@@ -641,24 +689,24 @@ namespace {
 
 } // namespace
 
-parsed_netlist parse_netlist(std::string_view text)
+parsed_netlist parse_netlist(std::string_view text, const parse_options& opt)
 {
     parsed_netlist out;
     std::vector<logical_line> lines = tokenize(text, out.title);
-    netlist_builder builder(out);
+    netlist_builder builder(out, opt);
     builder.run(lines);
     out.ckt.finalize();
     return out;
 }
 
-parsed_netlist parse_netlist_file(const std::string& path)
+parsed_netlist parse_netlist_file(const std::string& path, const parse_options& opt)
 {
     std::ifstream in(path);
     if (!in)
         throw parse_error("cannot open netlist file '" + path + "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parse_netlist(buffer.str());
+    return parse_netlist(buffer.str(), opt);
 }
 
 } // namespace acstab::spice

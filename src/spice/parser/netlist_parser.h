@@ -16,11 +16,19 @@
 //   .subckt name port... / .ends
 //   .op | .ac dec ppd fstart fstop | .tran dt tstop
 //   .stability [node|all] [fstart fstop ppd]
+//   .temp t1 [t2 ...]            campaign card: TEMP grid values
+//   .corner name [p=v ...]       campaign card: named .param override set
 //   .end
 // Values may be plain SPICE numbers or {expressions} over .param names.
+//
+// Parsing is parameterizable (parse_options): a corner farm rebuilds the
+// same netlist many times with per-point `.param` overrides and a global
+// device-temperature override — value-typed inputs that, unlike circuit
+// factories, can cross process boundaries.
 #ifndef ACSTAB_SPICE_PARSER_NETLIST_PARSER_H
 #define ACSTAB_SPICE_PARSER_NETLIST_PARSER_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +38,18 @@
 namespace acstab::spice {
 
 enum class analysis_kind { op, ac, tran, stability_node, stability_all };
+
+/// External knobs applied while parsing (a corner/TEMP campaign point).
+struct parse_options {
+    /// Named `.param` overrides. They win over the netlist's own `.param`
+    /// cards: the card's assignment is skipped, and `{...}` expressions
+    /// that reference the name see the override value.
+    parameter_table param_overrides;
+    /// Device temperature [Celsius] for junction devices whose `.model`
+    /// card does not set its own `temp=` (a model-local temp always wins,
+    /// matching SPICE's .TEMP-vs-device-temp convention).
+    std::optional<real> temp_celsius;
+};
 
 /// One analysis request from the netlist, for the CLI driver to execute.
 struct analysis_card {
@@ -42,18 +62,30 @@ struct analysis_card {
     std::string node; ///< stability_node target
 };
 
+/// One `.corner` campaign card: a named set of `.param` overrides.
+struct corner_card {
+    std::string name;
+    parameter_table overrides;
+};
+
 struct parsed_netlist {
     std::string title;
     circuit ckt;
     parameter_table parameters;
     std::vector<analysis_card> analyses;
+    /// Campaign hints: `.temp` grid values and `.corner` override sets.
+    /// They do not affect THIS parse; a campaign planner expands them into
+    /// per-point parse_options.
+    std::vector<real> temp_values;
+    std::vector<corner_card> corners;
 };
 
 /// Parse netlist text. Throws parse_error with a line number on errors.
-[[nodiscard]] parsed_netlist parse_netlist(std::string_view text);
+[[nodiscard]] parsed_netlist parse_netlist(std::string_view text, const parse_options& opt = {});
 
 /// Read and parse a netlist file.
-[[nodiscard]] parsed_netlist parse_netlist_file(const std::string& path);
+[[nodiscard]] parsed_netlist parse_netlist_file(const std::string& path,
+                                                const parse_options& opt = {});
 
 } // namespace acstab::spice
 

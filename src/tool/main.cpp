@@ -9,8 +9,15 @@
 //   acstab loopgain  <netlist> --probe V               double-injection probe
 //   acstab run       <netlist>                         execute .op/.ac/.tran/
 //                                                      .stability cards
+//   acstab farm plan|run|merge ...                     corner-farm campaigns
+//                                                      (plan once, execute
+//                                                      shards anywhere, merge
+//                                                      deterministically)
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,7 +27,10 @@
 #include "engine/adaptive_sweep.h"
 #include "engine/linearized_snapshot.h"
 #include "core/ascii_plot.h"
+#include "core/param_grid.h"
 #include "core/report.h"
+#include "farm/campaign.h"
+#include "farm/executor.h"
 #include "numeric/interpolation.h"
 #include "spice/ac_analysis.h"
 #include "spice/dc_analysis.h"
@@ -259,10 +269,173 @@ int cmd_run(spice::parsed_netlist& net, const cli_options& base)
     return 0;
 }
 
+/// Read a whole file (farm plan / shard documents).
+[[nodiscard]] std::string read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw analysis_error("cannot open file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Emit a farm JSON document to --out (file) or stdout.
+void write_document(const farm::json_value& doc, const std::string& out_path)
+{
+    const std::string text = doc.dump() + "\n";
+    if (out_path.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out)
+        throw analysis_error("cannot write file '" + out_path + "'");
+    out << text;
+    out.flush();
+    // A silently truncated shard/plan file poisons the whole campaign;
+    // surface ENOSPC-style failures here, not at the eventual merge.
+    if (!out)
+        throw analysis_error("write to '" + out_path + "' failed");
+}
+
+int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
+{
+    const spice::parsed_netlist net = spice::parse_netlist_file(netlist_path);
+
+    farm::campaign_spec spec;
+    spec.netlist = netlist_path;
+    spec.adaptive = opt.adaptive;
+    spec.fit_tol = opt.fit_tol;
+    spec.anchors_per_decade = opt.anchors_per_decade;
+
+    // Node and band default from the netlist's .stability card (if any);
+    // explicit flags win.
+    spec.node = opt.node;
+    spec.fstart = opt.fstart;
+    spec.fstop = opt.fstop;
+    spec.points_per_decade = opt.ppd;
+    for (const spice::analysis_card& card : net.analyses) {
+        if (card.kind != spice::analysis_kind::stability_node
+            && card.kind != spice::analysis_kind::stability_all)
+            continue;
+        if (spec.node.empty() && card.kind == spice::analysis_kind::stability_node)
+            spec.node = card.node;
+        if (!opt.fstart_set)
+            spec.fstart = card.fstart;
+        if (!opt.fstop_set)
+            spec.fstop = card.fstop;
+        if (!opt.ppd_set)
+            spec.points_per_decade = card.points_per_decade;
+        break;
+    }
+    if (spec.node.empty())
+        throw analysis_error("farm plan: no watched node (pass --node or add a "
+                             "'.stability <node>' card)");
+    if (!net.ckt.find_node(spec.node))
+        throw analysis_error("farm plan: unknown node '" + spec.node + "'");
+
+    // Grid: netlist .temp/.corner campaign cards seed the axes; explicit
+    // flags replace them axis by axis. --param axes are flag-only.
+    spec.grid = core::grid_from_netlist_cards(net);
+    if (!opt.temps.empty())
+        spec.grid.temps = parse_value_list(opt.temps);
+    if (!opt.corners.empty()) {
+        spec.grid.corners.clear();
+        for (const std::string& text : opt.corners)
+            spec.grid.corners.push_back(parse_corner_spec(text));
+    }
+    for (const std::string& text : opt.params)
+        spec.grid.axes.push_back(parse_param_axis(text));
+
+    // A typo'd override name would be a silent no-op at every grid point
+    // (the parser seeds it, nothing reads it): since the nominal parse
+    // above succeeded, every parameter the netlist references is in
+    // net.parameters, so any override name absent from that table can
+    // never take effect — reject it at plan time.
+    const auto check_param = [&net](const std::string& name, const std::string& where) {
+        std::string key = name;
+        for (char& ch : key)
+            ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        if (net.parameters.find(key) == net.parameters.end())
+            throw analysis_error("farm plan: " + where + " overrides parameter '" + name
+                                 + "', which the netlist never uses (typo?)");
+    };
+    for (const core::corner_def& corner : spec.grid.corners)
+        for (const auto& [name, v] : corner.overrides)
+            check_param(name, "corner '" + corner.name + "'");
+    for (const core::param_axis& axis : spec.grid.axes)
+        check_param(axis.name, "axis '" + axis.name + "'");
+
+    const std::size_t points = spec.grid.size(); // validates the axes
+    write_document(farm::to_json(spec), opt.out);
+    if (!opt.out.empty())
+        std::printf("planned %zu-point campaign on %s (node %s) -> %s\n", points,
+                    netlist_path.c_str(), spec.node.c_str(), opt.out.c_str());
+    return 0;
+}
+
+int cmd_farm_run(const std::string& plan_path, const cli_options& opt)
+{
+    const farm::campaign_spec spec
+        = farm::campaign_from_json(farm::json_value::parse(read_file(plan_path)));
+    shard_spec sh;
+    if (!opt.shard.empty())
+        sh = parse_shard_spec(opt.shard);
+    const std::vector<farm::point_record> records
+        = farm::run_shard(spec, sh.index, sh.count, opt.threads);
+    write_document(farm::shard_to_json(spec, sh.index, sh.count, records), opt.out);
+    if (!opt.out.empty())
+        std::printf("ran shard %zu/%zu: %zu points -> %s\n", sh.index + 1, sh.count,
+                    records.size(), opt.out.c_str());
+    return 0;
+}
+
+int cmd_farm_merge(const std::string& plan_path, const cli_options& opt)
+{
+    if (opt.positionals.empty())
+        throw analysis_error("farm merge: pass at least one shard result file");
+    const farm::campaign_spec spec
+        = farm::campaign_from_json(farm::json_value::parse(read_file(plan_path)));
+    std::vector<farm::json_value> shards;
+    shards.reserve(opt.positionals.size());
+    for (const std::string& path : opt.positionals)
+        shards.push_back(farm::json_value::parse(read_file(path)));
+    const farm::json_value report = farm::merge_shards(spec, shards);
+    if (opt.table) {
+        std::fputs(farm::format_report(report).c_str(), stdout);
+        return 0;
+    }
+    write_document(report, opt.out);
+    if (!opt.out.empty())
+        std::printf("merged %zu shard file(s), %zu points -> %s\n", opt.positionals.size(),
+                    report.at("records").items().size(), opt.out.c_str());
+    return 0;
+}
+
+/// acstab farm plan <netlist> | run <plan.json> | merge <plan.json> <shard>...
+int cmd_farm(int argc, char** argv)
+{
+    if (argc < 4)
+        throw analysis_error("farm: usage: acstab farm plan|run|merge <file> [options]");
+    const std::string sub = argv[2];
+    const std::string file = argv[3];
+    const cli_options opt = parse_cli_options(argc - 4, argv + 4,
+                                              /*allow_positionals=*/true);
+    if (sub == "plan")
+        return cmd_farm_plan(file, opt);
+    if (sub == "run")
+        return cmd_farm_run(file, opt);
+    if (sub == "merge")
+        return cmd_farm_merge(file, opt);
+    throw analysis_error("farm: unknown subcommand '" + sub + "' (plan|run|merge)");
+}
+
 void print_usage()
 {
     std::puts("acstab — AC-stability analysis of continuous-time closed-loop circuits");
     std::puts("usage: acstab <command> <netlist> [options]");
+    std::puts("       acstab farm plan <netlist> | run <plan.json> | merge <plan.json> <shard>...");
     std::puts("commands:");
     std::puts("  op          DC operating point");
     std::puts("  ac          AC sweep          (--node N)");
@@ -270,12 +443,21 @@ void print_usage()
     std::puts("  stability   stability plots   (--node N | --all)");
     std::puts("  pz          poles of the linearized circuit");
     std::puts("  loopgain    loop-gain probe   (--probe VSOURCE)");
-    std::puts("  run         execute the netlist's analysis cards");
+    std::puts("  run         execute the netlist's .op/.ac/.tran/.stability cards;");
+    std::puts("              .ac/.tran cards need --node to pick the plotted output,");
+    std::puts("              and sweep options below apply per card");
+    std::puts("  farm        corner/TEMP campaigns, shardable across processes:");
+    std::puts("              plan  <netlist> --node N [--temps T,..] [--corner n:p=v,..]*");
+    std::puts("                    [--param p=v1,v2,..]* [sweep opts] [--out plan.json]");
+    std::puts("                    (.temp / .corner netlist cards seed the grid)");
+    std::puts("              run   <plan.json> [--shard k/N] [--threads N] [--out f.json]");
+    std::puts("              merge <plan.json> <shard.json>... [--out f.json | --table]");
     std::puts("options:");
     std::puts("  --node NAME --all --probe NAME --fstart HZ --fstop HZ --ppd N");
     std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
     std::puts("  --adaptive (rational-fit adaptive grid: factor 5-10x fewer points)");
     std::puts("  --fit-tol TOL --anchors-per-decade N (adaptive sweep tuning)");
+    std::puts("  --temps/--corner/--param (campaign grid) --shard k/N --out FILE --table");
 }
 
 } // namespace
@@ -288,6 +470,8 @@ int main(int argc, char** argv)
             return argc < 2 ? 1 : (std::strcmp(argv[1], "--help") == 0 ? 0 : 1);
         }
         const std::string command = argv[1];
+        if (command == "farm")
+            return cmd_farm(argc, argv);
         const std::string netlist_path = argv[2];
         const cli_options opt = parse_cli_options(argc - 3, argv + 3);
 

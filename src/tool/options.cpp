@@ -9,7 +9,7 @@
 
 namespace acstab::tool {
 
-cli_options parse_cli_options(int argc, char** argv)
+cli_options parse_cli_options(int argc, char** argv, bool allow_positionals)
 {
     cli_options opt;
     int i = 0;
@@ -24,12 +24,16 @@ cli_options parse_cli_options(int argc, char** argv)
             opt.node = need_value(key);
         else if (key == "--probe")
             opt.probe = need_value(key);
-        else if (key == "--fstart")
+        else if (key == "--fstart") {
             opt.fstart = spice::parse_spice_number(need_value(key));
-        else if (key == "--fstop")
+            opt.fstart_set = true;
+        } else if (key == "--fstop") {
             opt.fstop = spice::parse_spice_number(need_value(key));
-        else if (key == "--ppd")
+            opt.fstop_set = true;
+        } else if (key == "--ppd") {
             opt.ppd = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+            opt.ppd_set = true;
+        }
         else if (key == "--tstop")
             opt.tstop = spice::parse_spice_number(need_value(key));
         else if (key == "--dt")
@@ -49,10 +53,101 @@ cli_options parse_cli_options(int argc, char** argv)
             opt.annotate = true;
         else if (key == "--all")
             opt.all_nodes = true;
+        else if (key == "--temps")
+            opt.temps = need_value(key);
+        else if (key == "--corner")
+            opt.corners.push_back(need_value(key));
+        else if (key == "--param")
+            opt.params.push_back(need_value(key));
+        else if (key == "--shard")
+            opt.shard = need_value(key);
+        else if (key == "--out")
+            opt.out = need_value(key);
+        else if (key == "--table")
+            opt.table = true;
+        else if (allow_positionals && !key.empty() && key.substr(0, 2) != "--")
+            opt.positionals.emplace_back(key);
         else
             throw analysis_error("unknown option '" + std::string(key) + "'");
     }
     return opt;
+}
+
+namespace {
+
+    /// Split on a separator, keeping empty fields as errors at the call
+    /// sites (every grammar here forbids them).
+    [[nodiscard]] std::vector<std::string> split(const std::string& text, char sep)
+    {
+        std::vector<std::string> out;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t pos = text.find(sep, start);
+            out.push_back(text.substr(start, pos - start));
+            if (pos == std::string::npos)
+                return out;
+            start = pos + 1;
+        }
+    }
+
+} // namespace
+
+std::vector<real> parse_value_list(const std::string& text)
+{
+    if (text.empty())
+        throw analysis_error("expected a comma-separated value list");
+    std::vector<real> values;
+    for (const std::string& field : split(text, ','))
+        values.push_back(spice::parse_spice_number(field));
+    return values;
+}
+
+core::corner_def parse_corner_spec(const std::string& text)
+{
+    core::corner_def corner;
+    const std::size_t colon = text.find(':');
+    corner.name = text.substr(0, colon);
+    if (corner.name.empty())
+        throw analysis_error("corner spec needs a name ('name:p=v,...'), got '" + text + "'");
+    if (colon == std::string::npos)
+        return corner;
+    const std::string payload = text.substr(colon + 1);
+    if (payload.empty())
+        throw analysis_error("corner '" + corner.name + "' has an empty override list");
+    for (const std::string& field : split(payload, ',')) {
+        const std::size_t eq = field.find('=');
+        if (eq == 0 || eq == std::string::npos || eq + 1 == field.size())
+            throw analysis_error("corner override must be p=value, got '" + field + "'");
+        corner.overrides[field.substr(0, eq)]
+            = spice::parse_spice_number(field.substr(eq + 1));
+    }
+    return corner;
+}
+
+core::param_axis parse_param_axis(const std::string& text)
+{
+    const std::size_t eq = text.find('=');
+    if (eq == 0 || eq == std::string::npos || eq + 1 == text.size())
+        throw analysis_error("param axis must be name=v1,v2,..., got '" + text + "'");
+    core::param_axis axis;
+    axis.name = text.substr(0, eq);
+    axis.values = parse_value_list(text.substr(eq + 1));
+    return axis;
+}
+
+shard_spec parse_shard_spec(const std::string& text)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == 0 || slash == std::string::npos || slash + 1 == text.size())
+        throw analysis_error("shard must be k/N (1-based), got '" + text + "'");
+    shard_spec spec;
+    const real k = spice::parse_spice_number(text.substr(0, slash));
+    const real n = spice::parse_spice_number(text.substr(slash + 1));
+    if (!(k >= 1.0) || !(n >= 1.0) || k != std::floor(k) || n != std::floor(n) || k > n)
+        throw analysis_error("shard must satisfy 1 <= k <= N, got '" + text + "'");
+    spec.index = static_cast<std::size_t>(k) - 1;
+    spec.count = static_cast<std::size_t>(n);
+    return spec;
 }
 
 std::size_t sweep_point_count(real fstart, real fstop, std::size_t ppd)

@@ -4,8 +4,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
+#include "core/param_grid.h"
 
 namespace acstab::tool {
 
@@ -30,14 +32,49 @@ struct cli_options {
     bool csv = false;
     bool annotate = false;
     bool all_nodes = false;
+    /// Whether the band/density flags were given explicitly (campaign
+    /// planning falls back to the netlist's .stability card otherwise).
+    bool fstart_set = false;
+    bool fstop_set = false;
+    bool ppd_set = false;
+
+    // Corner-farm campaign flags (`acstab farm ...`).
+    std::string temps;                 ///< --temps -40,27,125
+    std::vector<std::string> corners;  ///< --corner name:p=v,... (repeatable)
+    std::vector<std::string> params;   ///< --param name=v1,v2,... (repeatable)
+    std::string shard;                 ///< --shard k/N (1-based k)
+    std::string out;                   ///< --out FILE (default: stdout)
+    bool table = false;                ///< --table (merge: text table, not JSON)
+    /// Non-flag arguments after the command's own positionals (the merge
+    /// step's shard files).
+    std::vector<std::string> positionals;
 };
 
 /// Parse "--key value" style options; throws analysis_error on unknown
-/// keys or malformed values.
-[[nodiscard]] cli_options parse_cli_options(int argc, char** argv);
+/// keys or malformed values. With allow_positionals (the farm commands:
+/// merge takes shard files), bare non-"--" tokens are collected into
+/// `positionals`; otherwise they are errors, as before.
+[[nodiscard]] cli_options parse_cli_options(int argc, char** argv,
+                                            bool allow_positionals = false);
 
 /// Number of log-sweep points covering [fstart, fstop] at ppd density.
 [[nodiscard]] std::size_t sweep_point_count(real fstart, real fstop, std::size_t ppd);
+
+/// "a,b,c" -> values (SPICE number syntax per element).
+[[nodiscard]] std::vector<real> parse_value_list(const std::string& text);
+
+/// "--corner name:p1=v1,p2=v2" payload -> corner_def (overrides optional).
+[[nodiscard]] core::corner_def parse_corner_spec(const std::string& text);
+
+/// "--param name=v1,v2,..." payload -> param_axis.
+[[nodiscard]] core::param_axis parse_param_axis(const std::string& text);
+
+/// "--shard k/N" payload (1-based k) -> {0-based index, count}.
+struct shard_spec {
+    std::size_t index = 0;
+    std::size_t count = 1;
+};
+[[nodiscard]] shard_spec parse_shard_spec(const std::string& text);
 
 } // namespace acstab::tool
 

@@ -62,6 +62,41 @@ TEST(aaa_fit, recovers_second_order_prototype_from_12_samples)
     }
 }
 
+TEST(aaa_fit, warm_start_seeds_become_support_and_fit_stays_accurate)
+{
+    // Simulate the adaptive driver's per-round refit: fit once, then
+    // refit the same data warm-started from the first fit's support set.
+    // Every seed must be adopted (that is the point: their per-step
+    // weight eigen-solves are replaced by one batch solve) and the warm
+    // model must stay as accurate as the cold one.
+    const auto t = numeric::rational::second_order_lowpass(0.3, to_omega(1e6));
+    const std::vector<real> xs = numeric::log_space(1e3, 1e9, 24);
+    std::vector<std::vector<cplx>> data(1, std::vector<cplx>(xs.size()));
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        data[0][i] = t(cplx{0.0, to_omega(xs[i])});
+
+    const numeric::aaa_model cold = numeric::aaa_fit(xs, data);
+    numeric::aaa_options warm_opt;
+    warm_opt.seed_support.assign(cold.support_samples().begin(),
+                                 cold.support_samples().end());
+    // Garbage seeds (out of range, duplicate) must be ignored, not fatal.
+    warm_opt.seed_support.push_back(9999);
+    warm_opt.seed_support.push_back(cold.support_samples().front());
+    const numeric::aaa_model warm = numeric::aaa_fit(xs, data, warm_opt);
+
+    for (const std::size_t idx : cold.support_samples()) {
+        const auto& adopted = warm.support_samples();
+        EXPECT_NE(std::find(adopted.begin(), adopted.end(), idx), adopted.end())
+            << "seed sample " << idx << " was not adopted";
+    }
+    for (const real f : numeric::log_space(1e3, 1e9, 200)) {
+        const cplx exact = t(cplx{0.0, to_omega(f)});
+        EXPECT_LT(std::abs(warm.eval(0, f) - exact),
+                  1e-3 * std::max(std::abs(exact), real{1e-12}))
+            << "f=" << f;
+    }
+}
+
 TEST(aaa_fit, shared_support_fits_multiple_channels)
 {
     // Two different responses (second-order pole pair + a real-pole roll-

@@ -1,0 +1,350 @@
+// Corner-farm subsystem: declarative grids, serializable shards,
+// deterministic merge.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/param_grid.h"
+#include "core/sweeps.h"
+#include "farm/campaign.h"
+#include "farm/executor.h"
+#include "farm/json.h"
+#include "spice/parser/netlist_parser.h"
+
+#ifndef ACSTAB_NETLIST_DIR
+#define ACSTAB_NETLIST_DIR "netlists"
+#endif
+
+namespace {
+
+using namespace acstab;
+
+constexpr const char* tank_netlist = R"(* parameterized RLC tank
+.param rval=397.887 cval=1n
+r1 tank 0 {rval}
+l1 tank 0 25.3303u
+c1 tank 0 {cval}
+.stability tank 1e4 1e8 40
+.end
+)";
+
+/// Write the parameterized tank netlist to a scratch file (shard
+/// executors re-read the netlist by path, so template tests need one).
+[[nodiscard]] std::string tank_netlist_path()
+{
+    static const std::string path = [] {
+        const std::string p = "test_farm_tank.sp";
+        std::ofstream out(p, std::ios::binary);
+        out << tank_netlist;
+        return p;
+    }();
+    return path;
+}
+
+[[nodiscard]] farm::campaign_spec tank_campaign()
+{
+    farm::campaign_spec spec;
+    spec.netlist = tank_netlist_path();
+    spec.node = "tank";
+    spec.fstart = 1e4;
+    spec.fstop = 1e8;
+    spec.points_per_decade = 40;
+    spec.grid.temps = {0.0, 50.0};
+    spec.grid.corners = {{"slow", {{"rval", 300.0}}}, {"fast", {{"rval", 500.0}}}};
+    spec.grid.axes = {{"cval", {0.8e-9, 1.2e-9}}};
+    return spec;
+}
+
+// --- param_grid ------------------------------------------------------------
+
+TEST(param_grid, mixed_radix_decode_is_row_major)
+{
+    core::param_grid grid;
+    grid.temps = {-40.0, 125.0};
+    grid.corners = {{"ff", {{"a", 1.0}}}, {"ss", {{"a", 2.0}}}};
+    grid.axes = {{"b", {10.0, 20.0, 30.0}}};
+    ASSERT_EQ(grid.size(), 12u);
+
+    // index = ((temp * corners) + corner) * axis + digit, last axis fastest.
+    const core::grid_point p0 = grid.point(0);
+    EXPECT_EQ(p0.index, 0u);
+    EXPECT_DOUBLE_EQ(*p0.temp_celsius, -40.0);
+    EXPECT_EQ(p0.corner, "ff");
+    EXPECT_DOUBLE_EQ(p0.overrides.at("a"), 1.0);
+    EXPECT_DOUBLE_EQ(p0.overrides.at("b"), 10.0);
+
+    const core::grid_point p5 = grid.point(5);
+    EXPECT_DOUBLE_EQ(*p5.temp_celsius, -40.0);
+    EXPECT_EQ(p5.corner, "ss");
+    EXPECT_DOUBLE_EQ(p5.overrides.at("b"), 30.0);
+
+    const core::grid_point p11 = grid.point(11);
+    EXPECT_DOUBLE_EQ(*p11.temp_celsius, 125.0);
+    EXPECT_EQ(p11.corner, "ss");
+    EXPECT_DOUBLE_EQ(p11.overrides.at("b"), 30.0);
+    EXPECT_EQ(p11.label(), "T=125 corner=ss a=2 b=30");
+}
+
+TEST(param_grid, empty_axes_mean_one_nominal_point)
+{
+    core::param_grid grid;
+    EXPECT_EQ(grid.size(), 1u);
+    const core::grid_point pt = grid.point(0);
+    EXPECT_FALSE(pt.temp_celsius.has_value());
+    EXPECT_TRUE(pt.corner.empty());
+    EXPECT_TRUE(pt.overrides.empty());
+    EXPECT_EQ(pt.label(), "nominal");
+}
+
+TEST(param_grid, axis_overrides_same_named_corner_parameter)
+{
+    core::param_grid grid;
+    grid.corners = {{"c", {{"x", 1.0}, {"y", 5.0}}}};
+    grid.axes = {{"x", {9.0}}};
+    const core::grid_point pt = grid.point(0);
+    EXPECT_DOUBLE_EQ(pt.overrides.at("x"), 9.0); // axis wins
+    EXPECT_DOUBLE_EQ(pt.overrides.at("y"), 5.0);
+}
+
+TEST(param_grid, validation_errors)
+{
+    core::param_grid grid;
+    grid.axes = {{"a", {}}};
+    EXPECT_THROW((void)grid.size(), analysis_error);
+    grid.axes = {{"a", {1.0}}, {"a", {2.0}}};
+    EXPECT_THROW((void)grid.size(), analysis_error);
+    grid.axes = {{"a", {1.0}}};
+    EXPECT_THROW((void)grid.point(1), analysis_error);
+    grid.axes.clear();
+    grid.corners = {{"c", {}}, {"c", {}}};
+    EXPECT_THROW((void)grid.size(), analysis_error);
+}
+
+// --- shard partitioning ----------------------------------------------------
+
+TEST(shard_slice, covers_every_point_exactly_once)
+{
+    for (const std::size_t total : {0u, 1u, 5u, 12u, 100u}) {
+        for (const std::size_t shards : {1u, 2u, 3u, 7u}) {
+            std::size_t covered = 0;
+            std::size_t expected_begin = 0;
+            for (std::size_t k = 0; k < shards; ++k) {
+                const farm::shard_range r = farm::shard_slice(total, k, shards);
+                EXPECT_EQ(r.begin, expected_begin);
+                EXPECT_LE(r.end - r.begin, total / shards + 1);
+                covered += r.end - r.begin;
+                expected_begin = r.end;
+            }
+            EXPECT_EQ(covered, total);
+            EXPECT_EQ(expected_begin, total);
+        }
+    }
+    EXPECT_THROW((void)farm::shard_slice(10, 0, 0), analysis_error);
+    EXPECT_THROW((void)farm::shard_slice(10, 2, 2), analysis_error);
+}
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(farm_json, dump_parse_round_trip_is_byte_stable)
+{
+    farm::json_value obj = farm::json_value::object();
+    obj.set("a", farm::json_value::number(0.1));
+    obj.set("b", farm::json_value::number(-1.25e-30));
+    obj.set("c", farm::json_value::str("quote\" slash\\ tab\t ctrl\x01"));
+    farm::json_value arr = farm::json_value::array();
+    arr.push_back(farm::json_value::boolean(true));
+    arr.push_back(farm::json_value{});
+    arr.push_back(farm::json_value::number(std::size_t{1234567}));
+    obj.set("d", std::move(arr));
+
+    const std::string bytes = obj.dump();
+    const farm::json_value reparsed = farm::json_value::parse(bytes);
+    EXPECT_EQ(reparsed.dump(), bytes);
+    EXPECT_DOUBLE_EQ(reparsed.at("a").as_number(), 0.1);
+    EXPECT_DOUBLE_EQ(reparsed.at("b").as_number(), -1.25e-30);
+    EXPECT_EQ(reparsed.at("c").as_string(), "quote\" slash\\ tab\t ctrl\x01");
+    EXPECT_EQ(reparsed.at("d").items().size(), 3u);
+    EXPECT_EQ(reparsed.at("d").items()[2].as_index(), 1234567u);
+}
+
+TEST(farm_json, rejects_malformed_documents)
+{
+    EXPECT_THROW((void)farm::json_value::parse("{\"a\":}"), parse_error);
+    EXPECT_THROW((void)farm::json_value::parse("[1,2"), parse_error);
+    EXPECT_THROW((void)farm::json_value::parse("{} trailing"), parse_error);
+    EXPECT_THROW((void)farm::json_value::parse("\"unterminated"), parse_error);
+    // Pathological nesting must fail cleanly, not overflow the stack.
+    const std::string deep(100000, '[');
+    EXPECT_THROW((void)farm::json_value::parse(deep), parse_error);
+}
+
+TEST(farm_campaign, spec_round_trips_through_json)
+{
+    const farm::campaign_spec spec = tank_campaign();
+    const std::string bytes = farm::to_json(spec).dump();
+    const farm::campaign_spec back
+        = farm::campaign_from_json(farm::json_value::parse(bytes));
+    EXPECT_EQ(farm::to_json(back).dump(), bytes);
+    EXPECT_EQ(back.node, "tank");
+    EXPECT_EQ(back.grid.size(), 8u);
+    EXPECT_DOUBLE_EQ(back.grid.corners[1].overrides.at("rval"), 500.0);
+}
+
+// --- parser campaign inputs ------------------------------------------------
+
+TEST(farm_parser, param_override_wins_over_netlist_card)
+{
+    spice::parse_options popt;
+    popt.param_overrides["rval"] = 500.0;
+    const spice::parsed_netlist net = spice::parse_netlist(tank_netlist, popt);
+    EXPECT_DOUBLE_EQ(net.parameters.at("rval"), 500.0);
+    EXPECT_DOUBLE_EQ(net.parameters.at("cval"), 1e-9); // untouched card value
+}
+
+TEST(farm_parser, temp_and_corner_cards_are_collected)
+{
+    const spice::parsed_netlist net = spice::parse_netlist(R"(* cards
+r1 a 0 1k
+.temp -40 27 125
+.corner fast rval=0.9k
+.corner slow
+.end
+)");
+    ASSERT_EQ(net.temp_values.size(), 3u);
+    EXPECT_DOUBLE_EQ(net.temp_values[1], 27.0);
+    ASSERT_EQ(net.corners.size(), 2u);
+    EXPECT_EQ(net.corners[0].name, "fast");
+    EXPECT_DOUBLE_EQ(net.corners[0].overrides.at("rval"), 900.0);
+    EXPECT_TRUE(net.corners[1].overrides.empty());
+
+    const core::param_grid grid = core::grid_from_netlist_cards(net);
+    EXPECT_EQ(grid.size(), 6u);
+}
+
+TEST(farm_parser, model_temp_override_reaches_junction_devices)
+{
+    // A BJT's DC operating point depends on kT/q, so the same follower
+    // at two temperatures must bias differently.
+    const char* follower = R"(* one-transistor follower
+.model n1 npn is=1e-16 bf=100
+vcc vdd 0 5
+vb b 0 2
+q1 vdd b e n1
+re e 0 1k
+.end
+)";
+    spice::parse_options cold;
+    cold.temp_celsius = -40.0;
+    spice::parse_options hot;
+    hot.temp_celsius = 125.0;
+    spice::parsed_netlist net_cold = spice::parse_netlist(follower, cold);
+    spice::parsed_netlist net_hot = spice::parse_netlist(follower, hot);
+    const spice::dc_result op_cold = spice::dc_operating_point(net_cold.ckt);
+    const spice::dc_result op_hot = spice::dc_operating_point(net_hot.ckt);
+    const auto e_cold = net_cold.ckt.find_node("e");
+    const auto e_hot = net_hot.ckt.find_node("e");
+    ASSERT_TRUE(e_cold && e_hot);
+    const real v_cold = op_cold.solution[static_cast<std::size_t>(*e_cold)];
+    const real v_hot = op_hot.solution[static_cast<std::size_t>(*e_hot)];
+    EXPECT_GT(std::fabs(v_cold - v_hot), 0.05); // VBE shifts with temp
+}
+
+// --- shard execution and merge --------------------------------------------
+
+TEST(farm_executor, two_shard_merge_is_byte_identical_to_single_run)
+{
+    const farm::campaign_spec spec = tank_campaign();
+
+    const std::vector<farm::point_record> all = farm::run_shard(spec, 0, 1);
+    const farm::json_value single
+        = farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, all)});
+
+    const std::vector<farm::point_record> s0 = farm::run_shard(spec, 0, 2);
+    const std::vector<farm::point_record> s1 = farm::run_shard(spec, 1, 2);
+    EXPECT_EQ(s0.size() + s1.size(), spec.grid.size());
+    const farm::json_value sharded = farm::merge_shards(
+        spec, {farm::shard_to_json(spec, 0, 2, s0), farm::shard_to_json(spec, 1, 2, s1)});
+
+    EXPECT_EQ(single.dump(), sharded.dump());
+
+    // Shard order must not matter either.
+    const farm::json_value reversed = farm::merge_shards(
+        spec, {farm::shard_to_json(spec, 1, 2, s1), farm::shard_to_json(spec, 0, 2, s0)});
+    EXPECT_EQ(single.dump(), reversed.dump());
+}
+
+TEST(farm_executor, threaded_run_matches_serial_bytes)
+{
+    const farm::campaign_spec spec = tank_campaign();
+    const std::vector<farm::point_record> serial = farm::run_shard(spec, 0, 1, 1);
+    const std::vector<farm::point_record> threaded = farm::run_shard(spec, 0, 1, 4);
+    const std::string a
+        = farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, serial)}).dump();
+    const std::string b
+        = farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, threaded)}).dump();
+    EXPECT_EQ(a, b);
+}
+
+TEST(farm_executor, records_carry_summary_and_raw_response)
+{
+    farm::campaign_spec spec = tank_campaign();
+    spec.grid.temps.clear();
+    spec.grid.corners.clear(); // single cval axis -> 2 points
+    const std::vector<farm::point_record> records = farm::run_shard(spec, 0, 1);
+    ASSERT_EQ(records.size(), 2u);
+    for (const farm::point_record& rec : records) {
+        EXPECT_EQ(rec.status, core::point_status::ok);
+        EXPECT_TRUE(rec.has_peak);
+        EXPECT_NEAR(rec.fn_hz, 1e6, 0.3e6);
+        EXPECT_GT(rec.freq_hz.size(), 100u); // the raw response is recorded
+        EXPECT_EQ(rec.freq_hz.size(), rec.magnitude.size());
+    }
+    // JSON record round trip preserves everything.
+    const farm::json_value doc = farm::shard_to_json(spec, 0, 1, records);
+    const std::vector<farm::point_record> back = farm::records_from_json(doc);
+    ASSERT_EQ(back.size(), records.size());
+    EXPECT_EQ(back[1].index, records[1].index);
+    EXPECT_EQ(back[1].freq_hz, records[1].freq_hz);
+    EXPECT_EQ(back[1].magnitude, records[1].magnitude);
+    EXPECT_DOUBLE_EQ(back[0].zeta, records[0].zeta);
+}
+
+TEST(farm_executor, pathological_corner_is_recorded_not_thrown)
+{
+    farm::campaign_spec spec = tank_campaign();
+    spec.grid.temps.clear();
+    spec.grid.axes.clear();
+    spec.grid.corners = {{"dead", {{"rval", 0.0}}}, {"nominal", {}}};
+    const std::vector<farm::point_record> records = farm::run_shard(spec, 0, 1);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].status, core::point_status::analysis_failed);
+    EXPECT_NE(records[0].error.find("resistance"), std::string::npos);
+    EXPECT_EQ(records[1].status, core::point_status::ok);
+    EXPECT_TRUE(records[1].has_peak);
+
+    // The failure still merges and renders.
+    const farm::json_value report
+        = farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, records)});
+    const std::string table = farm::format_report(report);
+    EXPECT_NE(table.find("failed"), std::string::npos);
+    EXPECT_NE(table.find("corner=nominal"), std::string::npos);
+}
+
+TEST(farm_executor, merge_rejects_gaps_duplicates_and_foreign_shards)
+{
+    const farm::campaign_spec spec = tank_campaign();
+    const std::vector<farm::point_record> s0 = farm::run_shard(spec, 0, 2);
+    const farm::json_value doc0 = farm::shard_to_json(spec, 0, 2, s0);
+
+    // Missing the second shard.
+    EXPECT_THROW((void)farm::merge_shards(spec, {doc0}), analysis_error);
+    // Duplicate records.
+    EXPECT_THROW((void)farm::merge_shards(spec, {doc0, doc0}), analysis_error);
+    // Shard from a different campaign.
+    farm::campaign_spec other = spec;
+    other.points_per_decade = 17;
+    EXPECT_THROW((void)farm::merge_shards(other, {doc0}), analysis_error);
+}
+
+} // namespace

@@ -69,8 +69,109 @@ TEST(sweeps, reports_non_convergence_instead_of_throwing)
         {1.0});
     ASSERT_EQ(points.size(), 1u);
     EXPECT_FALSE(points[0].dc_converged);
+    EXPECT_EQ(points[0].status, core::point_status::dc_failed);
     const std::string table = core::format_sweep(points, "p");
     EXPECT_NE(table.find("DC did not converge"), std::string::npos);
+}
+
+TEST(sweeps, records_analysis_errors_per_point_instead_of_throwing)
+{
+    // One point of the sweep is pathological in a way that is NOT a DC
+    // convergence failure (a zero-valued resistor is rejected when the
+    // device is constructed); it must be recorded, not kill the sweep.
+    const auto points = core::sweep_stability(
+        [](spice::circuit& c, real r) {
+            circuits::add_parallel_rlc_tank(c, "tank", 0.2, 1e6);
+            if (r <= 0.0) {
+                c.remove_device("r_tank");
+                c.add<spice::resistor>("r_tank", *c.find_node("tank"),
+                                       spice::ground_node, r);
+            }
+            return std::string("tank");
+        },
+        {1.0, 0.0, 2.0});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].status, core::point_status::ok);
+    EXPECT_EQ(points[1].status, core::point_status::analysis_failed);
+    EXPECT_TRUE(points[1].dc_converged); // legacy flag tracks DC only
+    EXPECT_FALSE(points[1].error.empty());
+    EXPECT_EQ(points[2].status, core::point_status::ok);
+    EXPECT_TRUE(points[2].node.has_peak);
+
+    const std::string table = core::format_sweep(points, "r");
+    EXPECT_NE(table.find("analysis failed"), std::string::npos);
+}
+
+TEST(sweeps, format_sweep_renders_mixed_statuses)
+{
+    std::vector<core::sweep_point_result> points(3);
+    points[0].parameter = 1.0;
+    points[0].node.has_peak = true;
+    points[0].node.dominant.freq_hz = 1e6;
+    points[0].node.dominant.value = -25.0;
+    points[0].node.zeta = 0.2;
+    points[0].node.phase_margin_est_deg = 20.0;
+    points[1].parameter = 2.0;
+    points[1].status = core::point_status::dc_failed;
+    points[1].dc_converged = false;
+    points[2].parameter = 3.0;
+    points[2].status = core::point_status::analysis_failed;
+    points[2].error = "numeric: singular matrix";
+
+    const std::string table = core::format_sweep(points, "corner");
+    EXPECT_NE(table.find("corner"), std::string::npos);
+    EXPECT_NE(table.find("1MHz"), std::string::npos);
+    EXPECT_NE(table.find("DC did not converge"), std::string::npos);
+    EXPECT_NE(table.find("analysis failed: numeric: singular matrix"), std::string::npos);
+}
+
+TEST(sweeps, grid_runner_slices_match_full_run)
+{
+    core::param_grid grid;
+    grid.axes = {{"zeta", {0.1, 0.2, 0.3, 0.4, 0.5}}};
+    const core::grid_circuit_factory factory
+        = [](spice::circuit& c, const core::grid_point& pt) {
+              circuits::add_parallel_rlc_tank(c, "tank", pt.overrides.at("zeta"), 1e6);
+              return std::string("tank");
+          };
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e8;
+
+    const auto full = core::sweep_stability_grid(factory, grid, opt);
+    ASSERT_EQ(full.size(), 5u);
+    const auto tail = core::sweep_stability_grid(factory, grid, 3, 5, opt);
+    ASSERT_EQ(tail.size(), 2u);
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        EXPECT_EQ(tail[i].point.index, 3 + i);
+        ASSERT_EQ(tail[i].status, core::point_status::ok);
+        EXPECT_DOUBLE_EQ(tail[i].node.zeta, full[3 + i].node.zeta);
+    }
+    EXPECT_THROW((void)core::sweep_stability_grid(factory, grid, 4, 6, opt),
+                 analysis_error);
+}
+
+TEST(sweeps, template_overload_rebuilds_from_netlist_text)
+{
+    core::circuit_template tmpl;
+    tmpl.text = R"(* tank template
+.param rval=397.887
+r1 tank 0 {rval}
+l1 tank 0 25.3303u
+c1 tank 0 1n
+.end
+)";
+    core::param_grid grid;
+    grid.axes = {{"rval", {198.94, 397.887}}}; // zeta = 0.4, 0.2
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e8;
+    const auto points = core::sweep_stability_grid(tmpl, "tank", grid, opt);
+    ASSERT_EQ(points.size(), 2u);
+    ASSERT_EQ(points[0].status, core::point_status::ok);
+    ASSERT_EQ(points[1].status, core::point_status::ok);
+    EXPECT_NEAR(points[0].node.zeta, 0.4, 0.06);
+    EXPECT_NEAR(points[1].node.zeta, 0.2, 0.03);
 }
 
 } // namespace

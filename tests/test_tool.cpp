@@ -58,6 +58,34 @@ TEST(cli_options, errors)
     EXPECT_THROW(parse_cli_options(2, unknown.data()), analysis_error);
     auto bad_num = argv_of({"--fstart", "abc"});
     EXPECT_THROW(parse_cli_options(2, bad_num.data()), parse_error);
+    // Bare tokens stay errors unless a command opts into positionals
+    // (farm merge's shard files).
+    auto stray = argv_of({"-node", "vout"});
+    EXPECT_THROW(parse_cli_options(2, stray.data()), analysis_error);
+    const cli_options opt = parse_cli_options(2, stray.data(), /*allow_positionals=*/true);
+    ASSERT_EQ(opt.positionals.size(), 2u);
+    EXPECT_EQ(opt.positionals[0], "-node");
+}
+
+TEST(cli_options, farm_grid_specs)
+{
+    EXPECT_EQ(parse_value_list("1k,2k,3k"),
+              (std::vector<real>{1e3, 2e3, 3e3}));
+    const core::corner_def corner = parse_corner_spec("fast:rval=0.9k,cval=0.8p");
+    EXPECT_EQ(corner.name, "fast");
+    EXPECT_DOUBLE_EQ(corner.overrides.at("rval"), 900.0);
+    EXPECT_DOUBLE_EQ(corner.overrides.at("cval"), 0.8e-12);
+    EXPECT_TRUE(parse_corner_spec("nominal").overrides.empty());
+    const core::param_axis axis = parse_param_axis("vdd=2.5,3.3");
+    EXPECT_EQ(axis.name, "vdd");
+    ASSERT_EQ(axis.values.size(), 2u);
+    const shard_spec sh = parse_shard_spec("2/8");
+    EXPECT_EQ(sh.index, 1u);
+    EXPECT_EQ(sh.count, 8u);
+    EXPECT_THROW((void)parse_shard_spec("0/4"), analysis_error);
+    EXPECT_THROW((void)parse_shard_spec("5/4"), analysis_error);
+    EXPECT_THROW((void)parse_corner_spec(":r=1"), analysis_error);
+    EXPECT_THROW((void)parse_param_axis("novalues="), analysis_error);
 }
 
 TEST(cli_options, sweep_point_count)

@@ -1,0 +1,24 @@
+* Behavioral three-pole unity-feedback loop:
+*   L(s) = a1 a2 a3 / ((1 + s/p1)(1 + s/p2)(1 + s/p3))
+*   a1 = 100, a2 = a3 = 10; p1 = 1 kHz, p2 = 10 kHz, p3 = 100 kHz.
+* Crossover sits past the -180 degree phase crossing, so the loop is
+* UNSTABLE (true phase margin about -61 degrees) and the phase wraps
+* through -180 well below crossover — the fixture for the margin
+* unwrap/anchor regression tests.
+* Stage 1: gm1 = a1/r1 into r1 || c1 with c1 = 1/(2 pi p1 r1).
+g1 0 s1 in fb 0.01
+r1 s1 0 10k
+c1 s1 0 15.9155n
+* Stage 2: gm2 = a2/r2 into r2 || c2 with c2 = 1/(2 pi p2 r2).
+g2 0 s2 s1 0 1m
+r2 s2 0 10k
+c2 s2 0 1.59155n
+* Stage 3: gm3 = a3/r3 into r3 || c3 with c3 = 1/(2 pi p3 r3).
+g3 0 out s2 0 1m
+r3 out 0 10k
+c3 out 0 159.155p
+* Feedback wire through the loop-gain probe (plus on the driving side).
+vprobe out fb 0
+rfb_bleed fb 0 1e12
+vin in 0 ac 1
+.end

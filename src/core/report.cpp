@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <unordered_map>
 
@@ -135,6 +136,68 @@ std::string annotate_circuit(const spice::circuit& c, const stability_report& re
         }
         os << ")\n";
     }
+    return os.str();
+}
+
+std::string format_impedance_summary(const analysis::impedance_result& res)
+{
+    std::ostringstream os;
+    const auto list = [&os](const std::vector<std::string>& names) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            os << (i == 0 ? "" : " ") << names[i];
+    };
+    os << "Impedance partition at node '" << res.partition.node << "'\n";
+    os << "  source side       : ";
+    list(res.partition.source_devices);
+    os << "\n  load side         : ";
+    list(res.partition.load_devices);
+    os << "\n  minor-loop gain   : L_m = Z_source / Z_load over "
+       << spice::format_frequency(res.freq_hz.front()) << " .. "
+       << spice::format_frequency(res.freq_hz.back()) << " (" << res.freq_hz.size()
+       << " points, " << res.factorizations << " factorizations)\n";
+    os << "  encirclements of -1 : " << res.encirclements << "\n";
+    os << "  closest approach    : |1 + L_m| = " << res.nyquist_margin << " at "
+       << spice::format_frequency(res.nyquist_margin_freq_hz) << "\n";
+    if (res.margins.has_unity_crossing)
+        os << "  minor-loop margin   : " << res.margins.phase_margin_deg
+           << " deg of phase at |L_m| = 1 ("
+           << spice::format_frequency(res.margins.unity_freq_hz) << ")\n";
+    else
+        os << "  minor-loop margin   : |L_m| never crosses 1\n";
+    if (res.margins.has_phase_crossing)
+        os << "  minor-loop gain margin : " << res.margins.gain_margin_db << " dB at "
+           << spice::format_frequency(res.margins.phase_cross_freq_hz) << "\n";
+    os << "  verdict             : "
+       << (res.stable ? "STABLE (no encirclements)" : "UNSTABLE (net encirclements of -1)")
+       << "\n";
+    if (res.has_model) {
+        os << "  rational model      : order " << res.model_order << ", fit error "
+           << res.model_fit_error << "\n";
+        if (res.closed_loop_poles.empty()) {
+            os << "  closed-loop estimate: no poles resolved inside the band\n";
+        } else {
+            os << "  closed-loop pole estimates (from the fitted L_m):\n";
+            for (const analysis::pole& p : res.closed_loop_poles) {
+                char line[160];
+                std::snprintf(line, sizeof line,
+                              "    f = %-12s zeta = %8.4f  %s\n",
+                              spice::format_frequency(p.freq_hz).c_str(), p.zeta,
+                              p.zeta < 0.0 ? "(RIGHT half plane)" : "");
+                os << line;
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string format_impedance_crosscheck(const analysis::impedance_result& res,
+                                        bool reference_stable,
+                                        const std::string& reference_name)
+{
+    std::ostringstream os;
+    os << "Cross-check: " << reference_name << " says "
+       << (reference_stable ? "STABLE" : "UNSTABLE") << "; impedance criterion "
+       << (res.stable == reference_stable ? "AGREES" : "DISAGREES") << ".\n";
     return os.str();
 }
 

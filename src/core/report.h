@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "analysis/impedance.h"
 #include "core/analyzer.h"
 
 namespace acstab::core {
@@ -25,6 +26,18 @@ namespace acstab::core {
 /// the nodes it touches (Fig. 5's annotated-schematic equivalent).
 [[nodiscard]] std::string annotate_circuit(const spice::circuit& c,
                                            const stability_report& report);
+
+/// Impedance-partition summary: the two device sides, the Nyquist-like
+/// verdict of the minor-loop gain (encirclements, closest approach to -1,
+/// minor-loop margins) and — on the adaptive path — the fitted model's
+/// closed-loop pole estimates.
+[[nodiscard]] std::string format_impedance_summary(const analysis::impedance_result& res);
+
+/// One-line agreement check of the impedance-ratio verdict against a
+/// reference stability classification (e.g. the MNA pencil poles).
+[[nodiscard]] std::string format_impedance_crosscheck(const analysis::impedance_result& res,
+                                                      bool reference_stable,
+                                                      const std::string& reference_name);
 
 } // namespace acstab::core
 

@@ -278,6 +278,7 @@ namespace {
 
         res.model_order = model.support_count();
         res.model_fit_error = model.fit_error();
+        res.model = model;
 
         // Output grid: every solved frequency plus the dense grid points
         // that do not (nearly) coincide with one. Solved points carry the

@@ -39,6 +39,7 @@
 
 #include "engine/linearized_snapshot.h"
 #include "engine/sweep_engine.h"
+#include "numeric/aaa.h"
 
 namespace acstab::engine {
 
@@ -91,6 +92,11 @@ struct adaptive_sweep_result {
     std::size_t model_order = 0;
     /// Scaled least-squares error of the final fit at solved samples.
     real model_fit_error = 0.0;
+    /// The final fitted rational model itself (components in channel
+    /// order). Downstream consumers evaluate it at arbitrary density, or
+    /// extract its poles/level crossings as a low-order closed-loop
+    /// estimate (the impedance-partition analysis does both).
+    numeric::aaa_model model;
     /// False when the round or point budget ran out with candidates still
     /// failing the residual check (results are then best-effort).
     bool converged = true;

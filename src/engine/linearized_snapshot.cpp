@@ -18,8 +18,16 @@ namespace {
         p.zero_all_sources = opt.zero_all_sources;
 
         spice::system_builder<cplx> b(c.unknown_count());
-        for (const auto& dev : c.devices())
+        for (const auto& dev : c.devices()) {
+            if (opt.device_filter && !opt.device_filter(*dev)) {
+                // Pin the excluded device's branch unknowns (current = 0)
+                // so rows otherwise stamped only by it stay regular.
+                for (std::size_t k = 0; k < dev->extra_unknown_count(); ++k)
+                    b.add(dev->branch_unknown(k), dev->branch_unknown(k), cplx{1.0, 0.0});
+                continue;
+            }
             dev->stamp_ac(op, p, b);
+        }
         if (opt.gshunt > 0.0)
             for (std::size_t i = 0; i < c.node_count(); ++i)
                 b.add(static_cast<spice::node_id>(i), static_cast<spice::node_id>(i),

@@ -21,6 +21,7 @@
 #define ACSTAB_ENGINE_LINEARIZED_SNAPSHOT_H
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -40,6 +41,14 @@ struct snapshot_options {
     const spice::device* exclusive_source = nullptr;
     /// Zero every AC stimulus (callers injecting their own RHS).
     bool zero_all_sources = false;
+    /// When set, only devices accepted by the predicate are stamped — the
+    /// impedance-partition analysis linearizes one SIDE of a circuit at
+    /// the full circuit's operating point this way. Excluded devices with
+    /// branch-current unknowns get a unit diagonal on their branch rows
+    /// (branch current forced to zero) so the filtered system keeps the
+    /// full unknown set without going singular; nodes owned entirely by
+    /// excluded devices are held up by gshunt.
+    std::function<bool(const spice::device&)> device_filter;
 };
 
 class linearized_snapshot {

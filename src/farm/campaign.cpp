@@ -24,6 +24,20 @@ core::stability_options campaign_spec::stability_options(std::size_t threads) co
     return opt;
 }
 
+analysis::impedance_options campaign_spec::impedance_options(std::size_t threads) const
+{
+    analysis::impedance_options opt;
+    opt.fstart = fstart;
+    opt.fstop = fstop;
+    opt.points_per_decade = points_per_decade;
+    opt.adaptive = adaptive;
+    opt.fit_tol = fit_tol;
+    opt.anchors_per_decade = anchors_per_decade;
+    opt.source_elements = source_elements;
+    opt.threads = threads;
+    return opt;
+}
+
 json_value to_json(const campaign_spec& spec)
 {
     json_value grid = json_value::object();
@@ -49,6 +63,17 @@ json_value to_json(const campaign_spec& spec)
     doc.set("schema", json_value::str(campaign_schema));
     doc.set("netlist", json_value::str(spec.netlist));
     doc.set("node", json_value::str(spec.node));
+    // Stability campaigns omit the analysis member entirely: their plan
+    // bytes stay identical to pre-impedance builds, so shard files from
+    // older binaries still pass the merge step's byte-exact campaign
+    // echo comparison.
+    if (spec.analysis == campaign_analysis::impedance) {
+        doc.set("analysis", json_value::str("impedance"));
+        json_value sources = json_value::array();
+        for (const std::string& name : spec.source_elements)
+            sources.push_back(json_value::str(name));
+        doc.set("source_elements", std::move(sources));
+    }
     doc.set("grid", std::move(grid));
     doc.set("points", json_value::number(spec.grid.size()));
     json_value sweep = json_value::object();
@@ -71,6 +96,18 @@ campaign_spec campaign_from_json(const json_value& doc)
     campaign_spec spec;
     spec.netlist = doc.at("netlist").as_string();
     spec.node = doc.at("node").as_string();
+    // Plans from builds predating impedance campaigns carry no analysis
+    // field; they are stability campaigns.
+    if (const json_value* kind = doc.find("analysis")) {
+        if (kind->as_string() == "impedance")
+            spec.analysis = campaign_analysis::impedance;
+        else if (kind->as_string() != "stability")
+            throw analysis_error("farm: unknown campaign analysis kind '"
+                                 + kind->as_string() + "'");
+    }
+    if (const json_value* sources = doc.find("source_elements"))
+        for (const json_value& name : sources->items())
+            spec.source_elements.push_back(name.as_string());
 
     const json_value& grid = doc.at("grid");
     spec.grid.temps = reals_from_json(grid.at("temps"));

@@ -13,20 +13,31 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "analysis/impedance.h"
 #include "core/analyzer.h"
 #include "core/param_grid.h"
 #include "farm/json.h"
 
 namespace acstab::farm {
 
+/// What each grid point runs: the paper's stability-plot analysis, or the
+/// Nyquist-like impedance-partition criterion at the same node.
+enum class campaign_analysis { stability, impedance };
+
 struct campaign_spec {
     /// Netlist path as given to `farm plan`; shard processes re-read it,
     /// so it must resolve on every farm machine (relative to the shared
     /// working directory, or absolute on a shared filesystem).
     std::string netlist;
-    /// The watched node (single-node analysis per grid point).
+    /// The watched node (single-node analysis per grid point); for
+    /// impedance campaigns, the partition node.
     std::string node;
+    campaign_analysis analysis = campaign_analysis::stability;
+    /// Elements forced onto the impedance partition's source side
+    /// (ignored by stability campaigns).
+    std::vector<std::string> source_elements;
     core::param_grid grid;
 
     // Frequency-sweep and analysis settings, mirrored from
@@ -42,6 +53,8 @@ struct campaign_spec {
     /// the executor's machine-local point-level parallelism; it does not
     /// affect results (points are slotted by index).
     [[nodiscard]] core::stability_options stability_options(std::size_t threads) const;
+    /// The impedance-campaign equivalent (same sweep/adaptive settings).
+    [[nodiscard]] analysis::impedance_options impedance_options(std::size_t threads) const;
 };
 
 /// Spec <-> JSON (the plan file). Round trips exactly: numbers use the

@@ -1,8 +1,10 @@
 #include "farm/executor.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/error.h"
+#include "engine/sweep_engine.h"
 #include "farm/json_convert.h"
 #include "spice/units.h"
 
@@ -34,6 +36,46 @@ namespace {
         throw analysis_error("farm: unknown record status '" + s + "'");
     }
 
+    [[nodiscard]] json_value impedance_to_json(const impedance_point_summary& imp)
+    {
+        json_value obj = json_value::object();
+        obj.set("stable", json_value::boolean(imp.stable));
+        // Encirclement counts are signed (negative marks a side with its
+        // own RHP poles), so they ride as plain numbers, not indices.
+        obj.set("encirclements", json_value::number(static_cast<real>(imp.encirclements)));
+        obj.set("nyquist_margin", json_value::number(imp.nyquist_margin));
+        obj.set("nyquist_margin_freq_hz", json_value::number(imp.nyquist_margin_freq_hz));
+        obj.set("has_unity_crossing", json_value::boolean(imp.has_unity_crossing));
+        if (imp.has_unity_crossing)
+            obj.set("phase_margin_deg", json_value::number(imp.phase_margin_deg));
+        obj.set("has_phase_crossing", json_value::boolean(imp.has_phase_crossing));
+        if (imp.has_phase_crossing)
+            obj.set("gain_margin_db", json_value::number(imp.gain_margin_db));
+        obj.set("freq_hz", reals_to_json(imp.freq_hz));
+        obj.set("lm_re", reals_to_json(imp.lm_re));
+        obj.set("lm_im", reals_to_json(imp.lm_im));
+        return obj;
+    }
+
+    [[nodiscard]] impedance_point_summary impedance_from_json(const json_value& obj)
+    {
+        impedance_point_summary imp;
+        imp.stable = obj.at("stable").as_bool();
+        imp.encirclements = static_cast<int>(obj.at("encirclements").as_number());
+        imp.nyquist_margin = obj.at("nyquist_margin").as_number();
+        imp.nyquist_margin_freq_hz = obj.at("nyquist_margin_freq_hz").as_number();
+        imp.has_unity_crossing = obj.at("has_unity_crossing").as_bool();
+        if (imp.has_unity_crossing)
+            imp.phase_margin_deg = obj.at("phase_margin_deg").as_number();
+        imp.has_phase_crossing = obj.at("has_phase_crossing").as_bool();
+        if (imp.has_phase_crossing)
+            imp.gain_margin_db = obj.at("gain_margin_db").as_number();
+        imp.freq_hz = reals_from_json(obj.at("freq_hz"));
+        imp.lm_re = reals_from_json(obj.at("lm_re"));
+        imp.lm_im = reals_from_json(obj.at("lm_im"));
+        return imp;
+    }
+
     [[nodiscard]] json_value record_to_json(const point_record& rec)
     {
         json_value obj = json_value::object();
@@ -47,6 +89,10 @@ namespace {
         obj.set("status", json_value::str(status_name(rec.status)));
         if (rec.status != core::point_status::ok) {
             obj.set("error", json_value::str(rec.error));
+            return obj;
+        }
+        if (rec.impedance) {
+            obj.set("impedance", impedance_to_json(*rec.impedance));
             return obj;
         }
         obj.set("has_peak", json_value::boolean(rec.has_peak));
@@ -78,6 +124,10 @@ namespace {
             rec.error = obj.at("error").as_string();
             return rec;
         }
+        if (const json_value* imp = obj.find("impedance")) {
+            rec.impedance = impedance_from_json(*imp);
+            return rec;
+        }
         rec.has_peak = obj.at("has_peak").as_bool();
         if (rec.has_peak) {
             rec.fn_hz = obj.at("fn_hz").as_number();
@@ -93,12 +143,69 @@ namespace {
 
 } // namespace
 
+namespace {
+
+    /// Impedance-campaign shard body: one analyze_impedance per point,
+    /// points dispatched on the shared pool (per-point analysis serial,
+    /// mirroring core::sweep_stability_grid), every failure recorded.
+    [[nodiscard]] std::vector<point_record>
+    run_impedance_shard(const campaign_spec& spec, const shard_range& range,
+                        std::size_t threads)
+    {
+        const core::circuit_template tmpl{spec.netlist, ""};
+        const analysis::impedance_options point_opt = spec.impedance_options(1);
+
+        std::vector<point_record> records(range.end - range.begin);
+        engine::sweep_engine_options eopt;
+        eopt.threads = threads;
+        const engine::sweep_engine eng(eopt);
+        eng.for_each(records.size(), [&](std::size_t i) {
+            point_record& rec = records[i];
+            rec.point = spec.grid.point(range.begin + i);
+            rec.index = rec.point.index;
+            try {
+                spice::circuit c = std::move(tmpl.build(rec.point).ckt);
+                const analysis::impedance_result res
+                    = analysis::analyze_impedance(c, spec.node, point_opt);
+                impedance_point_summary imp;
+                imp.stable = res.stable;
+                imp.encirclements = res.encirclements;
+                imp.nyquist_margin = res.nyquist_margin;
+                imp.nyquist_margin_freq_hz = res.nyquist_margin_freq_hz;
+                imp.has_unity_crossing = res.margins.has_unity_crossing;
+                imp.phase_margin_deg = res.margins.phase_margin_deg;
+                imp.has_phase_crossing = res.margins.has_phase_crossing;
+                imp.gain_margin_db = res.margins.gain_margin_db;
+                imp.freq_hz = res.freq_hz;
+                imp.lm_re.resize(res.minor_loop.size());
+                imp.lm_im.resize(res.minor_loop.size());
+                for (std::size_t k = 0; k < res.minor_loop.size(); ++k) {
+                    imp.lm_re[k] = res.minor_loop[k].real();
+                    imp.lm_im[k] = res.minor_loop[k].imag();
+                }
+                rec.impedance = std::move(imp);
+            } catch (const convergence_error& e) {
+                rec.status = core::point_status::dc_failed;
+                rec.error = e.what();
+            } catch (const error& e) {
+                rec.status = core::point_status::analysis_failed;
+                rec.error = e.what();
+            }
+        });
+        return records;
+    }
+
+} // namespace
+
 std::vector<point_record> run_shard(const campaign_spec& spec, std::size_t shard,
                                     std::size_t shard_count, std::size_t threads)
 {
     if (spec.node.empty())
         throw analysis_error("farm: campaign has no watched node");
     const shard_range range = shard_slice(spec.grid.size(), shard, shard_count);
+
+    if (spec.analysis == campaign_analysis::impedance)
+        return run_impedance_shard(spec, range, threads);
 
     const core::circuit_template tmpl{spec.netlist, ""};
     const std::vector<core::grid_point_result> results = core::sweep_stability_grid(
@@ -214,7 +321,45 @@ std::string format_report(const json_value& report)
         throw analysis_error("farm: not an acstab farm report (bad schema field)");
 
     std::string out;
-    const std::string& node = report.at("campaign").at("node").as_string();
+    const json_value& campaign = report.at("campaign");
+    const std::string& node = campaign.at("node").as_string();
+    const json_value* kind = campaign.find("analysis");
+    const bool impedance = kind != nullptr && kind->as_string() == "impedance";
+
+    if (impedance) {
+        out += "impedance-campaign report, partition node '" + node + "'\n";
+        out += "point  label                                     verdict   enc   min|1+Lm|   "
+               "PM(Lm)\n";
+        out += "----------------------------------------------------------------------------"
+               "------\n";
+        for (const json_value& rec : report.at("records").items()) {
+            char line[220];
+            const std::size_t index = rec.at("index").as_index();
+            const std::string& label = rec.at("label").as_string();
+            const std::string& status = rec.at("status").as_string();
+            if (status != "ok") {
+                std::snprintf(line, sizeof line, "%-6zu %-40.40s  (%s: %.80s)\n", index,
+                              label.c_str(), status.c_str(),
+                              rec.at("error").as_string().c_str());
+            } else {
+                const json_value& imp = rec.at("impedance");
+                char pm[32];
+                if (imp.at("has_unity_crossing").as_bool())
+                    std::snprintf(pm, sizeof pm, "%6.1f deg",
+                                  imp.at("phase_margin_deg").as_number());
+                else
+                    std::snprintf(pm, sizeof pm, "%9s", "-");
+                std::snprintf(line, sizeof line, "%-6zu %-40.40s  %-8s %4d   %9.4g   %s\n",
+                              index, label.c_str(),
+                              imp.at("stable").as_bool() ? "stable" : "UNSTABLE",
+                              static_cast<int>(imp.at("encirclements").as_number()),
+                              imp.at("nyquist_margin").as_number(), pm);
+            }
+            out += line;
+        }
+        return out;
+    }
+
     out += "corner-farm campaign report, node '" + node + "'\n";
     out += "point  label                                     fn            zeta     est. PM\n";
     out += "-----------------------------------------------------------------------------\n";

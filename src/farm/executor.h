@@ -14,6 +14,7 @@
 #define ACSTAB_FARM_EXECUTOR_H
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,24 @@
 
 namespace acstab::farm {
 
+/// Impedance-campaign summary and raw samples of one grid point (present
+/// when the campaign's analysis kind is impedance and the point is ok).
+/// The raw minor-loop gain is stored as parallel re/im arrays so the
+/// Nyquist locus can be reconstructed exactly from the report.
+struct impedance_point_summary {
+    bool stable = false;
+    int encirclements = 0;
+    real nyquist_margin = 0.0;
+    real nyquist_margin_freq_hz = 0.0;
+    bool has_unity_crossing = false;
+    real phase_margin_deg = 0.0;
+    bool has_phase_crossing = false;
+    real gain_margin_db = 0.0;
+    std::vector<real> freq_hz;
+    std::vector<real> lm_re;
+    std::vector<real> lm_im;
+};
+
 /// One grid point's serialized outcome.
 struct point_record {
     std::size_t index = 0; ///< stable global grid index
@@ -30,7 +49,7 @@ struct point_record {
     core::point_status status = core::point_status::ok;
     std::string error;
 
-    // Summary (meaningful when status == ok).
+    // Stability-campaign summary (meaningful when status == ok).
     bool has_peak = false;
     real fn_hz = 0.0;
     real peak = 0.0;
@@ -41,6 +60,9 @@ struct point_record {
     /// Raw response record: the watched node's |Z(j 2 pi f)| samples.
     std::vector<real> freq_hz;
     std::vector<real> magnitude;
+
+    /// Impedance-campaign payload (replaces the stability summary).
+    std::optional<impedance_point_summary> impedance;
 };
 
 /// Execute shard `shard` of `shard_count` (points from shard_slice) with

@@ -81,6 +81,19 @@ bool json_value::as_bool() const
 
 real json_value::as_number() const
 {
+    // Non-finite numbers are serialized as the strings "nan"/"inf"/"-inf"
+    // (valid JSON, unlike bare nan/inf tokens); accept exactly those
+    // spellings back so parsed documents keep their string kind — and
+    // their bytes — while numeric consumers see the value.
+    if (kind_ == kind::string) {
+        if (string_ == "nan")
+            return std::nan("");
+        if (string_ == "inf")
+            return std::numeric_limits<real>::infinity();
+        if (string_ == "-inf")
+            return -std::numeric_limits<real>::infinity();
+        throw analysis_error("json: value is not a number");
+    }
     if (kind_ != kind::number)
         throw analysis_error("json: value is not a number");
     return number_;
@@ -162,6 +175,14 @@ namespace {
 
     void dump_number(real v, std::string& out)
     {
+        // Non-finite values have no JSON number spelling; bare nan/inf
+        // tokens (what to_chars emits) break every standard consumer
+        // (jq, Python json, ...). Encode them as the canonical strings
+        // instead; as_number() and the parser accept both forms.
+        if (!std::isfinite(v)) {
+            out += std::isnan(v) ? "\"nan\"" : (v > 0.0 ? "\"inf\"" : "\"-inf\"");
+            return;
+        }
         // Shortest round-trip form: value -> text -> value is exact, and
         // the same value always produces the same bytes.
         char buf[40];
@@ -411,7 +432,9 @@ namespace {
 
         [[nodiscard]] json_value parse_number()
         {
-            // Accept the serializer's own non-finite spellings too.
+            // Bare non-finite tokens: not valid JSON, but older acstab
+            // builds dumped them via to_chars; keep reading those files.
+            // (The serializer now emits the strings "nan"/"inf"/"-inf".)
             if (consume_literal("nan"))
                 return json_value::number(std::nan(""));
             if (consume_literal("inf"))

@@ -9,10 +9,13 @@
 //     value -> text -> value is exact and text -> text is stable;
 //   * keeps object members in insertion order (a vector of pairs, not a
 //     map), so the producer controls the byte layout;
-//   * dumps compactly with no whitespace, one canonical form per value.
-// Parsing accepts standard JSON (plus nan/inf number tokens, which the
-// serializer can emit for non-finite values; they never appear in
-// healthy farm records).
+//   * dumps compactly with no whitespace, one canonical form per value;
+//   * encodes non-finite numbers as the STRINGS "nan"/"inf"/"-inf" (JSON
+//     has no number spelling for them, and bare tokens would break jq /
+//     Python consumers of farm reports); as_number() accepts exactly
+//     those spellings back, so documents round-trip byte-stably.
+// Parsing accepts standard JSON plus legacy bare nan/inf number tokens
+// (older builds dumped those via to_chars).
 #ifndef ACSTAB_FARM_JSON_H
 #define ACSTAB_FARM_JSON_H
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/error.h"
 #include "numeric/dense_matrix.h"
+#include "numeric/eig.h"
 #include "numeric/lu.h"
 
 namespace acstab::numeric {
@@ -323,6 +325,152 @@ aaa_model aaa_fit(std::span<const real> x, const std::vector<std::vector<cplx>>&
     }
     model.fit_error_ = err;
     return model;
+}
+
+namespace {
+
+    /// N(x) = S + sum_j v[j]/(x - z[j]) together with a cancellation-aware
+    /// relative residual (|N| over the sum of term magnitudes): a true
+    /// root shows near-total cancellation, the real-embedding's conjugate
+    /// mirror of a root does not.
+    struct nodal_eval {
+        cplx value{};
+        cplx derivative{};
+        real rel_residual = 0.0;
+    };
+
+    [[nodiscard]] nodal_eval eval_nodal(cplx s_const, std::span<const real> z,
+                                        std::span<const cplx> v, cplx x)
+    {
+        nodal_eval e;
+        e.value = s_const;
+        real scale = std::abs(s_const);
+        for (std::size_t j = 0; j < z.size(); ++j) {
+            const cplx d = x - z[j];
+            if (d == cplx{}) {
+                e.rel_residual = 1.0;
+                return e; // exactly on a node: a pole of N, never a root
+            }
+            const cplx term = v[j] / d;
+            e.value += term;
+            e.derivative -= term / d;
+            scale += std::abs(term);
+        }
+        e.rel_residual = scale > 0.0 ? std::abs(e.value) / scale : 1.0;
+        return e;
+    }
+
+} // namespace
+
+std::vector<cplx> barycentric_nodal_roots(std::span<const real> nodes,
+                                          std::span<const cplx> values)
+{
+    if (nodes.size() != values.size())
+        throw numeric_error("nodal roots: nodes/values size mismatch");
+
+    // Deflate: multiplying N by (x - z_r) folds node r away and leaves
+    // the secular form S + sum u_j/(x - z_j) with the same roots
+    // (constant S = sum v_j). A vanishing S means the degree dropped —
+    // one root moved to infinity — so deflate again.
+    std::vector<real> z(nodes.begin(), nodes.end());
+    std::vector<cplx> v(values.begin(), values.end());
+    cplx s_const{};
+    while (true) {
+        if (z.size() < 2)
+            return {};
+        real vmax = 0.0;
+        for (const cplx& vj : v)
+            vmax = std::max(vmax, std::abs(vj));
+        if (vmax == 0.0)
+            return {};
+        const cplx s = std::accumulate(v.begin(), v.end(), cplx{});
+        const real zr = z.back();
+        z.pop_back();
+        v.pop_back();
+        for (std::size_t j = 0; j < z.size(); ++j)
+            v[j] *= cplx{z[j] - zr, 0.0};
+        if (std::abs(s) > 1e-13 * vmax) {
+            s_const = s;
+            break;
+        }
+        // s ~ 0: the product is (numerically) homogeneous again with the
+        // scaled values; loop and fold away another node.
+    }
+
+    // Secular roots = eigenvalues of C = diag(z) - (1/S) u 1^T. The
+    // complex matrix is embedded as the real [[A, -B], [B, A]] whose
+    // spectrum is eig(C) together with its conjugate mirror.
+    const std::size_t m = z.size();
+    dense_matrix<real> em(2 * m, 2 * m);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const cplx cij = (i == j ? cplx{z[i], 0.0} : cplx{}) - v[i] / s_const;
+            em(i, j) = cij.real();
+            em(i, m + j) = -cij.imag();
+            em(m + i, j) = cij.imag();
+            em(m + i, m + j) = cij.real();
+        }
+    }
+    const std::vector<cplx> candidates = eigenvalues(std::move(em));
+
+    // Newton-polish every candidate on N itself, then keep converged
+    // roots with a genuinely cancelling residual, deduplicated.
+    real span = 0.0;
+    for (const real zj : z)
+        for (const real zk : z)
+            span = std::max(span, std::fabs(zj - zk));
+    if (span == 0.0)
+        span = std::fabs(z.front()) + 1.0;
+
+    std::vector<cplx> roots;
+    for (cplx x : candidates) {
+        bool converged = false;
+        for (int it = 0; it < 24; ++it) {
+            const nodal_eval e = eval_nodal(s_const, z, v, x);
+            if (e.rel_residual < 1e-9) {
+                converged = true;
+                break;
+            }
+            if (e.derivative == cplx{})
+                break;
+            const cplx step = e.value / e.derivative;
+            if (!(std::isfinite(step.real()) && std::isfinite(step.imag())))
+                break;
+            x -= step;
+            if (std::abs(step) <= 1e-14 * (std::abs(x) + span)) {
+                converged = eval_nodal(s_const, z, v, x).rel_residual < 1e-7;
+                break;
+            }
+        }
+        if (!converged)
+            continue;
+        bool duplicate = false;
+        for (const cplx& r : roots)
+            duplicate = duplicate || std::abs(r - x) <= 1e-8 * (std::abs(x) + 1e-3 * span);
+        if (!duplicate)
+            roots.push_back(x);
+    }
+    std::sort(roots.begin(), roots.end(), [](const cplx& a, const cplx& b) {
+        if (a.real() != b.real())
+            return a.real() < b.real();
+        return a.imag() < b.imag();
+    });
+    return roots;
+}
+
+std::vector<cplx> aaa_model::poles() const
+{
+    return barycentric_nodal_roots(support_x_, weights_);
+}
+
+std::vector<cplx> aaa_model::level_crossings(std::size_t c, cplx level) const
+{
+    if (c >= support_f_.size())
+        throw numeric_error("level_crossings: component out of range");
+    std::vector<cplx> v(weights_.size());
+    for (std::size_t j = 0; j < v.size(); ++j)
+        v[j] = weights_[j] * (support_f_[c][j] - level);
+    return barycentric_nodal_roots(support_x_, v);
 }
 
 } // namespace acstab::numeric

@@ -87,6 +87,19 @@ public:
     /// serve every component of a multi-channel evaluation.
     [[nodiscard]] cplx eval_with(const barycentric_coeffs& bc, std::size_t c) const;
 
+    /// Poles of the fitted rational model: complex abscissae where the
+    /// barycentric denominator sum_j w_j/(x - x_j) vanishes. Fitted
+    /// frequency responses H(s = j 2 pi f) sampled over real f have their
+    /// x-plane poles at x = s_p/(j 2 pi), so Im(x) > 0 marks a stable
+    /// (left-half-plane) pole — Cooman et al.'s model-free estimate.
+    [[nodiscard]] std::vector<cplx> poles() const;
+
+    /// Abscissae where component c of the model equals `level` — the
+    /// zeros of r_c(x) - level. With a fitted loop-gain ratio, level = -1
+    /// yields the zeros of 1 + L, i.e. the model's estimate of the
+    /// closed-loop poles.
+    [[nodiscard]] std::vector<cplx> level_crossings(std::size_t c, cplx level) const;
+
     friend aaa_model aaa_fit(std::span<const real> x,
                              const std::vector<std::vector<cplx>>& f, const aaa_options& opt);
 
@@ -104,6 +117,17 @@ private:
 [[nodiscard]] aaa_model aaa_fit(std::span<const real> x,
                                 const std::vector<std::vector<cplx>>& f,
                                 const aaa_options& opt = {});
+
+/// Roots of the barycentric nodal function N(x) = sum_j v[j]/(x - nodes[j])
+/// (model poles use v = w; level crossings use v_j = w_j (f_j - level)).
+/// Solved by deflating to the secular form 1 + sum u_j/(x - z_j) = 0,
+/// whose roots are eigenvalues of diag(z) - u 1^T — computed through the
+/// real 2m-embedding of that complex matrix, then Newton-polished on N
+/// directly and filtered by residual (the embedding's spurious conjugate
+/// mirrors do not survive the polish). Root count is at most
+/// nodes.size() - 1; roots lost to degree drop are omitted.
+[[nodiscard]] std::vector<cplx> barycentric_nodal_roots(std::span<const real> nodes,
+                                                        std::span<const cplx> values);
 
 } // namespace acstab::numeric
 

@@ -171,6 +171,12 @@ public:
     /// source-forced nodes that the stability sweep must skip).
     [[nodiscard]] virtual bool is_ideal_voltage_source() const noexcept { return false; }
 
+    /// Index of this device's k-th branch-current unknown (valid after
+    /// circuit::finalize for k < extra_unknown_count()). Lets analyses
+    /// that stamp a FILTERED device subset (impedance partitions) pin the
+    /// branch rows of excluded devices so the system stays non-singular.
+    [[nodiscard]] node_id branch_unknown(std::size_t k = 0) const noexcept { return extra(k); }
+
     /// Append waveform slope discontinuities in (0, tstop); the transient
     /// engine aligns time steps with them.
     virtual void collect_breakpoints(real tstop, std::vector<real>& out) const

@@ -107,6 +107,50 @@ real ringing_frequency(std::span<const real> t, std::span<const real> y, real fi
     return half_periods / (2.0 * span);
 }
 
+namespace {
+
+    /// Map an angle in degrees into (-180, 180].
+    [[nodiscard]] real wrap_half_turn_deg(real deg)
+    {
+        deg = std::fmod(deg + 180.0, 360.0);
+        if (deg <= 0.0)
+            deg += 360.0;
+        return deg - 180.0;
+    }
+
+    /// First crossing of `phase` (unwrapped, degrees) through any level of
+    /// the form -180 + 360 k. The unwrap anchors at the first sample's
+    /// principal-value argument, so a sweep window that opens after the
+    /// phase has already wrapped carries a 360-degree anchor offset; the
+    /// physically meaningful "phase reaches -180" events are crossings of
+    /// the whole level family, not of the literal -180.
+    [[nodiscard]] bool find_phase_crossing(std::span<const real> x,
+                                           std::span<const real> phase, real& x_cross)
+    {
+        const auto level_index = [](real deg) { return (deg + 180.0) / 360.0; };
+        for (std::size_t i = 1; i < x.size(); ++i) {
+            const real a = phase[i - 1];
+            const real b = phase[i];
+            const real ka = level_index(a);
+            const real kb = level_index(b);
+            // Integers k with -180 + 360 k strictly between a and b (or an
+            // exact hit on a); the first one in sweep direction wins.
+            const real k = a <= b ? std::ceil(ka) : std::floor(ka);
+            if ((a <= b && k > kb) || (a > b && k < kb))
+                continue;
+            const real level = -180.0 + 360.0 * k;
+            if (a == level) {
+                x_cross = x[i - 1];
+                return true;
+            }
+            x_cross = x[i - 1] + (level - a) / (b - a) * (x[i] - x[i - 1]);
+            return true;
+        }
+        return false;
+    }
+
+} // namespace
+
 bode_margins margins(std::span<const real> freq_hz, std::span<const cplx> loop_gain)
 {
     if (freq_hz.size() != loop_gain.size() || freq_hz.size() < 2)
@@ -125,9 +169,13 @@ bode_margins margins(std::span<const real> freq_hz, std::span<const cplx> loop_g
         m.has_unity_crossing = true;
         m.unity_freq_hz = std::pow(10.0, x);
         const real ph = numeric::interp_linear(logf, phase, x);
-        m.phase_margin_deg = 180.0 + ph;
+        // The unwrapped phase is only determined modulo 360 (the anchor is
+        // the first sample's principal value, which loses any wrap through
+        // +-180 that happened below the sweep window); report the margin
+        // in the canonical (-180, 180] band.
+        m.phase_margin_deg = wrap_half_turn_deg(180.0 + ph);
     }
-    if (numeric::find_crossing(logf, phase, -180.0, x)) {
+    if (find_phase_crossing(logf, phase, x)) {
         m.has_phase_crossing = true;
         m.phase_cross_freq_hz = std::pow(10.0, x);
         m.gain_margin_db = -numeric::interp_linear(logf, gain_db, x);

@@ -1,9 +1,9 @@
 #include "spice/units.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/error.h"
 
@@ -22,14 +22,23 @@ std::optional<real> try_parse_spice_number(std::string_view text)
 {
     if (text.empty())
         return std::nullopt;
-    const std::string buffer(text);
-    const char* begin = buffer.c_str();
-    char* end = nullptr;
-    const double value = std::strtod(begin, &end);
-    if (end == begin)
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so under a
+    // comma-decimal locale every "1.5k" in a netlist would silently parse
+    // as 1.5 -> 1 * 1000. from_chars is locale-independent by contract.
+    std::string_view body = text;
+    // from_chars rejects an explicit plus sign; accept it like strtod
+    // did, but only in front of an actual number so doubled-sign typos
+    // ("+-5") still fail instead of silently parsing as negative.
+    if (body.front() == '+' && body.size() > 1
+        && (body[1] == '.' || (body[1] >= '0' && body[1] <= '9')))
+        body.remove_prefix(1);
+    double value = 0.0;
+    const std::from_chars_result r
+        = std::from_chars(body.data(), body.data() + body.size(), value);
+    if (r.ec != std::errc{} || r.ptr == body.data())
         return std::nullopt;
 
-    std::string_view tail(end);
+    std::string_view tail = body.substr(static_cast<std::size_t>(r.ptr - body.data()));
     if (tail.empty())
         return value;
 

@@ -5,6 +5,9 @@
 //   acstab ac        <netlist> --node N [sweep opts]   AC magnitude/phase
 //   acstab tran      <netlist> --node N --tstop T      transient waveform
 //   acstab stability <netlist> [--node N | --all] ...  the paper's method
+//   acstab impedance <netlist> --node N [--source e,..] Nyquist-like source/
+//                                                      load impedance-ratio
+//                                                      criterion at a port
 //   acstab pz        <netlist>                         (G,C) pencil poles
 //   acstab loopgain  <netlist> --probe V               double-injection probe
 //   acstab run       <netlist>                         execute .op/.ac/.tran/
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/impedance.h"
 #include "analysis/loop_gain.h"
 #include "analysis/pole_zero.h"
 #include "core/analyzer.h"
@@ -165,6 +169,61 @@ int cmd_stability(spice::circuit& c, const cli_options& opt)
     return 0;
 }
 
+int cmd_impedance(spice::circuit& c, const cli_options& opt)
+{
+    if (opt.node.empty())
+        throw analysis_error("impedance: --node is required");
+    analysis::impedance_options iopt;
+    iopt.fstart = opt.fstart;
+    iopt.fstop = opt.fstop;
+    iopt.points_per_decade = opt.ppd;
+    iopt.threads = opt.threads;
+    iopt.adaptive = opt.adaptive;
+    iopt.fit_tol = opt.fit_tol;
+    iopt.anchors_per_decade = opt.anchors_per_decade;
+    if (!opt.source.empty())
+        iopt.source_elements = parse_name_list(opt.source);
+    const analysis::impedance_result res = analysis::analyze_impedance(c, opt.node, iopt);
+
+    if (opt.csv) {
+        std::puts("freq_hz,zs_mag,zl_mag,lm_mag_db,lm_phase_deg");
+        const std::vector<real> db = spice::db20(res.minor_loop);
+        const std::vector<real> ph = spice::phase_deg_unwrapped(res.minor_loop);
+        for (std::size_t i = 0; i < res.freq_hz.size(); ++i)
+            std::printf("%.8g,%.8g,%.8g,%.8g,%.8g\n", res.freq_hz[i],
+                        std::abs(res.z_source[i]), std::abs(res.z_load[i]), db[i], ph[i]);
+        return 0;
+    }
+
+    std::fputs(core::format_impedance_summary(res).c_str(), stdout);
+    core::ascii_plot_options po;
+    po.title = "minor-loop gain |Z_s/Z_l| [dB] at " + opt.node;
+    std::fputs(core::ascii_plot(res.freq_hz, spice::db20(res.minor_loop), po).c_str(),
+               stdout);
+
+    // Cross-check: the paper's stability plot at the same node, plus the
+    // pencil-pole ground truth, so the two methodologies vet each other.
+    core::stability_options sopt;
+    sopt.sweep.fstart = opt.fstart;
+    sopt.sweep.fstop = opt.fstop;
+    sopt.sweep.points_per_decade = opt.ppd;
+    sopt.threads = opt.threads;
+    sopt.adaptive = opt.adaptive;
+    sopt.fit_tol = opt.fit_tol;
+    sopt.anchors_per_decade = opt.anchors_per_decade;
+    core::stability_analyzer an(c, sopt);
+    std::fputs(core::format_node_summary(an.analyze_node(opt.node)).c_str(), stdout);
+
+    bool poles_stable = true;
+    for (const analysis::pole& p : analysis::circuit_poles(c, an.operating_point()))
+        if (p.s.real() > 1e-6 * std::abs(p.s))
+            poles_stable = false;
+    std::fputs(core::format_impedance_crosscheck(res, poles_stable, "pencil pole analysis")
+                   .c_str(),
+               stdout);
+    return 0;
+}
+
 int cmd_pz(spice::circuit& c, const cli_options& opt)
 {
     core::stability_analyzer an(c);
@@ -301,13 +360,24 @@ void write_document(const farm::json_value& doc, const std::string& out_path)
 
 int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
 {
-    const spice::parsed_netlist net = spice::parse_netlist_file(netlist_path);
+    spice::parsed_netlist net = spice::parse_netlist_file(netlist_path);
 
     farm::campaign_spec spec;
     spec.netlist = netlist_path;
     spec.adaptive = opt.adaptive;
     spec.fit_tol = opt.fit_tol;
     spec.anchors_per_decade = opt.anchors_per_decade;
+    if (opt.analysis == "impedance")
+        spec.analysis = farm::campaign_analysis::impedance;
+    else if (!opt.analysis.empty() && opt.analysis != "stability")
+        throw analysis_error("farm plan: --analysis must be stability or impedance, got '"
+                             + opt.analysis + "'");
+    if (!opt.source.empty()) {
+        if (spec.analysis != farm::campaign_analysis::impedance)
+            throw analysis_error("farm plan: --source only applies to "
+                                 "--analysis impedance campaigns");
+        spec.source_elements = parse_name_list(opt.source);
+    }
 
     // Node and band default from the netlist's .stability card (if any);
     // explicit flags win.
@@ -334,6 +404,11 @@ int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
                              "'.stability <node>' card)");
     if (!net.ckt.find_node(spec.node))
         throw analysis_error("farm plan: unknown node '" + spec.node + "'");
+    if (spec.analysis == farm::campaign_analysis::impedance) {
+        // Fail ambiguous partitions at plan time, on the nominal circuit,
+        // instead of at every grid point of every shard.
+        (void)analysis::partition_at_node(net.ckt, spec.node, spec.source_elements);
+    }
 
     // Grid: netlist .temp/.corner campaign cards seed the axes; explicit
     // flags replace them axis by axis. --param axes are flag-only.
@@ -441,6 +516,12 @@ void print_usage()
     std::puts("  ac          AC sweep          (--node N)");
     std::puts("  tran        transient         (--node N --tstop T [--dt D])");
     std::puts("  stability   stability plots   (--node N | --all)");
+    std::puts("  impedance   source/load impedance-ratio (Nyquist-like) criterion at a");
+    std::puts("              partition node    (--node N [--source e1,e2,..]); reports");
+    std::puts("              encirclements of -1, minor-loop margins, closest approach");
+    std::puts("              to -1, and (with --adaptive) closed-loop pole estimates");
+    std::puts("              from the AAA fit of Z_s/Z_l, cross-checked against the");
+    std::puts("              stability plot and the pencil poles");
     std::puts("  pz          poles of the linearized circuit");
     std::puts("  loopgain    loop-gain probe   (--probe VSOURCE)");
     std::puts("  run         execute the netlist's .op/.ac/.tran/.stability cards;");
@@ -449,11 +530,13 @@ void print_usage()
     std::puts("  farm        corner/TEMP campaigns, shardable across processes:");
     std::puts("              plan  <netlist> --node N [--temps T,..] [--corner n:p=v,..]*");
     std::puts("                    [--param p=v1,v2,..]* [sweep opts] [--out plan.json]");
+    std::puts("                    [--analysis stability|impedance [--source e1,..]]");
     std::puts("                    (.temp / .corner netlist cards seed the grid)");
     std::puts("              run   <plan.json> [--shard k/N] [--threads N] [--out f.json]");
     std::puts("              merge <plan.json> <shard.json>... [--out f.json | --table]");
     std::puts("options:");
-    std::puts("  --node NAME --all --probe NAME --fstart HZ --fstop HZ --ppd N");
+    std::puts("  --node NAME --all --probe NAME --source ELEM,.. --fstart HZ --fstop HZ");
+    std::puts("  --ppd N");
     std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
     std::puts("  --adaptive (rational-fit adaptive grid: factor 5-10x fewer points)");
     std::puts("  --fit-tol TOL --anchors-per-decade N (adaptive sweep tuning)");
@@ -465,15 +548,31 @@ void print_usage()
 int main(int argc, char** argv)
 {
     try {
-        if (argc < 3) {
+        if (argc < 2) {
             print_usage();
-            return argc < 2 ? 1 : (std::strcmp(argv[1], "--help") == 0 ? 0 : 1);
+            return 1;
         }
         const std::string command = argv[1];
+        if (command == "--help" || command == "-h") {
+            print_usage();
+            return 0;
+        }
         if (command == "farm")
             return cmd_farm(argc, argv);
-        const std::string netlist_path = argv[2];
-        const cli_options opt = parse_cli_options(argc - 3, argv + 3);
+        // The netlist is the command's one free positional, so flags may
+        // come before or after it; a second bare token is still an error
+        // (mistyped flag values must not silently become netlist paths).
+        const cli_options opt = parse_cli_options(argc - 2, argv + 2,
+                                                  /*allow_positionals=*/true);
+        if (opt.positionals.empty()) {
+            print_usage();
+            return 1;
+        }
+        if (opt.positionals.size() > 1)
+            throw analysis_error(command + ": expected one netlist path, got '"
+                                 + opt.positionals[0] + "' and '" + opt.positionals[1]
+                                 + "'");
+        const std::string& netlist_path = opt.positionals[0];
 
         spice::parsed_netlist net = spice::parse_netlist_file(netlist_path);
         if (!net.title.empty())
@@ -487,6 +586,8 @@ int main(int argc, char** argv)
             return cmd_tran(net.ckt, opt);
         if (command == "stability")
             return cmd_stability(net.ckt, opt);
+        if (command == "impedance")
+            return cmd_impedance(net.ckt, opt);
         if (command == "pz")
             return cmd_pz(net.ckt, opt);
         if (command == "loopgain")

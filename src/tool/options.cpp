@@ -53,6 +53,10 @@ cli_options parse_cli_options(int argc, char** argv, bool allow_positionals)
             opt.annotate = true;
         else if (key == "--all")
             opt.all_nodes = true;
+        else if (key == "--source")
+            opt.source = need_value(key);
+        else if (key == "--analysis")
+            opt.analysis = need_value(key);
         else if (key == "--temps")
             opt.temps = need_value(key);
         else if (key == "--corner")
@@ -100,6 +104,17 @@ std::vector<real> parse_value_list(const std::string& text)
     for (const std::string& field : split(text, ','))
         values.push_back(spice::parse_spice_number(field));
     return values;
+}
+
+std::vector<std::string> parse_name_list(const std::string& text)
+{
+    if (text.empty())
+        throw analysis_error("expected a comma-separated name list");
+    std::vector<std::string> names = split(text, ',');
+    for (const std::string& name : names)
+        if (name.empty())
+            throw analysis_error("empty name in list '" + text + "'");
+    return names;
 }
 
 core::corner_def parse_corner_spec(const std::string& text)

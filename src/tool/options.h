@@ -38,7 +38,13 @@ struct cli_options {
     bool fstop_set = false;
     bool ppd_set = false;
 
+    /// --source e1,e2: elements forced onto the impedance partition's
+    /// source side (`acstab impedance`, `acstab farm plan --analysis
+    /// impedance`).
+    std::string source;
+
     // Corner-farm campaign flags (`acstab farm ...`).
+    std::string analysis;              ///< --analysis stability|impedance
     std::string temps;                 ///< --temps -40,27,125
     std::vector<std::string> corners;  ///< --corner name:p=v,... (repeatable)
     std::vector<std::string> params;   ///< --param name=v1,v2,... (repeatable)
@@ -62,6 +68,9 @@ struct cli_options {
 
 /// "a,b,c" -> values (SPICE number syntax per element).
 [[nodiscard]] std::vector<real> parse_value_list(const std::string& text);
+
+/// "a,b,c" -> names (the --source element list; empty fields rejected).
+[[nodiscard]] std::vector<std::string> parse_name_list(const std::string& text);
 
 /// "--corner name:p1=v1,p2=v2" payload -> corner_def (overrides optional).
 [[nodiscard]] core::corner_def parse_corner_spec(const std::string& text);

@@ -17,6 +17,11 @@
 #include "numeric/rational.h"
 #include "spice/circuit.h"
 #include "spice/devices/sources.h"
+#include "spice/parser/netlist_parser.h"
+
+#ifndef ACSTAB_NETLIST_DIR
+#define ACSTAB_NETLIST_DIR "netlists"
+#endif
 
 namespace {
 
@@ -104,6 +109,25 @@ TEST(loop_gain, margins_match_analytic_crossover)
     }
     ASSERT_TRUE(lg.margins.has_unity_crossing);
     EXPECT_NEAR(lg.margins.unity_freq_hz, fc_expected, 0.03 * fc_expected);
+}
+
+TEST(loop_gain, wrapping_three_pole_loop_reports_negative_margin)
+{
+    // The shipped three-pole loop (a = 1e4, poles 1k/10k/100k) wraps
+    // through -180 degrees at ~33 kHz, below its ~208 kHz crossover: the
+    // loop is unstable and the measured phase margin must come out near
+    // the analytic -61.3 degrees — not 360 degrees high — for a sweep
+    // window starting below AND above the wrap frequency.
+    for (const real fstart : {1e2, 1e5}) {
+        spice::parsed_netlist fresh = spice::parse_netlist_file(
+            std::string(ACSTAB_NETLIST_DIR) + "/three_pole_loop.sp");
+        const std::vector<real> freqs = numeric::log_grid(fstart, 1e9, 60);
+        const analysis::loop_gain_result lg
+            = analysis::measure_loop_gain(fresh.ckt, "vprobe", freqs);
+        ASSERT_TRUE(lg.margins.has_unity_crossing) << "fstart=" << fstart;
+        EXPECT_NEAR(lg.margins.unity_freq_hz, 208e3, 8e3) << "fstart=" << fstart;
+        EXPECT_NEAR(lg.margins.phase_margin_deg, -61.3, 2.0) << "fstart=" << fstart;
+    }
 }
 
 TEST(loop_gain, probe_validation)

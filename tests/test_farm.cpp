@@ -2,8 +2,10 @@
 // deterministic merge.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "core/param_grid.h"
 #include "core/sweeps.h"
@@ -168,6 +170,42 @@ TEST(farm_json, dump_parse_round_trip_is_byte_stable)
     EXPECT_EQ(reparsed.at("d").items()[2].as_index(), 1234567u);
 }
 
+TEST(farm_json, non_finite_numbers_round_trip_as_valid_json)
+{
+    // Non-finite raw samples (a failed point's response, an infinite
+    // impedance) must serialize as standard JSON — jq/Python choke on the
+    // bare nan/inf tokens std::to_chars would emit.
+    farm::json_value obj = farm::json_value::object();
+    obj.set("nan", farm::json_value::number(std::nan("")));
+    obj.set("pinf", farm::json_value::number(std::numeric_limits<real>::infinity()));
+    obj.set("ninf", farm::json_value::number(-std::numeric_limits<real>::infinity()));
+    farm::json_value arr = farm::json_value::array();
+    arr.push_back(farm::json_value::number(1.5));
+    arr.push_back(farm::json_value::number(std::nan("")));
+    obj.set("mix", std::move(arr));
+
+    const std::string bytes = obj.dump();
+    EXPECT_EQ(bytes, R"({"nan":"nan","pinf":"inf","ninf":"-inf","mix":[1.5,"nan"]})");
+
+    // Parse -> dump is byte-stable, and numeric consumers see the values.
+    const farm::json_value reparsed = farm::json_value::parse(bytes);
+    EXPECT_EQ(reparsed.dump(), bytes);
+    EXPECT_TRUE(std::isnan(reparsed.at("nan").as_number()));
+    EXPECT_EQ(reparsed.at("pinf").as_number(), std::numeric_limits<real>::infinity());
+    EXPECT_EQ(reparsed.at("ninf").as_number(), -std::numeric_limits<real>::infinity());
+    EXPECT_TRUE(std::isnan(reparsed.at("mix").items()[1].as_number()));
+
+    // Legacy bare tokens (what older builds dumped) still parse, and
+    // re-serialize into the canonical string form.
+    const farm::json_value legacy = farm::json_value::parse("[nan,inf,-inf]");
+    EXPECT_TRUE(std::isnan(legacy.items()[0].as_number()));
+    EXPECT_EQ(legacy.dump(), R"(["nan","inf","-inf"])");
+
+    // Other strings still refuse to masquerade as numbers.
+    EXPECT_THROW((void)farm::json_value::parse(R"("infinite")").as_number(),
+                 analysis_error);
+}
+
 TEST(farm_json, rejects_malformed_documents)
 {
     EXPECT_THROW((void)farm::json_value::parse("{\"a\":}"), parse_error);
@@ -329,6 +367,84 @@ TEST(farm_executor, pathological_corner_is_recorded_not_thrown)
     const std::string table = farm::format_report(report);
     EXPECT_NE(table.find("failed"), std::string::npos);
     EXPECT_NE(table.find("corner=nominal"), std::string::npos);
+}
+
+// --- impedance campaigns ---------------------------------------------------
+
+[[nodiscard]] farm::campaign_spec follower_impedance_campaign()
+{
+    farm::campaign_spec spec;
+    spec.netlist = std::string(ACSTAB_NETLIST_DIR) + "/follower.sp";
+    spec.node = "f_out";
+    spec.analysis = farm::campaign_analysis::impedance;
+    spec.fstart = 1e5;
+    spec.fstop = 1e10;
+    spec.points_per_decade = 30;
+    spec.grid.temps = {-40.0, 27.0, 125.0};
+    return spec;
+}
+
+TEST(farm_campaign, impedance_spec_round_trips_through_json)
+{
+    farm::campaign_spec spec = follower_impedance_campaign();
+    spec.source_elements = {"qf", "rsource"};
+    const std::string bytes = farm::to_json(spec).dump();
+    EXPECT_NE(bytes.find("\"analysis\":\"impedance\""), std::string::npos);
+    const farm::campaign_spec back
+        = farm::campaign_from_json(farm::json_value::parse(bytes));
+    EXPECT_EQ(farm::to_json(back).dump(), bytes);
+    EXPECT_EQ(back.analysis, farm::campaign_analysis::impedance);
+    EXPECT_EQ(back.source_elements, (std::vector<std::string>{"qf", "rsource"}));
+
+    // Stability plans must serialize WITHOUT the analysis member: their
+    // bytes stay identical to pre-impedance builds, so old shard files
+    // still pass the merge step's byte-exact campaign echo check, and
+    // plans from older builds parse as stability campaigns.
+    const farm::campaign_spec tank = tank_campaign();
+    const std::string tank_bytes = farm::to_json(tank).dump();
+    EXPECT_EQ(tank_bytes.find("analysis"), std::string::npos);
+    EXPECT_EQ(campaign_from_json(farm::json_value::parse(tank_bytes)).analysis,
+              farm::campaign_analysis::stability);
+}
+
+TEST(farm_executor, impedance_shards_merge_byte_identical_and_carry_verdicts)
+{
+    const farm::campaign_spec spec = follower_impedance_campaign();
+
+    const std::vector<farm::point_record> all = farm::run_shard(spec, 0, 1);
+    ASSERT_EQ(all.size(), 3u);
+    for (const farm::point_record& rec : all) {
+        ASSERT_EQ(rec.status, core::point_status::ok);
+        ASSERT_TRUE(rec.impedance.has_value());
+        EXPECT_TRUE(rec.impedance->stable);
+        EXPECT_EQ(rec.impedance->encirclements, 0);
+        EXPECT_GT(rec.impedance->nyquist_margin, 0.0);
+        EXPECT_EQ(rec.impedance->freq_hz.size(), rec.impedance->lm_re.size());
+        EXPECT_EQ(rec.impedance->freq_hz.size(), rec.impedance->lm_im.size());
+    }
+
+    const farm::json_value single
+        = farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, all)});
+    const farm::json_value sharded = farm::merge_shards(
+        spec, {farm::shard_to_json(spec, 0, 2, farm::run_shard(spec, 0, 2)),
+               farm::shard_to_json(spec, 1, 2, farm::run_shard(spec, 1, 2, 2))});
+    EXPECT_EQ(single.dump(), sharded.dump());
+
+    // Records round-trip through JSON with the impedance payload intact.
+    const std::vector<farm::point_record> back
+        = farm::records_from_json(farm::shard_to_json(spec, 0, 1, all));
+    ASSERT_EQ(back.size(), all.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        ASSERT_TRUE(back[i].impedance.has_value());
+        EXPECT_EQ(back[i].impedance->stable, all[i].impedance->stable);
+        EXPECT_EQ(back[i].impedance->lm_re, all[i].impedance->lm_re);
+        EXPECT_EQ(back[i].impedance->lm_im, all[i].impedance->lm_im);
+    }
+
+    // The table renderer understands impedance reports.
+    const std::string table = farm::format_report(single);
+    EXPECT_NE(table.find("impedance-campaign report"), std::string::npos);
+    EXPECT_NE(table.find("stable"), std::string::npos);
 }
 
 TEST(farm_executor, merge_rejects_gaps_duplicates_and_foreign_shards)

@@ -1,0 +1,219 @@
+// Impedance-partition stability workload: partition semantics, the
+// Nyquist-like minor-loop verdict, and the golden cross-check against the
+// MNA pencil-pole classification on every shipped netlist.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/impedance.h"
+#include "analysis/pole_zero.h"
+#include "common/error.h"
+#include "spice/dc_analysis.h"
+#include "spice/parser/netlist_parser.h"
+
+#ifndef ACSTAB_NETLIST_DIR
+#define ACSTAB_NETLIST_DIR "netlists"
+#endif
+
+namespace {
+
+using namespace acstab;
+
+[[nodiscard]] spice::parsed_netlist load(const std::string& name)
+{
+    return spice::parse_netlist_file(std::string(ACSTAB_NETLIST_DIR) + "/" + name);
+}
+
+/// Ground truth: stable iff every pencil pole sits in the left half plane.
+[[nodiscard]] bool poles_say_stable(const std::string& netlist)
+{
+    spice::parsed_netlist net = load(netlist);
+    const spice::dc_result op = spice::dc_operating_point(net.ckt);
+    for (const analysis::pole& p : analysis::circuit_poles(net.ckt, op.solution))
+        if (p.s.real() > 1e-6 * std::abs(p.s))
+            return false;
+    return true;
+}
+
+struct workload {
+    const char* netlist;
+    const char* node;
+    std::vector<std::string> source; ///< forced source-side elements
+    real fstart;
+    real fstop;
+};
+
+[[nodiscard]] std::vector<workload> shipped_workloads()
+{
+    return {
+        {"follower.sp", "f_out", {}, 1e5, 1e10},
+        {"rlc_tank.sp", "tank", {"l1"}, 1e4, 1e8},
+        {"two_pole_loop.sp", "out", {}, 1e2, 1e8},
+    };
+}
+
+TEST(impedance_partition, follower_splits_into_driver_and_load)
+{
+    spice::parsed_netlist net = load("follower.sp");
+    const analysis::impedance_partition part
+        = analysis::partition_at_node(net.ckt, "f_out");
+    // The biased transistor side drives; the port/ground shunts load.
+    const std::vector<std::string> source{"vdd_supply", "vbias", "rsource", "qf"};
+    const std::vector<std::string> load_side{"if_load", "cload"};
+    EXPECT_EQ(part.source_devices, source);
+    EXPECT_EQ(part.load_devices, load_side);
+}
+
+TEST(impedance_partition, forced_elements_resolve_shunt_only_nodes)
+{
+    // Every tank element shunts the port straight to ground: connectivity
+    // cannot split them, so the partition must demand --source...
+    spice::parsed_netlist net = load("rlc_tank.sp");
+    EXPECT_THROW((void)analysis::partition_at_node(net.ckt, "tank"), analysis_error);
+    // ...and honor it when given.
+    const analysis::impedance_partition part
+        = analysis::partition_at_node(net.ckt, "tank", {"l1"});
+    EXPECT_EQ(part.source_devices, std::vector<std::string>{"l1"});
+    EXPECT_EQ(part.load_devices, (std::vector<std::string>{"r1", "c1"}));
+}
+
+TEST(impedance_partition, rejects_unknown_nodes_and_elements)
+{
+    spice::parsed_netlist net = load("follower.sp");
+    EXPECT_THROW((void)analysis::partition_at_node(net.ckt, "nope"), analysis_error);
+    EXPECT_THROW((void)analysis::partition_at_node(net.ckt, "0"), analysis_error);
+    EXPECT_THROW((void)analysis::partition_at_node(net.ckt, "f_out", {"nope"}),
+                 analysis_error);
+    // A source-forced node has no meaningful driving-point partition.
+    EXPECT_THROW((void)analysis::partition_at_node(net.ckt, "vdd"), analysis_error);
+}
+
+// The golden cross-check: on every shipped netlist, fixed and adaptive
+// grids, 1 and 4 threads, the Nyquist-like impedance-ratio verdict must
+// agree with the pencil-pole stability classification.
+TEST(impedance_verdict, agrees_with_pole_analysis_on_all_shipped_netlists)
+{
+    for (const workload& w : shipped_workloads()) {
+        const bool expect_stable = poles_say_stable(w.netlist);
+        for (const bool adaptive : {false, true}) {
+            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                spice::parsed_netlist net = load(w.netlist);
+                analysis::impedance_options opt;
+                opt.fstart = w.fstart;
+                opt.fstop = w.fstop;
+                opt.source_elements = w.source;
+                opt.adaptive = adaptive;
+                opt.threads = threads;
+                const analysis::impedance_result res
+                    = analysis::analyze_impedance(net.ckt, w.node, opt);
+                EXPECT_EQ(res.stable, expect_stable)
+                    << w.netlist << " adaptive=" << adaptive << " threads=" << threads;
+                EXPECT_EQ(res.encirclements == 0, expect_stable)
+                    << w.netlist << " adaptive=" << adaptive << " threads=" << threads;
+                EXPECT_GT(res.nyquist_margin, 0.0);
+                EXPECT_GT(res.factorizations, 0u);
+            }
+        }
+    }
+}
+
+TEST(impedance_verdict, unstable_three_pole_loop_encircles_minus_one)
+{
+    // The shipped unstable loop: the criterion must flag it, with the
+    // encirclement count matching its RHP pole pair.
+    ASSERT_FALSE(poles_say_stable("three_pole_loop.sp"));
+    for (const bool adaptive : {false, true}) {
+        spice::parsed_netlist net = load("three_pole_loop.sp");
+        analysis::impedance_options opt;
+        opt.fstart = 1e2;
+        opt.fstop = 1e8;
+        opt.adaptive = adaptive;
+        const analysis::impedance_result res
+            = analysis::analyze_impedance(net.ckt, "out", opt);
+        EXPECT_FALSE(res.stable) << "adaptive=" << adaptive;
+        EXPECT_EQ(res.encirclements, 2) << "adaptive=" << adaptive;
+    }
+}
+
+TEST(impedance_verdict, threads_do_not_change_results)
+{
+    spice::parsed_netlist net1 = load("follower.sp");
+    spice::parsed_netlist net4 = load("follower.sp");
+    analysis::impedance_options opt;
+    opt.fstart = 1e5;
+    opt.fstop = 1e10;
+    analysis::impedance_options opt4 = opt;
+    opt4.threads = 4;
+    const analysis::impedance_result r1 = analysis::analyze_impedance(net1.ckt, "f_out", opt);
+    const analysis::impedance_result r4
+        = analysis::analyze_impedance(net4.ckt, "f_out", opt4);
+    ASSERT_EQ(r1.freq_hz.size(), r4.freq_hz.size());
+    for (std::size_t i = 0; i < r1.freq_hz.size(); ++i) {
+        EXPECT_EQ(r1.freq_hz[i], r4.freq_hz[i]);
+        EXPECT_EQ(r1.minor_loop[i], r4.minor_loop[i]);
+    }
+}
+
+TEST(impedance_adaptive, matches_fixed_grid_verdict_and_margins_cheaply)
+{
+    spice::parsed_netlist fixed_net = load("follower.sp");
+    spice::parsed_netlist adapt_net = load("follower.sp");
+    analysis::impedance_options opt;
+    opt.fstart = 1e5;
+    opt.fstop = 1e10;
+    analysis::impedance_options aopt = opt;
+    aopt.adaptive = true;
+    const analysis::impedance_result fixed
+        = analysis::analyze_impedance(fixed_net.ckt, "f_out", opt);
+    const analysis::impedance_result adaptive
+        = analysis::analyze_impedance(adapt_net.ckt, "f_out", aopt);
+
+    EXPECT_EQ(adaptive.stable, fixed.stable);
+    ASSERT_TRUE(fixed.margins.has_unity_crossing);
+    ASSERT_TRUE(adaptive.margins.has_unity_crossing);
+    EXPECT_NEAR(adaptive.margins.phase_margin_deg, fixed.margins.phase_margin_deg, 0.5);
+    EXPECT_NEAR(adaptive.nyquist_margin, fixed.nyquist_margin,
+                0.02 * fixed.nyquist_margin);
+    // The whole point: far fewer factorizations than the fixed grid.
+    EXPECT_LE(3 * adaptive.factorizations, fixed.factorizations);
+}
+
+TEST(impedance_adaptive, rlc_pole_estimate_matches_analytic_tank)
+{
+    // Z_s = sL forced source against Z_l = R || 1/sC: the closed
+    // interconnection is the tank itself, fn = 1 MHz, zeta = 0.2; the
+    // AAA model of L_m must hand back that pole pair.
+    spice::parsed_netlist net = load("rlc_tank.sp");
+    analysis::impedance_options opt;
+    opt.fstart = 1e4;
+    opt.fstop = 1e8;
+    opt.adaptive = true;
+    opt.source_elements = {"l1"};
+    const analysis::impedance_result res = analysis::analyze_impedance(net.ckt, "tank", opt);
+    ASSERT_TRUE(res.has_model);
+    ASSERT_FALSE(res.closed_loop_poles.empty());
+    const analysis::pole& p = res.closed_loop_poles.front();
+    EXPECT_NEAR(p.freq_hz, 1e6, 1e4);
+    EXPECT_NEAR(p.zeta, 0.2, 0.005);
+    EXPECT_TRUE(p.is_complex);
+}
+
+TEST(impedance_adaptive, unstable_pole_estimate_lands_in_right_half_plane)
+{
+    spice::parsed_netlist net = load("three_pole_loop.sp");
+    analysis::impedance_options opt;
+    opt.fstart = 1e2;
+    opt.fstop = 1e8;
+    opt.adaptive = true;
+    const analysis::impedance_result res = analysis::analyze_impedance(net.ckt, "out", opt);
+    ASSERT_TRUE(res.has_model);
+    const bool any_rhp = std::any_of(res.closed_loop_poles.begin(),
+                                     res.closed_loop_poles.end(),
+                                     [](const analysis::pole& p) { return p.zeta < 0.0; });
+    EXPECT_TRUE(any_rhp);
+}
+
+} // namespace

@@ -123,6 +123,65 @@ TEST(measure, margins_of_three_pole_loop)
     EXPECT_NEAR(m.gain_margin_db, -20.0 * std::log10(100.0 / 8.0), 0.5);
 }
 
+TEST(measure, phase_margin_immune_to_pre_window_wrap)
+{
+    // Three real poles at 1k/10k/100k with gain 1e4: the phase wraps
+    // through -180 degrees at ~33 kHz, well below the ~208 kHz crossover,
+    // so the loop is unstable with PM ~ -61 degrees. A sweep window that
+    // opens ABOVE the wrap (fstart = 100 kHz, true phase there ~ -219)
+    // anchors the unwrap 360 degrees high; the margin must still come out
+    // in (-180, 180] and match the full-window answer.
+    const auto loop_at = [](real f) {
+        const cplx s{0.0, two_pi * f};
+        const auto pole = [&s](real p) { return 1.0 / (1.0 + s / (two_pi * p)); };
+        return 1e4 * pole(1e3) * pole(1e4) * pole(1e5);
+    };
+    const auto sweep_margins = [&](real fstart) {
+        const std::vector<real> freqs = numeric::log_grid(fstart, 1e9, 50);
+        std::vector<cplx> loop(freqs.size());
+        for (std::size_t i = 0; i < freqs.size(); ++i)
+            loop[i] = loop_at(freqs[i]);
+        return margins(freqs, loop);
+    };
+
+    const bode_margins full = sweep_margins(1e2);
+    ASSERT_TRUE(full.has_unity_crossing);
+    EXPECT_NEAR(full.phase_margin_deg, -61.3, 1.0);
+
+    const bode_margins clipped = sweep_margins(1e5);
+    ASSERT_TRUE(clipped.has_unity_crossing);
+    EXPECT_NEAR(clipped.unity_freq_hz, full.unity_freq_hz, full.unity_freq_hz * 0.02);
+    // The seed code reported 298.7 degrees here (-61.3 + 360).
+    EXPECT_NEAR(clipped.phase_margin_deg, full.phase_margin_deg, 1.0);
+    EXPECT_LE(clipped.phase_margin_deg, 180.0);
+    EXPECT_GT(clipped.phase_margin_deg, -180.0);
+}
+
+TEST(measure, gain_margin_found_modulo_360)
+{
+    // Synthetic loop whose true phase rises from -210 through -150 (so it
+    // crosses -180). The first sample's principal-value argument is +150,
+    // anchoring the unwrap 360 degrees high: the unwrapped samples cross
+    // +180 instead, and the -180 "mod 360" crossing must still be
+    // reported with the right frequency and gain margin.
+    std::vector<real> freqs;
+    std::vector<cplx> loop;
+    const std::size_t n = 101;
+    for (std::size_t i = 0; i < n; ++i) {
+        const real t = static_cast<real>(i) / static_cast<real>(n - 1);
+        freqs.push_back(1e3 * std::pow(10.0, 2.0 * t)); // 1k .. 100k
+        const real phase_deg = -210.0 + 60.0 * t;       // true -210 -> -150
+        const real mag = std::pow(10.0, -t);            // 0 dB -> -20 dB
+        loop.push_back(std::polar(mag, phase_deg * pi / 180.0));
+    }
+    const bode_margins m = margins(freqs, loop);
+    ASSERT_TRUE(m.has_phase_crossing);
+    // Phase passes +180 (= -180 mod 360) at t = 0.5 -> f = 10 kHz, where
+    // |L| = -10 dB, i.e. a gain margin of +10 dB.
+    EXPECT_NEAR(m.phase_cross_freq_hz, 1e4, 0.05e4);
+    EXPECT_NEAR(m.gain_margin_db, 10.0, 0.3);
+}
+
 TEST(measure, error_handling)
 {
     std::vector<real> empty;

@@ -1,6 +1,8 @@
 // SPICE number parsing and engineering formatting.
 #include <gtest/gtest.h>
 
+#include <clocale>
+
 #include "common/error.h"
 #include "spice/units.h"
 
@@ -37,6 +39,43 @@ TEST(units, trailing_unit_names_ignored)
     EXPECT_DOUBLE_EQ(parse_spice_number("5pF"), 5e-12);
     EXPECT_DOUBLE_EQ(parse_spice_number("3V"), 3.0);
     EXPECT_DOUBLE_EQ(parse_spice_number("2.5uA"), 2.5e-6);
+}
+
+TEST(units, parsing_is_locale_independent)
+{
+    // Under a comma-decimal locale, strtod-based parsing stops at the
+    // '.' and silently truncates "1.5k" to 1 * 1000; the parser must be
+    // immune to whatever LC_NUMERIC the host process runs with.
+    const char* comma_locales[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR",
+                                   "nl_NL.UTF-8", "C.UTF-8@comma"};
+    const char* active = nullptr;
+    for (const char* name : comma_locales) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr
+            && std::string(std::localeconv()->decimal_point) == ",") {
+            active = name;
+            break;
+        }
+    }
+    if (active == nullptr)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    EXPECT_DOUBLE_EQ(parse_spice_number("1.5k"), 1500.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.5E6"), 2.5e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("4.7pF"), 4.7e-12);
+    std::setlocale(LC_NUMERIC, "C");
+}
+
+TEST(units, explicit_plus_sign)
+{
+    EXPECT_DOUBLE_EQ(parse_spice_number("+5"), 5.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("+.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parse_spice_number("+1.5k"), 1500.0);
+    EXPECT_FALSE(try_parse_spice_number("+").has_value());
+    // Doubled signs stay parse errors; a '+' only precedes a number.
+    EXPECT_FALSE(try_parse_spice_number("+-5").has_value());
+    EXPECT_FALSE(try_parse_spice_number("++5").has_value());
+    EXPECT_FALSE(try_parse_spice_number("+k").has_value());
 }
 
 TEST(units, malformed_rejected)

@@ -1,0 +1,306 @@
+// A5 — large-circuit solver scaling on the generated stress corpus
+// (`acstab gen`, src/gen/netlist_gen.h): the PR 6 ablation.
+//
+//   * fill table: L+U nonzeros of the shared symbolic factorization under
+//     the three column pre-orderings (none / count / amd) on RC ladders
+//     and 2-D RC meshes from a few hundred to several thousand unknowns.
+//     The mesh is the discriminating workload — every interior column has
+//     the same degree, so the count heuristic degenerates to the natural
+//     order and fills like n*k while minimum degree stays near n*log n.
+//     CI asserts the >= 2x reduction from the amd rows of this table.
+//   * sweep ablation: wall time per frequency point of a serial
+//     injection sweep under four solver configurations —
+//       pr5            count ordering, scalar kernel, cold refactor per
+//                      frequency (the PR 5 solver path, the baseline)
+//       amd            minimum-degree ordering only
+//       amd_simd       + the split real/imag vectorized batch kernel
+//       amd_simd_warm  + frequency-coherence warm-started refactorization
+//     with each configuration's answers checked against the pr5 baseline
+//     and the warm-start accept/fallback counters reported. The ablation
+//     runs in both right-hand-side regimes, because they favor opposite
+//     configurations: 24 probes (the all-nodes stability shape, where the
+//     factorization is amortized over the batch and warm-starting cannot
+//     pay for its refinement solves) and 1 probe (the single-node
+//     stability / ac / impedance / loopgain shape, where the
+//     factorization dominates and warm-starting is the big lever).
+//
+// Prints tables plus one machine-readable ACSTAB_BENCH_JSON line; the
+// committed BENCH_6.json at the repo root is this line's array (see
+// README "Benchmarks"). --quick restricts sizes/grids for the CI smoke
+// job; this binary registers no google-benchmark cases.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/linearized_snapshot.h"
+#include "engine/sweep_engine.h"
+#include "gen/netlist_gen.h"
+#include "numeric/interpolation.h"
+#include "numeric/sparse_factor.h"
+#include "spice/ac_analysis.h"
+#include "spice/circuit.h"
+#include "spice/dc_analysis.h"
+#include "spice/parser/netlist_parser.h"
+
+namespace {
+
+using namespace acstab;
+
+struct row {
+    std::string bench;          ///< "scaling_fill" | "scaling_sweep"
+    std::string kind;           ///< "ladder" | "rcmesh"
+    std::size_t unknowns = 0;
+    std::string mode;           ///< ordering name or sweep configuration
+    long long probes = -1;      ///< right-hand sides of the sweep ablation
+    long long lu_nnz = -1;      ///< L+U nonzeros of the symbolic pattern
+    double ms_per_freq = -1.0;  ///< sweep wall time / frequency count
+    long long factors = -1;     ///< cold numeric factorizations
+    long long warm_accepts = -1;
+    long long warm_fallbacks = -1;
+    double max_rel_err = 0.0;   ///< vs the pr5 baseline magnitudes
+};
+
+std::vector<row>& results()
+{
+    static std::vector<row> r;
+    return r;
+}
+
+void emit_json()
+{
+    std::fputs("ACSTAB_BENCH_JSON [", stdout);
+    for (std::size_t i = 0; i < results().size(); ++i) {
+        const row& r = results()[i];
+        std::printf("%s{\"bench\":\"%s\",\"kind\":\"%s\",\"unknowns\":%zu,"
+                    "\"mode\":\"%s\",\"probes\":%lld,\"lu_nnz\":%lld,\"ms_per_freq\":%.5f,"
+                    "\"factors\":%lld,\"warm_accepts\":%lld,\"warm_fallbacks\":%lld,"
+                    "\"max_rel_err\":%.3g}",
+                    i == 0 ? "" : ",", r.bench.c_str(), r.kind.c_str(), r.unknowns,
+                    r.mode.c_str(), r.probes, r.lu_nnz, r.ms_per_freq, r.factors,
+                    r.warm_accepts, r.warm_fallbacks, r.max_rel_err);
+    }
+    std::puts("]");
+}
+
+double time_ms(const std::function<void()>& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// One generated workload, parsed and linearized once, shared by the
+/// fill table and the sweep ablation.
+struct workload {
+    std::string kind;
+    spice::parsed_netlist net;
+    std::vector<real> op;
+
+    workload(const std::string& kind_, std::size_t size)
+        : kind(kind_)
+    {
+        gen::gen_options gopt;
+        gopt.size = size;
+        net = spice::parse_netlist(gen::generate_netlist(kind, gopt));
+        net.ckt.finalize();
+        op = spice::dc_operating_point(net.ckt).solution;
+    }
+};
+
+const char* ordering_name(numeric::column_ordering o)
+{
+    switch (o) {
+    case numeric::column_ordering::none: return "none";
+    case numeric::column_ordering::count: return "count";
+    case numeric::column_ordering::amd: return "amd";
+    }
+    return "?";
+}
+
+/// L+U nonzero counts of the symbolic pattern under each pre-ordering,
+/// on the complex MNA matrix assembled at the band's middle frequency.
+void print_fill_table(const std::vector<std::size_t>& sizes)
+{
+    std::puts("==============================================================================");
+    std::puts("A5a — symbolic fill (L+U nonzeros) vs column pre-ordering, generated corpus");
+    std::puts("==============================================================================");
+    std::puts("kind     unknowns    A nnz      none      count        amd   amd vs count");
+    std::puts("------------------------------------------------------------------------------");
+    for (const std::string kind : {"ladder", "rcmesh"}) {
+        for (const std::size_t size : sizes) {
+            workload w(kind, size);
+            const engine::linearized_snapshot snap(w.net.ckt, w.op, {});
+            numeric::csc_matrix<cplx> work = snap.make_workspace();
+            snap.assemble(to_omega(1e6), work);
+            std::size_t nnz[3] = {0, 0, 0};
+            for (const auto o : {numeric::column_ordering::none,
+                                 numeric::column_ordering::count,
+                                 numeric::column_ordering::amd}) {
+                numeric::lu_options lopt;
+                lopt.ordering = o;
+                const numeric::symbolic_lu<cplx> sym(work, lopt);
+                nnz[static_cast<int>(o)] = sym.lower_nnz() + sym.upper_nnz();
+                results().push_back({"scaling_fill", kind, snap.size(), ordering_name(o), -1,
+                                     static_cast<long long>(nnz[static_cast<int>(o)])});
+            }
+            std::printf("%-8s %8zu %8zu  %8zu   %8zu   %8zu        %5.2fx\n", kind.c_str(),
+                        snap.size(), work.nnz(), nnz[0], nnz[1], nnz[2],
+                        static_cast<double>(nnz[1]) / static_cast<double>(nnz[2]));
+        }
+    }
+    std::puts("");
+}
+
+struct sweep_mode {
+    const char* name;
+    engine::solver_tuning tuning;
+};
+
+/// Serial batched injection sweep (the all-nodes stability shape: one
+/// unit-current stimulus per probed node) under one solver configuration.
+/// magnitude[ri][fi] of the response at the injected node.
+std::vector<std::vector<real>> run_sweep(const workload& w,
+                                         const engine::linearized_snapshot& snap,
+                                         const std::vector<real>& freqs,
+                                         const std::vector<engine::sweep_engine::injection>& inj,
+                                         const engine::solver_tuning& tuning,
+                                         engine::sweep_stats* stats)
+{
+    engine::sweep_engine_options eopt;
+    eopt.threads = 1;
+    eopt.tuning = tuning;
+    eopt.stats = stats;
+    std::vector<std::vector<real>> mag(inj.size(), std::vector<real>(freqs.size(), 0.0));
+    engine::sweep_engine(eopt).run_injections(
+        snap, freqs, inj,
+        [&mag, &inj](std::size_t fi, std::size_t ri, std::span<const cplx> sol) {
+            mag[ri][fi] = std::abs(sol[inj[ri].index]);
+        });
+    return mag;
+}
+
+double max_rel_err(const std::vector<std::vector<real>>& a,
+                   const std::vector<std::vector<real>>& b)
+{
+    double worst = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        for (std::size_t f = 0; f < a[k].size(); ++f) {
+            const double scale = std::max({std::fabs(a[k][f]), std::fabs(b[k][f]), 1e-30});
+            worst = std::max(worst, std::fabs(a[k][f] - b[k][f]) / scale);
+        }
+    return worst;
+}
+
+/// Time per frequency point of the four solver configurations, serial,
+/// on a dense enough grid (40/decade) that neighboring points fall
+/// inside the warm-start eligibility window (ratio 1.059 < 1.1).
+void print_sweep_ablation(const char* title, std::size_t nprobes,
+                          const std::vector<std::size_t>& sizes, int repeats)
+{
+    std::puts("==============================================================================");
+    std::printf("%s\n", title);
+    std::puts("      pr5 = count ordering + scalar kernel + cold refactor per frequency");
+    std::puts("==============================================================================");
+    std::puts("kind     unknowns  mode            ms/freq   speedup   cold   warm   max err");
+    std::puts("------------------------------------------------------------------------------");
+
+    const std::vector<sweep_mode> modes = {
+        {"pr5", {numeric::column_ordering::count, false, false}},
+        {"amd", {numeric::column_ordering::amd, false, false}},
+        {"amd_simd", {numeric::column_ordering::amd, true, false}},
+        {"amd_simd_warm", {numeric::column_ordering::amd, true, true}},
+    };
+    const std::vector<real> freqs = numeric::log_grid(1e4, 1e7, 40);
+
+    for (const std::string kind : {"ladder", "rcmesh"}) {
+        for (const std::size_t size : sizes) {
+            workload w(kind, size);
+            engine::snapshot_options sopt;
+            sopt.gshunt = 1e-9;
+            sopt.zero_all_sources = true;
+            const engine::linearized_snapshot snap(w.net.ckt, w.op, sopt);
+
+            // Unit-current probes spread evenly over the non-forced nodes
+            // (the stability sweeps' stimulus shape, bounded so the
+            // per-frequency batch cost stays comparable across sizes).
+            const std::vector<bool> forced = w.net.ckt.source_forced_nodes();
+            std::vector<engine::sweep_engine::injection> inj;
+            const std::size_t nodes = w.net.ckt.node_count();
+            const std::size_t stride = std::max<std::size_t>(1, nodes / (nprobes + 1));
+            for (std::size_t k = 0; k < nodes && inj.size() < nprobes; k += stride)
+                if (!forced[k])
+                    inj.push_back({k, cplx{1.0, 0.0}});
+
+            std::vector<std::vector<real>> baseline;
+            double pr5_ms = 0.0;
+            // Above ~4k unknowns a single pass is already seconds long and
+            // far above timer noise; best-of-N only matters for the small
+            // fast cases.
+            const int reps = size > 4000 ? 1 : repeats;
+            for (const sweep_mode& m : modes) {
+                engine::sweep_stats stats;
+                std::vector<std::vector<real>> mag;
+                double ms = 1e300;
+                for (int rep = 0; rep < reps; ++rep) {
+                    engine::sweep_stats fresh;
+                    ms = std::min(ms, time_ms([&] {
+                        mag = run_sweep(w, snap, freqs, inj, m.tuning, &fresh);
+                    }));
+                    if (rep + 1 == reps) {
+                        stats.cold_factors = fresh.cold_factors.load();
+                        stats.warm_accepts = fresh.warm_accepts.load();
+                        stats.warm_fallbacks = fresh.warm_fallbacks.load();
+                    }
+                }
+                const double per_freq = ms / static_cast<double>(freqs.size());
+                if (baseline.empty()) {
+                    baseline = mag;
+                    pr5_ms = ms;
+                }
+                const double err = max_rel_err(baseline, mag);
+                std::printf("%-8s %8zu  %-14s %8.4f   %6.2fx  %5zu  %5zu   %.2g\n",
+                            kind.c_str(), snap.size(), m.name, per_freq, pr5_ms / ms,
+                            stats.cold_factors.load(), stats.warm_accepts.load(), err);
+                results().push_back({"scaling_sweep", kind, snap.size(), m.name,
+                                     static_cast<long long>(inj.size()), -1, per_freq,
+                                     static_cast<long long>(stats.cold_factors.load()),
+                                     static_cast<long long>(stats.warm_accepts.load()),
+                                     static_cast<long long>(stats.warm_fallbacks.load()), err});
+            }
+        }
+    }
+    std::puts("");
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    const char* title24 = "A5b — batched sweep, ms per frequency point (serial, 24 probes, "
+                          "40 ppd)";
+    const char* title1 = "A5c — single-probe sweep, ms per frequency point (serial, 1 probe, "
+                         "40 ppd)";
+    if (quick) {
+        // CI smoke: one ~2k-unknown point per kind, single timing pass.
+        print_fill_table({2048});
+        print_sweep_ablation(title24, 24, {2048}, 1);
+        print_sweep_ablation(title1, 1, {2048}, 1);
+    } else {
+        print_fill_table({512, 2048, 8192});
+        print_sweep_ablation(title24, 24, {512, 2048}, 3);
+        print_sweep_ablation(title1, 1, {512, 2048, 8192}, 3);
+    }
+    emit_json();
+    return 0;
+}

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/pole_zero.h"
+#include "engine/sweep_engine.h"
 #include "spice/circuit.h"
 #include "spice/dc_analysis.h"
 #include "spice/measure.h"
@@ -53,6 +54,9 @@ struct impedance_options {
     /// element at the partition node shunts it straight to ground (an RLC
     /// tank), where connectivity alone cannot tell the sides apart.
     std::vector<std::string> source_elements;
+    /// Sparse-solver tuning (ordering / SIMD kernel / warm start)
+    /// forwarded to the sweep engine.
+    engine::solver_tuning tuning;
     spice::dc_options dc;
 };
 

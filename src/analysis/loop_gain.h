@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/sweep_engine.h"
 #include "spice/circuit.h"
 #include "spice/dc_analysis.h"
 #include "spice/measure.h"
@@ -54,6 +55,9 @@ struct loop_gain_options {
     bool adaptive = false;
     real fit_tol = 1e-6;
     std::size_t anchors_per_decade = 4;
+    /// Sparse-solver tuning (ordering / SIMD kernel / warm start)
+    /// forwarded to the sweep engine.
+    engine::solver_tuning tuning;
     spice::dc_options dc;
 };
 

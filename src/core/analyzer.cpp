@@ -30,6 +30,7 @@ namespace {
         engine::sweep_engine_options eopt;
         eopt.threads = opt.threads;
         eopt.solver = opt.solver;
+        eopt.tuning = opt.tuning;
         return engine::sweep_engine(eopt);
     }
 
@@ -43,6 +44,7 @@ namespace {
         aopt.fit_tol = opt.fit_tol;
         aopt.engine.threads = opt.threads;
         aopt.engine.solver = opt.solver;
+        aopt.engine.tuning = opt.tuning;
         return engine::adaptive_sweep(aopt);
     }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/stability_plot.h"
+#include "engine/sweep_engine.h"
 #include "spice/circuit.h"
 #include "spice/dc_analysis.h"
 #include "spice/mna.h"
@@ -54,6 +55,9 @@ struct stability_options {
     bool skip_forced_nodes = true;
     /// Relative natural-frequency tolerance when grouping nodes into loops.
     real group_rel_tol = 0.12;
+    /// Sparse-solver tuning (column ordering, SIMD batch kernel,
+    /// warm-started refactorization) forwarded to the sweep engine.
+    engine::solver_tuning tuning;
     /// Options for the underlying operating-point solve.
     spice::dc_options dc;
 };

@@ -96,14 +96,18 @@ void linearized_snapshot::assemble(real omega, numeric::csc_matrix<cplx>& out) c
 }
 
 std::shared_ptr<const numeric::symbolic_lu<cplx>>
-linearized_snapshot::shared_symbolic(real omega_ref) const
+linearized_snapshot::shared_symbolic(real omega_ref, numeric::column_ordering ordering) const
 {
     const std::lock_guard<std::mutex> lock(symbolic_mutex_);
-    if (symbolic_ == nullptr || symbolic_omega_ != omega_ref) {
+    if (symbolic_ == nullptr || symbolic_omega_ != omega_ref
+        || symbolic_ordering_ != ordering) {
         numeric::csc_matrix<cplx> work = make_workspace();
         assemble(omega_ref, work);
-        symbolic_ = std::make_shared<const numeric::symbolic_lu<cplx>>(work);
+        numeric::lu_options sopt;
+        sopt.ordering = ordering;
+        symbolic_ = std::make_shared<const numeric::symbolic_lu<cplx>>(work, sopt);
         symbolic_omega_ = omega_ref;
+        symbolic_ordering_ = ordering;
     }
     return symbolic_;
 }

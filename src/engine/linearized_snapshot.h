@@ -75,12 +75,14 @@ public:
     void assemble(real omega, numeric::csc_matrix<cplx>& out) const;
 
     /// The shared symbolic LU of this snapshot's pattern: pivot order and
-    /// L/U structure chosen from the values at omega_ref, computed lazily
-    /// once and handed to every sweep worker (which then only refactors
-    /// numerically). Thread-safe; the returned object is immutable. A
-    /// request at a different omega_ref replaces the cached object.
+    /// L/U structure chosen from the values at omega_ref under the given
+    /// column ordering, computed lazily once and handed to every sweep
+    /// worker (which then only refactors numerically). Thread-safe; the
+    /// returned object is immutable. A request at a different omega_ref
+    /// or ordering replaces the cached object.
     [[nodiscard]] std::shared_ptr<const numeric::symbolic_lu<cplx>>
-    shared_symbolic(real omega_ref) const;
+    shared_symbolic(real omega_ref,
+                    numeric::column_ordering ordering = numeric::column_ordering::amd) const;
 
 private:
     std::size_t n_ = 0;
@@ -94,6 +96,7 @@ private:
     mutable std::mutex symbolic_mutex_;
     mutable std::shared_ptr<const numeric::symbolic_lu<cplx>> symbolic_;
     mutable real symbolic_omega_ = -1.0;
+    mutable numeric::column_ordering symbolic_ordering_ = numeric::column_ordering::amd;
 };
 
 } // namespace acstab::engine

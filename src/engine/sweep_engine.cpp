@@ -35,6 +35,7 @@ namespace {
                 if (shared != nullptr) {
                     sym_ = std::move(shared);
                     num_.emplace(sym_);
+                    set_kernel();
                 } else {
                     snap_.assemble(omega_ref, work_);
                     fresh_factor();
@@ -45,15 +46,77 @@ namespace {
             }
         }
 
-        /// Factor Y(j w). Throws numeric_error only if the matrix is
-        /// singular under every pivot order (matching the direct path).
+        /// Factor Y(j w) — or, with warm_start, decide that the previous
+        /// point's factors are close enough to serve this one through
+        /// iterative refinement. Throws numeric_error only if the matrix
+        /// is singular under every pivot order (matching the direct path).
         void factor(real omega)
         {
             snap_.assemble(omega, work_);
+            omega_cur_ = omega;
             if (opt_.solver == spice::solver_kind::dense) {
                 dense_.emplace(work_.to_dense());
                 return;
             }
+            if (opt_.tuning.warm_start && factored_ && warm_eligible(omega)) {
+                // The warm guard keeps the cold path's two tiers but moves
+                // the residual tier to where it is strongest: tier 1 is
+                // still the free growth witness of the stale factors;
+                // tier 2 is the per-right-hand-side backward-error contract
+                // that refine_batch enforces on the *actual* solutions of
+                // this frequency (with a cold refactor as the escape
+                // hatch), which subsumes what an up-front synthetic probe
+                // could establish without paying its extra solves.
+                ymax_ = matrix_max();
+                if (num_->growth() <= opt_.refactor_growth_limit) {
+                    warm_ = true;
+                    bump(&sweep_stats::warm_accepts);
+                    return;
+                }
+                bump(&sweep_stats::warm_fallbacks);
+            }
+            warm_ = false;
+            cold_factor();
+        }
+
+        /// Back-solve a batch of right-hand sides against the current
+        /// factorization; x is column-major n*nrhs (see
+        /// numeric_lu::solve_batch for the aliasing contract). On the
+        /// warm path every solution is refined until it meets the
+        /// backward-error contract, with a cold refactor + re-solve as
+        /// the escape hatch.
+        void solve_batch(const cplx* const* b, std::size_t nrhs, cplx* x)
+        {
+            if (dense_) {
+                // Reference path; allocation-freedom is not a goal here.
+                const std::size_t n = snap_.size();
+                for (std::size_t r = 0; r < nrhs; ++r) {
+                    const std::vector<cplx> rhs(b[r], b[r] + n);
+                    const std::vector<cplx> sol = dense_->solve(rhs);
+                    std::copy(sol.begin(), sol.end(), x + r * n);
+                }
+                return;
+            }
+            num_->solve_batch(b, nrhs, x);
+            if (!warm_)
+                return;
+            if (!refine_batch(b, nrhs, x)) {
+                // Refinement stalled (frequency step too aggressive for
+                // these values): go cold and redo the whole batch against
+                // exact factors of the current Y(jw).
+                bump(&sweep_stats::warm_fallbacks);
+                warm_ = false;
+                cold_factor();
+                num_->solve_batch(b, nrhs, x);
+            }
+        }
+
+    private:
+        /// Cold path: values-only refactor under the reused pivot order,
+        /// guarded by growth + probe, with a fresh pivot-selecting
+        /// factorization as the fallback.
+        void cold_factor()
+        {
             try {
                 num_->refactor(work_);
             } catch (const numeric_error&) {
@@ -61,6 +124,9 @@ namespace {
                 // the current values. A fresh factorization chooses its
                 // pivots from this very matrix, so no guard is needed.
                 fresh_factor();
+                factored_ = true;
+                omega_fact_ = omega_cur_;
+                bump(&sweep_stats::cold_factors);
                 return;
             }
             // Two-tier guard, at factor time, so every right-hand side of
@@ -78,27 +144,108 @@ namespace {
             if (num_->growth() > opt_.refactor_growth_limit
                 && probe_residual() > opt_.refactor_guard_tol)
                 fresh_factor();
+            factored_ = true;
+            omega_fact_ = omega_cur_;
+            bump(&sweep_stats::cold_factors);
         }
 
-        /// Back-solve a batch of right-hand sides against the current
-        /// factorization; x is column-major n*nrhs (see
-        /// numeric_lu::solve_batch for the aliasing contract).
-        void solve_batch(const cplx* const* b, std::size_t nrhs, cplx* x)
+        [[nodiscard]] bool warm_eligible(real omega) const noexcept
         {
-            if (dense_) {
-                // Reference path; allocation-freedom is not a goal here.
-                const std::size_t n = snap_.size();
-                for (std::size_t r = 0; r < nrhs; ++r) {
-                    const std::vector<cplx> rhs(b[r], b[r] + n);
-                    const std::vector<cplx> sol = dense_->solve(rhs);
-                    std::copy(sol.begin(), sol.end(), x + r * n);
-                }
-                return;
-            }
-            num_->solve_batch(b, nrhs, x);
+            const real ratio = omega > omega_fact_ ? omega / omega_fact_ : omega_fact_ / omega;
+            return ratio <= opt_.warm_ratio_limit;
         }
 
-    private:
+        [[nodiscard]] real matrix_max() const noexcept
+        {
+            real m = 0.0;
+            for (const cplx& v : work_.values())
+                m = std::max(m, std::abs(v));
+            return m;
+        }
+
+        /// Tier 2 of the warm guard: iterate refinement on the whole batch
+        /// of stale-factor solutions until every column's normwise backward
+        /// error against the freshly assembled Y(jw) meets the cold guard's
+        /// tolerance; false when the iteration budget runs out first.
+        ///
+        /// Refinement is batched on purpose: each iteration costs ONE
+        /// L/U traversal for all still-unconverged columns (solve_batch,
+        /// so the SIMD kernel applies to corrections too) plus one cheap
+        /// SpMV per column, instead of a full traversal per column per
+        /// iteration. Columns retire from the active set as they converge,
+        /// so late iterations only pay for the stragglers.
+        [[nodiscard]] bool refine_batch(const cplx* const* b, std::size_t nrhs, cplx* x)
+        {
+            const std::size_t n = snap_.size();
+            // Lazily grown to the engine's rhs_block; steady state is
+            // allocation-free like the rest of the hot loop.
+            if (resid_.size() < n * nrhs) {
+                resid_.resize(n * nrhs);
+                corr_.resize(n * nrhs);
+            }
+            if (bmax_.size() < nrhs) {
+                bmax_.resize(nrhs);
+                active_.resize(nrhs);
+                rcol_.resize(nrhs);
+            }
+            std::size_t nactive = nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                real bm = 0.0;
+                for (std::size_t i = 0; i < n; ++i)
+                    bm = std::max(bm, std::abs(b[r][i]));
+                bmax_[r] = bm;
+                active_[r] = r;
+            }
+            for (std::size_t iter = 0; iter <= opt_.warm_max_refine; ++iter) {
+                // Residual + convergence test; converged columns drop out,
+                // the rest compact their residuals into contiguous slots
+                // for the batched correction solve.
+                std::size_t pending = 0;
+                for (std::size_t a = 0; a < nactive; ++a) {
+                    const std::size_t r = active_[a];
+                    cplx* res = resid_.data() + pending * n;
+                    work_.multiply_into(x + r * n, res);
+                    real residual = 0.0;
+                    real xmax = 0.0;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        res[i] = b[r][i] - res[i];
+                        residual = std::max(residual, std::abs(res[i]));
+                        xmax = std::max(xmax, std::abs(x[r * n + i]));
+                    }
+                    if (residual <= opt_.refactor_guard_tol * (ymax_ * xmax + bmax_[r]))
+                        continue;
+                    active_[pending] = r;
+                    rcol_[pending] = res;
+                    ++pending;
+                }
+                if (pending == 0)
+                    return true;
+                if (iter == opt_.warm_max_refine)
+                    break;
+                nactive = pending;
+                num_->solve_batch(rcol_.data(), nactive, corr_.data());
+                for (std::size_t a = 0; a < nactive; ++a) {
+                    const std::size_t r = active_[a];
+                    for (std::size_t i = 0; i < n; ++i)
+                        x[r * n + i] += corr_[a * n + i];
+                }
+                bump(&sweep_stats::warm_refinements);
+            }
+            return false;
+        }
+
+        void bump(std::atomic<std::size_t> sweep_stats::* member) const noexcept
+        {
+            if (opt_.stats != nullptr)
+                (opt_.stats->*member).fetch_add(1, std::memory_order_relaxed);
+        }
+
+        void set_kernel()
+        {
+            num_->set_batch_kernel(opt_.tuning.simd ? numeric::batch_kernel::simd
+                                                    : numeric::batch_kernel::scalar);
+        }
+
         /// Normwise backward error of Y x = 1 for the all-ones probe:
         /// ||Y x - b||_inf / (||Y||_max ||x||_inf + ||b||_inf), so the
         /// threshold is meaningful for badly scaled circuits (milliohm
@@ -126,10 +273,12 @@ namespace {
         {
             // Adopt the seed values the pivot-selecting analysis computes
             // anyway instead of repeating the numeric elimination.
+            numeric::lu_options sopt;
+            sopt.ordering = opt_.tuning.ordering;
             numeric::symbolic_lu<cplx>::factor_values seed;
-            sym_ = std::make_shared<const numeric::symbolic_lu<cplx>>(
-                work_, numeric::symbolic_lu<cplx>::options{}, &seed);
+            sym_ = std::make_shared<const numeric::symbolic_lu<cplx>>(work_, sopt, &seed);
             num_.emplace(sym_, std::move(seed));
+            set_kernel();
         }
 
         const linearized_snapshot& snap_;
@@ -139,6 +288,17 @@ namespace {
         std::optional<numeric::numeric_lu<cplx>> num_;
         std::optional<numeric::lu_decomposition<cplx>> dense_;
         std::vector<cplx> probe_b_, probe_x_, probe_r_;
+        // Warm-start batched-refinement scratch, lazily grown to the
+        // engine's rhs_block on the first warm solve.
+        std::vector<cplx> resid_, corr_;
+        std::vector<real> bmax_;
+        std::vector<std::size_t> active_;
+        std::vector<const cplx*> rcol_;
+        bool factored_ = false; ///< numeric factors valid (cold path ran)
+        bool warm_ = false;     ///< current frequency served by stale factors
+        real omega_fact_ = 0.0; ///< frequency of the current cold factors
+        real omega_cur_ = 0.0;  ///< frequency of the assembled workspace
+        real ymax_ = 0.0;       ///< max |Y| of the assembled workspace (warm)
     };
 
 } // namespace
@@ -185,7 +345,8 @@ namespace {
         if (opt.solver == spice::solver_kind::sparse && opt.shared_symbolic)
             shared_sym = snap.shared_symbolic(opt.symbolic_omega_ref > 0.0
                                                   ? opt.symbolic_omega_ref
-                                                  : to_omega(freqs_hz[nf / 2]));
+                                                  : to_omega(freqs_hz[nf / 2]),
+                                              opt.tuning.ordering);
 
         // Balanced contiguous partition: exactly `workers` chunks, sizes
         // differing by at most one (a ceil-sized chunk count would leave

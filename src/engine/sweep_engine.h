@@ -24,15 +24,55 @@
 #ifndef ACSTAB_ENGINE_SWEEP_ENGINE_H
 #define ACSTAB_ENGINE_SWEEP_ENGINE_H
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "engine/linearized_snapshot.h"
+#include "numeric/sparse_factor.h"
 #include "spice/mna.h"
 
 namespace acstab::engine {
+
+/// Sparse-solver tuning shared by every frequency-domain analysis (the
+/// stability analyzer, loop gain, impedance partitions, spice::ac_sweep
+/// and the farm executor all forward one of these into their engine
+/// options; the CLI exposes it as --order / --no-simd / --warm).
+struct solver_tuning {
+    /// Fill-reducing column pre-ordering of the shared symbolic LU.
+    numeric::column_ordering ordering = numeric::column_ordering::amd;
+    /// Vectorize the batched back-solve across the contiguous RHS block
+    /// (numeric_lu's split real/imag SIMD kernel). Deterministic for a
+    /// given batch shape, so thread count still never changes results;
+    /// scalar and SIMD answers agree to rounding, not bit-for-bit.
+    bool simd = true;
+    /// Frequency-coherence warm start: keep the neighboring frequency
+    /// point's numeric factors and iterate batched refinement against
+    /// the freshly assembled Y(jw) instead of refactoring, falling back
+    /// to a cold refactor through the two-tier guard (the free growth
+    /// witness, then the per-right-hand-side backward-error contract of
+    /// the refinement itself). Every accepted solve satisfies the same
+    /// backward-error tolerance as the cold guard (refactor_guard_tol).
+    /// Pays off once a factorization costs more than a handful of
+    /// batched back-solves — large fill-heavy circuits (meshes), not
+    /// near-tridiagonal ladders. OFF by default: the warm path makes a
+    /// chunk's results depend on the frequencies it solved before, so
+    /// results would vary with the thread count's chunk boundaries —
+    /// opt in per run (bench harnesses, serial sweeps, --warm).
+    bool warm_start = false;
+};
+
+/// Live solver counters, aggregated across workers (relaxed atomics).
+/// Attach via sweep_engine_options::stats to observe warm-start behavior
+/// (the size-scaling bench reports these per configuration).
+struct sweep_stats {
+    std::atomic<std::size_t> cold_factors{0};   ///< full numeric refactorizations
+    std::atomic<std::size_t> warm_accepts{0};   ///< frequencies that adopted stale factors
+    std::atomic<std::size_t> warm_fallbacks{0}; ///< warm attempts that went cold
+    std::atomic<std::size_t> warm_refinements{0}; ///< batched refinement solves
+};
 
 struct sweep_engine_options {
     /// Worker threads (1 = serial on the calling thread, 0 = all hardware
@@ -65,6 +105,20 @@ struct sweep_engine_options {
     /// worker-local staging to O(rhs_block * n) while still amortizing
     /// each L/U traversal across the batch; 1 disables batching.
     std::size_t rhs_block = 32;
+    /// Ordering / kernel / warm-start tuning (see solver_tuning).
+    solver_tuning tuning;
+    /// Largest frequency ratio between a candidate point and the last
+    /// cold-factored point still eligible for a warm-started solve; the
+    /// stale-factor refinement contracts the error by roughly that
+    /// relative frequency step per iteration, so eligibility is capped
+    /// where convergence to refactor_guard_tol stays cheaper than a
+    /// refactor.
+    real warm_ratio_limit = 1.1;
+    /// Refinement iterations per right-hand side before a warm solve
+    /// gives up and falls back to a cold refactor.
+    std::size_t warm_max_refine = 8;
+    /// Optional live counters (not owned; must outlive the run).
+    sweep_stats* stats = nullptr;
 };
 
 class sweep_engine {

@@ -9,6 +9,31 @@ namespace {
 
     constexpr const char* campaign_schema = "acstab-farm-campaign-v1";
 
+    const char* ordering_name(numeric::column_ordering o)
+    {
+        switch (o) {
+        case numeric::column_ordering::none:
+            return "none";
+        case numeric::column_ordering::count:
+            return "count";
+        case numeric::column_ordering::amd:
+            return "amd";
+        }
+        return "amd";
+    }
+
+    numeric::column_ordering ordering_from_name(const std::string& name)
+    {
+        if (name == "none")
+            return numeric::column_ordering::none;
+        if (name == "count")
+            return numeric::column_ordering::count;
+        if (name == "amd")
+            return numeric::column_ordering::amd;
+        throw analysis_error("farm: unknown column ordering '" + name
+                             + "' (amd | count | none)");
+    }
+
 } // namespace
 
 core::stability_options campaign_spec::stability_options(std::size_t threads) const
@@ -20,6 +45,7 @@ core::stability_options campaign_spec::stability_options(std::size_t threads) co
     opt.adaptive = adaptive;
     opt.fit_tol = fit_tol;
     opt.anchors_per_decade = anchors_per_decade;
+    opt.tuning = tuning;
     opt.threads = threads;
     return opt;
 }
@@ -34,6 +60,7 @@ analysis::impedance_options campaign_spec::impedance_options(std::size_t threads
     opt.fit_tol = fit_tol;
     opt.anchors_per_decade = anchors_per_decade;
     opt.source_elements = source_elements;
+    opt.tuning = tuning;
     opt.threads = threads;
     return opt;
 }
@@ -83,6 +110,15 @@ json_value to_json(const campaign_spec& spec)
     sweep.set("adaptive", json_value::boolean(spec.adaptive));
     sweep.set("fit_tol", json_value::number(spec.fit_tol));
     sweep.set("anchors_per_decade", json_value::number(spec.anchors_per_decade));
+    // Solver tuning only appears when non-default (same byte-stability
+    // contract as the analysis member above).
+    const engine::solver_tuning default_tuning;
+    if (spec.tuning.ordering != default_tuning.ordering)
+        sweep.set("order", json_value::str(ordering_name(spec.tuning.ordering)));
+    if (spec.tuning.simd != default_tuning.simd)
+        sweep.set("simd", json_value::boolean(spec.tuning.simd));
+    if (spec.tuning.warm_start != default_tuning.warm_start)
+        sweep.set("warm", json_value::boolean(spec.tuning.warm_start));
     doc.set("sweep", std::move(sweep));
     return doc;
 }
@@ -124,6 +160,12 @@ campaign_spec campaign_from_json(const json_value& doc)
     spec.adaptive = sweep.at("adaptive").as_bool();
     spec.fit_tol = sweep.at("fit_tol").as_number();
     spec.anchors_per_decade = sweep.at("anchors_per_decade").as_index();
+    if (const json_value* order = sweep.find("order"))
+        spec.tuning.ordering = ordering_from_name(order->as_string());
+    if (const json_value* simd = sweep.find("simd"))
+        spec.tuning.simd = simd->as_bool();
+    if (const json_value* warm = sweep.find("warm"))
+        spec.tuning.warm_start = warm->as_bool();
 
     // The recorded point count guards against grid-decoding drift between
     // the planning and executing binaries.

@@ -48,6 +48,11 @@ struct campaign_spec {
     bool adaptive = false;
     real fit_tol = 1e-6;
     std::size_t anchors_per_decade = 4;
+    /// Sparse-solver tuning (column ordering / SIMD kernel / warm start),
+    /// pinned by the plan so every shard solves identically. Serialized
+    /// only when it differs from the defaults, so plans that do not touch
+    /// it keep their pre-tuning bytes.
+    engine::solver_tuning tuning;
 
     /// The per-point analysis options this spec pins down. `threads` is
     /// the executor's machine-local point-level parallelism; it does not

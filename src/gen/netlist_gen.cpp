@@ -1,0 +1,113 @@
+#include "gen/netlist_gen.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace acstab::gen {
+
+namespace {
+
+    void append_value(std::string& out, real v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", v);
+        out += buf;
+    }
+
+    void append_stability_card(std::string& out, const std::string& probe,
+                               const gen_options& opt)
+    {
+        out += ".stability " + probe + " ";
+        append_value(out, opt.fstart);
+        out += " ";
+        append_value(out, opt.fstop);
+        out += " " + std::to_string(opt.points_per_decade) + "\n.end\n";
+    }
+
+    void check(const gen_options& opt)
+    {
+        if (opt.size == 0)
+            throw analysis_error("gen: size must be at least 1");
+        if (!(opt.r > 0.0) || !(opt.c > 0.0))
+            throw analysis_error("gen: r and c must be positive");
+        if (!(opt.fstart > 0.0) || !(opt.fstop > opt.fstart))
+            throw analysis_error("gen: need 0 < fstart < fstop");
+    }
+
+} // namespace
+
+std::string ladder_netlist(const gen_options& opt)
+{
+    check(opt);
+    const std::size_t n = opt.size;
+    std::string out;
+    out.reserve(64 * (n + 4));
+    out += "* generated RC ladder, " + std::to_string(n) + " sections (acstab gen ladder)\n";
+    out += "vin in 0 1 ac 1\n";
+    for (std::size_t k = 1; k <= n; ++k) {
+        const std::string prev = k == 1 ? std::string("in") : "n" + std::to_string(k - 1);
+        const std::string node = "n" + std::to_string(k);
+        out += "r" + std::to_string(k) + " " + prev + " " + node + " ";
+        append_value(out, opt.r);
+        out += "\nc" + std::to_string(k) + " " + node + " 0 ";
+        append_value(out, opt.c);
+        out += "\n";
+    }
+    append_stability_card(out, "n" + std::to_string((n + 1) / 2), opt);
+    return out;
+}
+
+std::string rcmesh_netlist(const gen_options& opt)
+{
+    check(opt);
+    const std::size_t k
+        = std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(
+                                       std::sqrt(static_cast<double>(opt.size)))));
+    const auto node = [](std::size_t i, std::size_t j) {
+        return "n" + std::to_string(i) + "_" + std::to_string(j);
+    };
+    std::string out;
+    out.reserve(96 * k * k + 256);
+    out += "* generated " + std::to_string(k) + "x" + std::to_string(k)
+        + " RC mesh (acstab gen rcmesh)\n";
+    out += "vin src 0 1 ac 1\n";
+    out += "rdrv src " + node(0, 0) + " ";
+    append_value(out, opt.r);
+    out += "\n";
+    std::size_t re = 0;
+    std::size_t ce = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            if (j + 1 < k) {
+                out += "rh" + std::to_string(re++) + " " + node(i, j) + " " + node(i, j + 1)
+                    + " ";
+                append_value(out, opt.r);
+                out += "\n";
+            }
+            if (i + 1 < k) {
+                out += "rv" + std::to_string(re++) + " " + node(i, j) + " " + node(i + 1, j)
+                    + " ";
+                append_value(out, opt.r);
+                out += "\n";
+            }
+            out += "c" + std::to_string(ce++) + " " + node(i, j) + " 0 ";
+            append_value(out, opt.c);
+            out += "\n";
+        }
+    }
+    append_stability_card(out, node(k / 2, k / 2), opt);
+    return out;
+}
+
+std::string generate_netlist(const std::string& kind, const gen_options& opt)
+{
+    if (kind == "ladder")
+        return ladder_netlist(opt);
+    if (kind == "rcmesh")
+        return rcmesh_netlist(opt);
+    throw analysis_error("gen: unknown netlist kind '" + kind + "' (ladder | rcmesh)");
+}
+
+} // namespace acstab::gen

@@ -1,0 +1,59 @@
+// Parameterized stress-netlist generators (`acstab gen`).
+//
+// Nothing shipped in netlists/ is larger than a few dozen unknowns, so
+// the solver's large-circuit behavior (fill-in under different column
+// orderings, SIMD batch kernels, warm-started refactorization) had no
+// in-tree workload to measure against. These emitters produce valid,
+// deterministic netlist text from tens to tens of thousands of nodes —
+// in the spirit of the FPGA SPICE testbench generators ROADMAP cites —
+// for the size-scaling bench ablation, the CI smoke job and manual
+// experiments:
+//
+//   ladder  a driven uniform RC ladder: tridiagonal MNA pattern, the
+//           best case for any ordering (near-zero fill), so it isolates
+//           kernel/warm-start effects from fill effects;
+//   rcmesh  a k x k 2-D RC grid (k = round(sqrt(size))): the classic
+//           fill stress. The count heuristic degenerates to the natural
+//           order here (every interior column has equal degree) and
+//           fills like n * k; minimum degree stays near n * log n.
+//
+// Each netlist carries a .stability card probing a representative node,
+// so generated files work directly with `acstab run`, `acstab farm plan`
+// and every single-analysis command.
+#ifndef ACSTAB_GEN_NETLIST_GEN_H
+#define ACSTAB_GEN_NETLIST_GEN_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace acstab::gen {
+
+struct gen_options {
+    /// Target circuit node count (the realized count may differ by a few
+    /// nodes: the ladder adds its drive node, the mesh rounds to k^2).
+    std::size_t size = 100;
+    /// Per-section resistance [ohm] and capacitance [F].
+    real r = 1e3;
+    real c = 1e-9;
+    /// Band of the emitted .stability card.
+    real fstart = 1e3;
+    real fstop = 1e9;
+    std::size_t points_per_decade = 20;
+};
+
+/// Driven uniform RC ladder with `size` ladder nodes.
+[[nodiscard]] std::string ladder_netlist(const gen_options& opt = {});
+
+/// Driven k x k RC mesh, k = round(sqrt(size)) (at least 2).
+[[nodiscard]] std::string rcmesh_netlist(const gen_options& opt = {});
+
+/// Dispatch by kind ("ladder" | "rcmesh"); throws analysis_error on an
+/// unknown kind.
+[[nodiscard]] std::string generate_netlist(const std::string& kind,
+                                           const gen_options& opt = {});
+
+} // namespace acstab::gen
+
+#endif // ACSTAB_GEN_NETLIST_GEN_H

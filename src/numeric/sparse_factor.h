@@ -25,12 +25,53 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.h"
+#include "numeric/amd_order.h"
 #include "numeric/sparse_matrix.h"
 
 namespace acstab::numeric {
+
+/// Column pre-ordering applied before the pivot-selecting elimination.
+enum class column_ordering {
+    /// Natural order (ablation/bisection baseline).
+    none,
+    /// Ascending nonzero-count order — the seed's cheap static heuristic.
+    /// Good on ladders, degenerates to the natural order on meshes where
+    /// every column has the same degree.
+    count,
+    /// Minimum external degree on A + A^T (amd_order.h): re-ranks the
+    /// remaining columns after every elimination, the production choice
+    /// for thousands-of-unknowns circuits.
+    amd,
+};
+
+/// Batched back-solve kernel of numeric_lu::solve_batch.
+enum class batch_kernel {
+    /// One right-hand side at a time inside the shared L/U traversal;
+    /// bit-identical to repeated single solves.
+    scalar,
+    /// Split real/imag planes in an rhs-contiguous layout so the inner
+    /// loop over the batch is unit-stride and auto-vectorizes; results
+    /// agree with scalar to rounding (the complex multiply is expanded
+    /// into real mul/adds the compiler may schedule differently).
+    /// Only distinct from scalar for std::complex<double> batches of
+    /// two or more right-hand sides.
+    simd,
+};
+
+/// The one solver options type shared by symbolic_lu and the sparse_lu
+/// facade (which forwards it verbatim), so the ordering knob is defined
+/// exactly once.
+struct lu_options {
+    /// Diagonal entries within pivot_tol of the column maximum are
+    /// preferred, preserving MNA structure and limiting fill-in.
+    double pivot_tol = 0.1;
+    /// Fill-reducing column pre-ordering.
+    column_ordering ordering = column_ordering::amd;
+};
 
 /// Immutable symbolic factorization: pivot order, column ordering and the
 /// L/U sparsity patterns (full symbolic reach, so any matrix with the seed
@@ -40,14 +81,7 @@ namespace acstab::numeric {
 template <class T>
 class symbolic_lu {
 public:
-    struct options {
-        /// Diagonal entries within pivot_tol of the column maximum are
-        /// preferred, preserving MNA structure and limiting fill-in.
-        double pivot_tol = 0.1;
-        /// Factor columns in ascending nonzero-count order (cheap
-        /// fill-reducing heuristic).
-        bool order_columns = true;
-    };
+    using options = lu_options;
 
     /// The numeric L/U values of the seed factorization, aligned with the
     /// symbolic pattern arrays. The analysis computes them anyway (pivot
@@ -89,10 +123,17 @@ private:
         constexpr std::ptrdiff_t unset = -1;
         q_.resize(n_);
         std::iota(q_.begin(), q_.end(), std::size_t{0});
-        if (opt.order_columns) {
+        switch (opt.ordering) {
+        case column_ordering::none:
+            break;
+        case column_ordering::count:
             std::stable_sort(q_.begin(), q_.end(), [&a](std::size_t i, std::size_t j) {
                 return a.col_ptr()[i + 1] - a.col_ptr()[i] < a.col_ptr()[j + 1] - a.col_ptr()[j];
             });
+            break;
+        case column_ordering::amd:
+            q_ = minimum_degree_order(n_, a.col_ptr(), a.row_idx());
+            break;
         }
 
         std::vector<std::ptrdiff_t> pinv(n_, unset);
@@ -348,7 +389,14 @@ public:
     /// warranted.
     [[nodiscard]] double growth() const noexcept { return growth_; }
 
-    /// Solve A X = B for a batch of right-hand sides without allocating.
+    /// Select the batched back-solve kernel (default scalar). The SIMD
+    /// kernel grows its split-plane scratch lazily to the largest batch
+    /// seen, so after the first batch of a given width the solve loop is
+    /// allocation-free again.
+    void set_batch_kernel(batch_kernel k) noexcept { kernel_ = k; }
+    [[nodiscard]] batch_kernel kernel() const noexcept { return kernel_; }
+
+    /// Solve A X = B for a batch of right-hand sides.
     /// b[r] points at right-hand side r (length n); x is column-major
     /// n*nrhs and is fully overwritten with the solutions. b[r] must not
     /// alias any x column (use solve_in_place for that). One traversal of
@@ -356,6 +404,18 @@ public:
     /// across the right-hand sides. Non-const (uses the instance
     /// scratch): per-worker use only.
     void solve_batch(const T* const* b, std::size_t nrhs, T* x)
+    {
+        if constexpr (std::is_same_v<T, std::complex<double>>) {
+            if (kernel_ == batch_kernel::simd && nrhs >= 2) {
+                solve_batch_simd(b, nrhs, x);
+                return;
+            }
+        }
+        solve_batch_scalar(b, nrhs, x);
+    }
+
+private:
+    void solve_batch_scalar(const T* const* b, std::size_t nrhs, T* x)
     {
         const std::size_t n = sym_->size();
         const auto& pinv = sym_->pinv();
@@ -410,6 +470,97 @@ public:
         }
     }
 
+    /// SIMD batch kernel (std::complex<double> only): the batch lives in
+    /// two split real/imag double planes laid out rhs-contiguously
+    /// (lane r of pivot row i at [i * nrhs + r]), so every factor entry is
+    /// loaded once per column while the inner loop over the batch is a
+    /// unit-stride fused multiply-add chain the compiler vectorizes
+    /// across right-hand sides. A column whose lanes are all zero skips
+    /// its update loop entirely (the injection right-hand sides of the
+    /// stability sweeps are mostly zeros). The U diagonal still divides
+    /// through std::complex so both kernels share the same (robustly
+    /// scaled) complex division.
+    void solve_batch_simd(const T* const* b, std::size_t nrhs, T* x)
+    {
+        const std::size_t n = sym_->size();
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& lrow = sym_->lrow();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+
+        if (plane_re_.size() < n * nrhs) {
+            plane_re_.resize(n * nrhs);
+            plane_im_.resize(n * nrhs);
+        }
+        double* __restrict xr = plane_re_.data();
+        double* __restrict xi = plane_im_.data();
+
+        // Scatter into pivot order, splitting the complex lanes.
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t base = pinv[i] * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                xr[base + r] = b[r][i].real();
+                xi[base + r] = b[r][i].imag();
+            }
+        }
+        // Forward solve with unit-diagonal L.
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::size_t cb = c * nrhs;
+            bool any = false;
+            for (std::size_t r = 0; r < nrhs; ++r)
+                any = any || xr[cb + r] != 0.0 || xi[cb + r] != 0.0;
+            if (!any)
+                continue;
+            const std::size_t pe = lcol_ptr[c + 1];
+            for (std::size_t p = lcol_ptr[c]; p < pe; ++p) {
+                const double lr = lval_[p].real();
+                const double li = lval_[p].imag();
+                const std::size_t rb = lrow[p] * nrhs;
+                for (std::size_t r = 0; r < nrhs; ++r) {
+                    const double ar = xr[cb + r];
+                    const double ai = xi[cb + r];
+                    xr[rb + r] -= lr * ar - li * ai;
+                    xi[rb + r] -= lr * ai + li * ar;
+                }
+            }
+        }
+        // Back solve with U (diagonal stored last in each column).
+        for (std::size_t c = n; c-- > 0;) {
+            const std::size_t last = ucol_ptr[c + 1] - 1;
+            const T diag = uval_[last];
+            const std::size_t cb = c * nrhs;
+            bool any = false;
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                const T v = T{xr[cb + r], xi[cb + r]} / diag;
+                xr[cb + r] = v.real();
+                xi[cb + r] = v.imag();
+                any = any || v != T{};
+            }
+            if (!any)
+                continue;
+            for (std::size_t p = ucol_ptr[c]; p < last; ++p) {
+                const double ur = uval_[p].real();
+                const double ui = uval_[p].imag();
+                const std::size_t rb = urow[p] * nrhs;
+                for (std::size_t r = 0; r < nrhs; ++r) {
+                    const double ar = xr[cb + r];
+                    const double ai = xi[cb + r];
+                    xr[rb + r] -= ur * ar - ui * ai;
+                    xi[rb + r] -= ur * ai + ui * ar;
+                }
+            }
+        }
+        // Undo the column ordering while re-interleaving the planes.
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            T* xc = x + r * n;
+            for (std::size_t c = 0; c < n; ++c)
+                xc[qperm[c]] = T{xr[c * nrhs + r], xi[c * nrhs + r]};
+        }
+    }
+
+public:
     /// Solve A x = b with b and the solution in the same length-n buffer.
     /// Non-const (uses the instance scratch): per-worker use only.
     void solve_in_place(T* x)
@@ -475,6 +626,9 @@ private:
     std::vector<T> uval_;
     std::vector<T> work_;    ///< refactor accumulator (pivot space)
     std::vector<T> scratch_; ///< permutation staging for batched solves
+    batch_kernel kernel_ = batch_kernel::scalar;
+    std::vector<double> plane_re_; ///< SIMD kernel: real lanes, grown lazily
+    std::vector<double> plane_im_; ///< SIMD kernel: imaginary lanes
     double growth_ = 0.0;
 };
 

@@ -23,13 +23,11 @@ namespace acstab::numeric {
 template <class T>
 class sparse_lu {
 public:
-    struct options {
-        /// Diagonal entries within pivot_tol of the column maximum are
-        /// preferred, preserving MNA structure and limiting fill-in.
-        double pivot_tol = 0.1;
-        /// Factor columns in ascending nonzero-count order (cheap
-        /// fill-reducing heuristic).
-        bool order_columns = true;
+    /// The shared lu_options (pivot_tol + column_ordering) plus the
+    /// facade's own refactor guard — the slice the symbolic analysis
+    /// consumes is forwarded verbatim, so the ordering enum is defined
+    /// exactly once (in sparse_factor.h).
+    struct options : lu_options {
         /// Allow refactor() calls for matrices with the same structure
         /// but different values. (The pattern is always symbolic since
         /// the split; the flag is kept as an API guard so accidental
@@ -39,8 +37,7 @@ public:
 
     explicit sparse_lu(const csc_matrix<T>& a, options opt = {})
         : sym_(std::make_shared<const symbolic_lu<T>>(
-              a, typename symbolic_lu<T>::options{opt.pivot_tol, opt.order_columns},
-              &seed_values_)),
+              a, static_cast<const lu_options&>(opt), &seed_values_)),
           num_(sym_, std::move(seed_values_)), refactor_ready_(opt.prepare_refactor)
     {
     }

@@ -135,7 +135,16 @@ public:
     {
         if (x.size() != cols_ || y.size() != rows_)
             throw numeric_error("csc: vector length mismatch");
-        std::fill(y.begin(), y.end(), T{});
+        multiply_into(x.data(), y.data());
+    }
+
+    /// Pointer form of the same SpMV, for callers whose vectors live in
+    /// larger staging blocks (the warm-start refinement measures one
+    /// residual per batched right-hand-side column). x and y must not
+    /// alias and must hold cols()/rows() elements.
+    void multiply_into(const T* x, T* y) const
+    {
+        std::fill(y, y + rows_, T{});
         for (std::size_t c = 0; c < cols_; ++c)
             for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k)
                 y[row_idx_[k]] += values_[k] * x[c];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/adaptive_sweep.h"
 #include "engine/linearized_snapshot.h"
 #include "engine/sweep_engine.h"
 
@@ -41,13 +42,39 @@ ac_result ac_sweep(circuit& c, const std::vector<real>& freqs_hz, const std::vec
     sopt.exclusive_source = opt.exclusive_source;
     const engine::linearized_snapshot snap(c, op, sopt);
 
+    ac_result res;
+    if (opt.adaptive) {
+        // One adaptive channel per MNA unknown: the shared-support
+        // rational model then reconstructs the whole solution vector on
+        // the dense output grid, not just a pre-selected probe node.
+        engine::adaptive_sweep_options aopt = engine::adaptive_options_for_grid(freqs_hz);
+        aopt.anchors_per_decade = opt.anchors_per_decade;
+        aopt.fit_tol = opt.fit_tol;
+        aopt.engine.threads = opt.threads;
+        aopt.engine.solver = opt.solver;
+        aopt.engine.tuning = opt.tuning;
+        std::vector<engine::adaptive_channel> channels(snap.size());
+        for (std::size_t k = 0; k < snap.size(); ++k)
+            channels[k] = {0, k};
+        const engine::adaptive_sweep_result ares
+            = engine::adaptive_sweep(aopt).run(snap, {snap.stimulus_rhs()}, channels);
+        res.freq_hz = ares.freq_hz;
+        res.factorizations = ares.factorizations;
+        res.solution.assign(ares.freq_hz.size(), std::vector<cplx>(snap.size()));
+        for (std::size_t k = 0; k < snap.size(); ++k)
+            for (std::size_t fi = 0; fi < ares.freq_hz.size(); ++fi)
+                res.solution[fi][k] = ares.values[k][fi];
+        return res;
+    }
+
     engine::sweep_engine_options eopt;
     eopt.threads = opt.threads;
     eopt.solver = opt.solver;
+    eopt.tuning = opt.tuning;
     const engine::sweep_engine eng(eopt);
 
-    ac_result res;
     res.freq_hz = freqs_hz;
+    res.factorizations = freqs_hz.size();
     res.solution.resize(freqs_hz.size());
     eng.run(snap, freqs_hz, {snap.stimulus_rhs()},
             [&res](std::size_t fi, std::size_t, std::span<const cplx> sol) {

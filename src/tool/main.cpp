@@ -35,6 +35,7 @@
 #include "core/report.h"
 #include "farm/campaign.h"
 #include "farm/executor.h"
+#include "gen/netlist_gen.h"
 #include "numeric/interpolation.h"
 #include "spice/ac_analysis.h"
 #include "spice/dc_analysis.h"
@@ -48,6 +49,24 @@ namespace {
 
 using namespace acstab;
 using namespace acstab::tool;
+
+/// --order/--no-simd/--warm -> the sparse-solver tuning every
+/// frequency-domain command threads down to the sweep engine.
+[[nodiscard]] engine::solver_tuning tuning_from_cli(const cli_options& opt)
+{
+    engine::solver_tuning tuning;
+    if (opt.order == "amd" || opt.order.empty())
+        tuning.ordering = numeric::column_ordering::amd;
+    else if (opt.order == "count")
+        tuning.ordering = numeric::column_ordering::count;
+    else if (opt.order == "none")
+        tuning.ordering = numeric::column_ordering::none;
+    else
+        throw analysis_error("--order must be amd, count or none, got '" + opt.order + "'");
+    tuning.simd = !opt.no_simd;
+    tuning.warm_start = opt.warm;
+    return tuning;
+}
 
 int cmd_op(spice::circuit& c, const cli_options&)
 {
@@ -66,36 +85,19 @@ int cmd_ac(spice::circuit& c, const cli_options& opt)
     if (opt.node.empty())
         throw analysis_error("ac: --node is required");
     const spice::dc_result op = spice::dc_operating_point(c);
-    std::vector<real> freqs;
-    std::vector<cplx> h;
-    if (opt.adaptive) {
-        // Anchor + rational-fit refinement on the selected node's
-        // response; the dense grid is evaluated from the fitted model.
-        const auto node = c.find_node(opt.node);
-        if (!node)
-            throw analysis_error("ac: unknown node '" + opt.node + "'");
-        if (*node < 0)
-            throw analysis_error("ac: cannot plot the ground node");
-        c.finalize();
-        const engine::linearized_snapshot snap(c, op.solution, {});
-        engine::adaptive_sweep_options aopt;
-        aopt.fstart = opt.fstart;
-        aopt.fstop = opt.fstop;
-        aopt.output_points_per_decade = opt.ppd;
-        aopt.anchors_per_decade = opt.anchors_per_decade;
-        aopt.fit_tol = opt.fit_tol;
-        aopt.engine.threads = opt.threads;
-        const engine::adaptive_sweep_result res = engine::adaptive_sweep(aopt).run(
-            snap, {snap.stimulus_rhs()}, {{0, static_cast<std::size_t>(*node)}});
-        freqs = res.freq_hz;
-        h = res.values[0];
-    } else {
-        freqs = numeric::log_grid(opt.fstart, opt.fstop, opt.ppd);
-        spice::ac_options aopt;
-        aopt.threads = opt.threads;
-        const spice::ac_result res = spice::ac_sweep(c, freqs, op.solution, aopt);
-        h = spice::node_response(c, res, opt.node);
-    }
+    // One shared path for both grids: ac_sweep's adaptive branch fits a
+    // per-unknown rational model over the whole solution vector, so the
+    // node is selected after the sweep — exactly like the fixed grid.
+    const std::vector<real> grid = numeric::log_grid(opt.fstart, opt.fstop, opt.ppd);
+    spice::ac_options aopt;
+    aopt.threads = opt.threads;
+    aopt.adaptive = opt.adaptive;
+    aopt.fit_tol = opt.fit_tol;
+    aopt.anchors_per_decade = opt.anchors_per_decade;
+    aopt.tuning = tuning_from_cli(opt);
+    const spice::ac_result res = spice::ac_sweep(c, grid, op.solution, aopt);
+    const std::vector<real>& freqs = res.freq_hz;
+    const std::vector<cplx> h = spice::node_response(c, res, opt.node);
     const std::vector<real> mag_db = spice::db20(h);
     const std::vector<real> phase = spice::phase_deg_unwrapped(h);
 
@@ -147,6 +149,7 @@ int cmd_stability(spice::circuit& c, const cli_options& opt)
     sopt.adaptive = opt.adaptive;
     sopt.fit_tol = opt.fit_tol;
     sopt.anchors_per_decade = opt.anchors_per_decade;
+    sopt.tuning = tuning_from_cli(opt);
     core::stability_analyzer an(c, sopt);
 
     if (!opt.node.empty()) {
@@ -181,6 +184,7 @@ int cmd_impedance(spice::circuit& c, const cli_options& opt)
     iopt.adaptive = opt.adaptive;
     iopt.fit_tol = opt.fit_tol;
     iopt.anchors_per_decade = opt.anchors_per_decade;
+    iopt.tuning = tuning_from_cli(opt);
     if (!opt.source.empty())
         iopt.source_elements = parse_name_list(opt.source);
     const analysis::impedance_result res = analysis::analyze_impedance(c, opt.node, iopt);
@@ -211,6 +215,7 @@ int cmd_impedance(spice::circuit& c, const cli_options& opt)
     sopt.adaptive = opt.adaptive;
     sopt.fit_tol = opt.fit_tol;
     sopt.anchors_per_decade = opt.anchors_per_decade;
+    sopt.tuning = tuning_from_cli(opt);
     core::stability_analyzer an(c, sopt);
     std::fputs(core::format_node_summary(an.analyze_node(opt.node)).c_str(), stdout);
 
@@ -256,6 +261,7 @@ int cmd_loopgain(spice::circuit& c, const cli_options& opt)
     lopt.adaptive = opt.adaptive;
     lopt.fit_tol = opt.fit_tol;
     lopt.anchors_per_decade = opt.anchors_per_decade;
+    lopt.tuning = tuning_from_cli(opt);
     const analysis::loop_gain_result lg
         = analysis::measure_loop_gain(c, opt.probe, freqs, lopt);
     if (opt.csv) {
@@ -328,6 +334,41 @@ int cmd_run(spice::parsed_netlist& net, const cli_options& base)
     return 0;
 }
 
+/// acstab gen ladder|rcmesh --size N [--out FILE] [band opts]: emit a
+/// generated stress netlist (the size-scaling bench corpus) to --out or
+/// stdout. Takes no input netlist, so it dispatches before the loader.
+int cmd_gen(int argc, char** argv)
+{
+    const cli_options opt = parse_cli_options(argc - 2, argv + 2,
+                                              /*allow_positionals=*/true);
+    if (opt.positionals.size() != 1)
+        throw analysis_error("gen: usage: acstab gen ladder|rcmesh --size N [--out FILE]");
+    gen::gen_options gopt;
+    if (opt.size != 0)
+        gopt.size = opt.size;
+    if (opt.fstart_set)
+        gopt.fstart = opt.fstart;
+    if (opt.fstop_set)
+        gopt.fstop = opt.fstop;
+    if (opt.ppd_set)
+        gopt.points_per_decade = opt.ppd;
+    const std::string text = gen::generate_netlist(opt.positionals[0], gopt);
+    if (opt.out.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return 0;
+    }
+    std::ofstream out(opt.out, std::ios::binary);
+    if (!out)
+        throw analysis_error("cannot write file '" + opt.out + "'");
+    out << text;
+    out.flush();
+    if (!out)
+        throw analysis_error("write to '" + opt.out + "' failed");
+    std::printf("wrote %s netlist (%zu target nodes) -> %s\n", opt.positionals[0].c_str(),
+                gopt.size, opt.out.c_str());
+    return 0;
+}
+
 /// Read a whole file (farm plan / shard documents).
 [[nodiscard]] std::string read_file(const std::string& path)
 {
@@ -367,6 +408,7 @@ int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
     spec.adaptive = opt.adaptive;
     spec.fit_tol = opt.fit_tol;
     spec.anchors_per_decade = opt.anchors_per_decade;
+    spec.tuning = tuning_from_cli(opt);
     if (opt.analysis == "impedance")
         spec.analysis = farm::campaign_analysis::impedance;
     else if (!opt.analysis.empty() && opt.analysis != "stability")
@@ -527,6 +569,8 @@ void print_usage()
     std::puts("  run         execute the netlist's .op/.ac/.tran/.stability cards;");
     std::puts("              .ac/.tran cards need --node to pick the plotted output,");
     std::puts("              and sweep options below apply per card");
+    std::puts("  gen         emit a generated stress netlist to --out or stdout:");
+    std::puts("              gen ladder|rcmesh --size N [--fstart/--fstop/--ppd]");
     std::puts("  farm        corner/TEMP campaigns, shardable across processes:");
     std::puts("              plan  <netlist> --node N [--temps T,..] [--corner n:p=v,..]*");
     std::puts("                    [--param p=v1,v2,..]* [sweep opts] [--out plan.json]");
@@ -540,6 +584,8 @@ void print_usage()
     std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
     std::puts("  --adaptive (rational-fit adaptive grid: factor 5-10x fewer points)");
     std::puts("  --fit-tol TOL --anchors-per-decade N (adaptive sweep tuning)");
+    std::puts("  --order amd|count|none (sparse column pre-ordering; default amd)");
+    std::puts("  --no-simd (scalar batched solves) --warm (warm-started refactorization)");
     std::puts("  --temps/--corner/--param (campaign grid) --shard k/N --out FILE --table");
 }
 
@@ -559,6 +605,8 @@ int main(int argc, char** argv)
         }
         if (command == "farm")
             return cmd_farm(argc, argv);
+        if (command == "gen")
+            return cmd_gen(argc, argv);
         // The netlist is the command's one free positional, so flags may
         // come before or after it; a second bare token is still an error
         // (mistyped flag values must not silently become netlist paths).

@@ -32,6 +32,14 @@ struct cli_options {
     bool csv = false;
     bool annotate = false;
     bool all_nodes = false;
+    /// Sparse-solver tuning: --order amd|count|none column pre-ordering
+    /// (empty = the default, amd), --no-simd scalar batch kernel,
+    /// --warm frequency-coherence warm-started refactorization.
+    std::string order;
+    bool no_simd = false;
+    bool warm = false;
+    /// Target circuit node count for `acstab gen` (--size).
+    std::size_t size = 0;
     /// Whether the band/density flags were given explicitly (campaign
     /// planning falls back to the netlist's .stability card otherwise).
     bool fstart_set = false;

@@ -1,0 +1,333 @@
+// Solver-mode equivalence: the ordering / SIMD-kernel / warm-start axes
+// of engine::solver_tuning are performance knobs, never answer knobs.
+// Every shipped netlist must produce the same verdicts (margins within
+// tolerance, farm reports byte-identical) under amd/count/none ordering
+// and SIMD/scalar kernels at 1 and 4 threads, and warm-started sweeps
+// must honor the same backward-error contract as cold factorization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "engine/linearized_snapshot.h"
+#include "engine/sweep_engine.h"
+#include "farm/campaign.h"
+#include "farm/executor.h"
+#include "gen/netlist_gen.h"
+#include "numeric/interpolation.h"
+#include "spice/dc_analysis.h"
+#include "spice/parser/netlist_parser.h"
+
+#ifndef ACSTAB_NETLIST_DIR
+#define ACSTAB_NETLIST_DIR "netlists"
+#endif
+
+namespace {
+
+using namespace acstab;
+
+std::string netlist(const char* name)
+{
+    return std::string(ACSTAB_NETLIST_DIR) + "/" + name;
+}
+
+const char* const shipped[] = {"follower.sp", "rlc_tank.sp", "three_pole_loop.sp",
+                               "two_pole_loop.sp"};
+
+core::stability_report report_for(const char* name, engine::solver_tuning tuning,
+                                  std::size_t threads)
+{
+    spice::parsed_netlist net = spice::parse_netlist_file(netlist(name));
+    core::stability_options opt;
+    opt.threads = threads;
+    opt.tuning = tuning;
+    core::stability_analyzer an(net.ckt, opt);
+    return an.analyze_all_nodes();
+}
+
+void expect_equivalent(const core::stability_report& ref, const core::stability_report& got,
+                       const std::string& label)
+{
+    ASSERT_EQ(got.nodes.size(), ref.nodes.size()) << label;
+    ASSERT_EQ(got.skipped_nodes, ref.skipped_nodes) << label;
+    for (std::size_t i = 0; i < ref.nodes.size(); ++i) {
+        const core::node_stability& r = ref.nodes[i];
+        // Reports sort nodes by natural frequency; nodes whose frequencies
+        // agree to rounding may legally swap places between solver modes,
+        // so match records by name rather than position.
+        const auto match = std::find_if(got.nodes.begin(), got.nodes.end(),
+                                        [&r](const core::node_stability& n) {
+                                            return n.node == r.node;
+                                        });
+        ASSERT_NE(match, got.nodes.end()) << label << " node " << r.node;
+        const core::node_stability& g = *match;
+        ASSERT_EQ(g.has_peak, r.has_peak) << label << " node " << r.node;
+        ASSERT_EQ(g.is_underdamped, r.is_underdamped) << label << " node " << r.node;
+        if (!r.has_peak)
+            continue;
+        EXPECT_NEAR(g.dominant.freq_hz, r.dominant.freq_hz, 1e-6 * r.dominant.freq_hz)
+            << label << " node " << r.node;
+        EXPECT_NEAR(g.zeta, r.zeta, 1e-6 * std::max(r.zeta, real{1e-6}))
+            << label << " node " << r.node;
+        EXPECT_NEAR(g.phase_margin_est_deg, r.phase_margin_est_deg, 1e-3)
+            << label << " node " << r.node;
+    }
+    ASSERT_EQ(got.loops.size(), ref.loops.size()) << label;
+}
+
+/// AMD vs count vs none orderings and SIMD vs scalar kernels on every
+/// shipped netlist, each at 1 and 4 threads, against the default-tuning
+/// serial reference: identical verdicts, margins within tolerance.
+TEST(solver_modes, ordering_and_kernel_equivalence_on_shipped_netlists)
+{
+    struct mode {
+        const char* name;
+        numeric::column_ordering ordering;
+        bool simd;
+    };
+    const mode modes[] = {
+        {"amd", numeric::column_ordering::amd, true},
+        {"count", numeric::column_ordering::count, true},
+        {"none", numeric::column_ordering::none, true},
+        {"amd-scalar", numeric::column_ordering::amd, false},
+    };
+
+    for (const char* name : shipped) {
+        const core::stability_report ref = report_for(name, {}, 1);
+        for (const mode& m : modes)
+            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                engine::solver_tuning tuning;
+                tuning.ordering = m.ordering;
+                tuning.simd = m.simd;
+                expect_equivalent(ref, report_for(name, tuning, threads),
+                                  std::string(name) + " " + m.name + " threads="
+                                      + std::to_string(threads));
+            }
+    }
+}
+
+// ---- raw-engine agreement on a generated mesh ------------------------------
+
+struct sweep_capture {
+    std::vector<std::vector<std::vector<cplx>>> sol; ///< [fi][ri][unknown]
+};
+
+sweep_capture run_engine(const engine::linearized_snapshot& snap,
+                         const std::vector<real>& freqs,
+                         const std::vector<engine::sweep_engine::injection>& injections,
+                         engine::solver_tuning tuning, std::size_t threads,
+                         engine::sweep_stats* stats = nullptr)
+{
+    engine::sweep_engine_options opt;
+    opt.threads = threads;
+    opt.tuning = tuning;
+    opt.stats = stats;
+    const engine::sweep_engine eng(opt);
+    sweep_capture cap;
+    cap.sol.assign(freqs.size(),
+                   std::vector<std::vector<cplx>>(injections.size(),
+                                                  std::vector<cplx>(snap.size())));
+    eng.run_injections(snap, freqs, injections,
+                       [&cap](std::size_t fi, std::size_t ri, std::span<const cplx> s) {
+                           cap.sol[fi][ri].assign(s.begin(), s.end());
+                       });
+    return cap;
+}
+
+real max_rel_diff(const sweep_capture& a, const sweep_capture& b)
+{
+    real scale = 0.0;
+    for (const auto& per_freq : a.sol)
+        for (const auto& col : per_freq)
+            for (const cplx& v : col)
+                scale = std::max(scale, std::abs(v));
+    real diff = 0.0;
+    for (std::size_t fi = 0; fi < a.sol.size(); ++fi)
+        for (std::size_t ri = 0; ri < a.sol[fi].size(); ++ri)
+            for (std::size_t k = 0; k < a.sol[fi][ri].size(); ++k)
+                diff = std::max(diff, std::abs(a.sol[fi][ri][k] - b.sol[fi][ri][k]));
+    return diff / std::max(scale, real{1e-300});
+}
+
+engine::linearized_snapshot mesh_snapshot(spice::parsed_netlist& net, std::size_t size)
+{
+    gen::gen_options gopt;
+    gopt.size = size;
+    net = spice::parse_netlist(gen::rcmesh_netlist(gopt));
+    net.ckt.finalize();
+    const std::vector<real> op = spice::dc_operating_point(net.ckt).solution;
+    engine::snapshot_options sopt;
+    sopt.zero_all_sources = true;
+    return engine::linearized_snapshot(net.ckt, op, sopt);
+}
+
+TEST(solver_modes, simd_and_scalar_kernels_agree_on_generated_mesh)
+{
+    spice::parsed_netlist net;
+    const engine::linearized_snapshot snap = mesh_snapshot(net, 64);
+    const std::vector<real> freqs = numeric::log_grid(1e4, 1e7, 12);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < snap.size(); ++k)
+        injections.push_back({k, cplx{1.0, 0.0}});
+
+    engine::solver_tuning simd_on;
+    engine::solver_tuning simd_off;
+    simd_off.simd = false;
+    const sweep_capture ref = run_engine(snap, freqs, injections, simd_off, 1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const sweep_capture simd = run_engine(snap, freqs, injections, simd_on, threads);
+        EXPECT_LE(max_rel_diff(ref, simd), 1e-12) << "threads=" << threads;
+    }
+}
+
+/// Warm-started sweeps on a frequency grid inside the eligibility window
+/// must (a) actually adopt stale factors, (b) agree with the cold sweep,
+/// and (c) leave every solution inside the cold path's backward-error
+/// contract: max|b - Yx| <= refactor_guard_tol * (max|Y| max|x| + max|b|).
+TEST(solver_modes, warm_start_agrees_with_cold_and_honors_backward_error_contract)
+{
+    spice::parsed_netlist net;
+    const engine::linearized_snapshot snap = mesh_snapshot(net, 100);
+    // 40 points/decade: step ratio 1.059 < warm_ratio_limit 1.1, so the
+    // serial sweep alternates cold anchors and warm-started points.
+    const std::vector<real> freqs = numeric::log_grid(1e5, 1e6, 40);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < snap.size(); k += 13)
+        injections.push_back({k, cplx{1.0, 0.0}});
+
+    engine::solver_tuning cold;
+    engine::solver_tuning warm;
+    warm.warm_start = true;
+    engine::sweep_stats stats;
+    const sweep_capture cref = run_engine(snap, freqs, injections, cold, 1);
+    const sweep_capture wres = run_engine(snap, freqs, injections, warm, 1, &stats);
+
+    EXPECT_GT(stats.warm_accepts.load(), 0u);
+    EXPECT_GT(stats.warm_refinements.load(), 0u);
+    EXPECT_EQ(stats.cold_factors.load() + stats.warm_accepts.load(), freqs.size());
+    // Both paths satisfy a 1e-10 backward-error contract; the forward
+    // difference additionally carries the system's condition number.
+    EXPECT_LE(max_rel_diff(cref, wres), 1e-6);
+
+    const real guard_tol = engine::sweep_engine_options{}.refactor_guard_tol;
+    numeric::csc_matrix<cplx> work = snap.make_workspace();
+    std::vector<cplx> y(snap.size());
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+        snap.assemble(to_omega(freqs[fi]), work);
+        real ymax = 0.0;
+        for (const cplx& v : work.values())
+            ymax = std::max(ymax, std::abs(v));
+        for (std::size_t ri = 0; ri < injections.size(); ++ri) {
+            const std::vector<cplx>& x = wres.sol[fi][ri];
+            work.multiply_into(x.data(), y.data());
+            real residual = 0.0;
+            real xmax = 0.0;
+            for (std::size_t i = 0; i < y.size(); ++i) {
+                const cplx b = i == injections[ri].index ? cplx{1.0, 0.0} : cplx{};
+                residual = std::max(residual, std::abs(b - y[i]));
+                xmax = std::max(xmax, std::abs(x[i]));
+            }
+            EXPECT_LE(residual, guard_tol * (ymax * xmax + 1.0))
+                << "f=" << freqs[fi] << " rhs=" << ri;
+        }
+    }
+}
+
+/// The adaptive analyzer path forwards the tuning too: warm-started
+/// adaptive stability analysis reproduces the cold adaptive margins.
+TEST(solver_modes, adaptive_analysis_warm_start_matches_cold)
+{
+    spice::parsed_netlist net = spice::parse_netlist_file(netlist("rlc_tank.sp"));
+    core::stability_options opt;
+    opt.sweep.fstart = 1e4;
+    opt.sweep.fstop = 1e8;
+    opt.adaptive = true;
+    core::stability_analyzer cold_an(net.ckt, opt);
+    const core::node_stability cold = cold_an.analyze_node("tank");
+
+    opt.tuning.warm_start = true;
+    core::stability_analyzer warm_an(net.ckt, opt);
+    const core::node_stability warm = warm_an.analyze_node("tank");
+
+    ASSERT_TRUE(cold.has_peak);
+    ASSERT_TRUE(warm.has_peak);
+    EXPECT_NEAR(warm.zeta, cold.zeta, 1e-3 * cold.zeta);
+    EXPECT_NEAR(warm.dominant.freq_hz, cold.dominant.freq_hz, 1e-3 * cold.dominant.freq_hz);
+    EXPECT_NEAR(warm.phase_margin_est_deg, cold.phase_margin_est_deg, 0.1);
+}
+
+// ---- farm-report byte identity ---------------------------------------------
+
+farm::campaign_spec tank_campaign(engine::solver_tuning tuning)
+{
+    farm::campaign_spec spec;
+    spec.netlist = netlist("rlc_tank.sp");
+    spec.node = "tank";
+    spec.fstart = 1e4;
+    spec.fstop = 1e8;
+    spec.points_per_decade = 40;
+    spec.grid.temps = {0.0, 50.0};
+    spec.tuning = tuning;
+    return spec;
+}
+
+std::string farm_table(engine::solver_tuning tuning, std::size_t threads)
+{
+    const farm::campaign_spec spec = tank_campaign(tuning);
+    const std::vector<farm::point_record> records = farm::run_shard(spec, 0, 1, threads);
+    return farm::format_report(
+        farm::merge_shards(spec, {farm::shard_to_json(spec, 0, 1, records)}));
+}
+
+/// Solver internals must not leak into reported results: the formatted
+/// farm report of a small campaign is byte-identical across orderings,
+/// kernels and point-level thread counts.
+TEST(solver_modes, farm_reports_are_byte_identical_across_solver_modes)
+{
+    const std::string ref = farm_table({}, 1);
+    EXPECT_NE(ref.find("corner-farm campaign report, node 'tank'"), std::string::npos);
+
+    for (const numeric::column_ordering ordering :
+         {numeric::column_ordering::none, numeric::column_ordering::count,
+          numeric::column_ordering::amd})
+        for (const bool simd : {false, true})
+            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                engine::solver_tuning tuning;
+                tuning.ordering = ordering;
+                tuning.simd = simd;
+                EXPECT_EQ(farm_table(tuning, threads), ref)
+                    << "ordering=" << static_cast<int>(ordering) << " simd=" << simd
+                    << " threads=" << threads;
+            }
+}
+
+/// The plan file pins the tuning: non-default knobs round-trip through
+/// JSON, and a default-tuning plan keeps its pre-tuning bytes (no new
+/// fields appear).
+TEST(solver_modes, campaign_tuning_round_trips_and_default_plan_bytes_are_stable)
+{
+    const farm::campaign_spec plain = tank_campaign({});
+    const std::string plain_bytes = farm::to_json(plain).dump();
+    EXPECT_EQ(plain_bytes.find("\"order\""), std::string::npos);
+    EXPECT_EQ(plain_bytes.find("\"simd\""), std::string::npos);
+    EXPECT_EQ(plain_bytes.find("\"warm\""), std::string::npos);
+
+    engine::solver_tuning tuning;
+    tuning.ordering = numeric::column_ordering::count;
+    tuning.simd = false;
+    tuning.warm_start = true;
+    const farm::campaign_spec spec = tank_campaign(tuning);
+    const farm::campaign_spec back
+        = farm::campaign_from_json(farm::json_value::parse(farm::to_json(spec).dump()));
+    EXPECT_EQ(back.tuning.ordering, numeric::column_ordering::count);
+    EXPECT_FALSE(back.tuning.simd);
+    EXPECT_TRUE(back.tuning.warm_start);
+    EXPECT_EQ(farm::to_json(back).dump(), farm::to_json(spec).dump());
+}
+
+} // namespace

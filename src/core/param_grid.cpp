@@ -135,4 +135,141 @@ param_grid grid_from_netlist_cards(const spice::parsed_netlist& net)
     return grid;
 }
 
+lease_ledger::lease_ledger(std::size_t total)
+    : state_(total, point_state::pending), attempts_(total, 0), pending_(total)
+{
+}
+
+void lease_ledger::check_index(std::size_t index) const
+{
+    if (index >= state_.size())
+        throw analysis_error("lease ledger: point index " + std::to_string(index)
+                             + " out of range (grid has " + std::to_string(state_.size())
+                             + " points)");
+}
+
+std::size_t& lease_ledger::bucket(point_state s)
+{
+    switch (s) {
+    case point_state::pending: return pending_;
+    case point_state::leased: return leased_;
+    case point_state::cooling: return cooling_;
+    case point_state::done: return done_;
+    case point_state::quarantined: return quarantined_;
+    }
+    return pending_; // unreachable
+}
+
+void lease_ledger::move(std::size_t index, point_state to)
+{
+    --bucket(state_[index]);
+    state_[index] = to;
+    ++bucket(to);
+}
+
+std::optional<point_lease> lease_ledger::grant(std::size_t limit)
+{
+    if (pending_ == 0 || limit == 0)
+        return std::nullopt;
+    while (cursor_ < state_.size() && state_[cursor_] != point_state::pending)
+        ++cursor_;
+    std::size_t begin = cursor_;
+    if (begin == state_.size()) {
+        // A released (retry) point sits below the cursor; scan for it.
+        begin = 0;
+        while (state_[begin] != point_state::pending)
+            ++begin;
+    }
+    std::size_t end = begin;
+    while (end < state_.size() && end - begin < limit
+           && state_[end] == point_state::pending) {
+        move(end, point_state::leased);
+        ++end;
+    }
+    if (begin == cursor_)
+        cursor_ = end;
+    return point_lease{begin, end};
+}
+
+void lease_ledger::complete(std::size_t index)
+{
+    check_index(index);
+    if (state_[index] == point_state::done)
+        return;
+    if (state_[index] == point_state::quarantined)
+        throw analysis_error("lease ledger: point " + std::to_string(index)
+                             + " completed after quarantine");
+    move(index, point_state::done);
+}
+
+std::size_t lease_ledger::fail(std::size_t index)
+{
+    check_index(index);
+    if (state_[index] != point_state::leased)
+        throw analysis_error("lease ledger: failure reported for unleased point "
+                             + std::to_string(index));
+    move(index, point_state::cooling);
+    return ++attempts_[index];
+}
+
+void lease_ledger::release(std::size_t index)
+{
+    check_index(index);
+    if (state_[index] != point_state::cooling)
+        throw analysis_error("lease ledger: release of a point that is not cooling: "
+                             + std::to_string(index));
+    move(index, point_state::pending);
+    cursor_ = std::min(cursor_, index);
+}
+
+void lease_ledger::requeue(std::size_t index)
+{
+    check_index(index);
+    if (state_[index] != point_state::leased)
+        throw analysis_error("lease ledger: requeue of a point that is not leased: "
+                             + std::to_string(index));
+    move(index, point_state::pending);
+    cursor_ = std::min(cursor_, index);
+}
+
+void lease_ledger::quarantine(std::size_t index)
+{
+    check_index(index);
+    if (state_[index] == point_state::done)
+        throw analysis_error("lease ledger: quarantine of a completed point "
+                             + std::to_string(index));
+    if (state_[index] == point_state::quarantined)
+        return;
+    move(index, point_state::quarantined);
+}
+
+void lease_ledger::reset_quarantined()
+{
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (state_[i] != point_state::quarantined)
+            continue;
+        attempts_[i] = 0;
+        move(i, point_state::pending);
+        cursor_ = std::min(cursor_, i);
+    }
+}
+
+std::size_t lease_ledger::attempts(std::size_t index) const
+{
+    check_index(index);
+    return attempts_[index];
+}
+
+bool lease_ledger::is_done(std::size_t index) const
+{
+    check_index(index);
+    return state_[index] == point_state::done;
+}
+
+bool lease_ledger::is_quarantined(std::size_t index) const
+{
+    check_index(index);
+    return state_[index] == point_state::quarantined;
+}
+
 } // namespace acstab::core

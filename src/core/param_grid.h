@@ -85,6 +85,87 @@ struct circuit_template {
 /// campaign cards (no param axes; add those from CLI flags).
 [[nodiscard]] param_grid grid_from_netlist_cards(const spice::parsed_netlist& net);
 
+/// A contiguous run of global point indices handed to one worker.
+struct point_lease {
+    std::size_t begin = 0;
+    std::size_t end = 0; ///< exclusive
+    [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Work-stealing lease accounting over a grid's [0, total) index space.
+///
+/// The farm orchestrator grants small contiguous leases to whichever
+/// worker is idle (adaptive points have wildly uneven cost, so fixed
+/// contiguous slices strand slow shards behind fast ones) and feeds the
+/// outcome of every point back in. The ledger is a pure state machine —
+/// no clocks, no I/O — so retry backoff and journal persistence stay in
+/// the orchestrator and the transition rules are unit-testable:
+///
+///   pending --grant--> leased --complete--> done
+///                      leased --fail------> cooling (attempt recorded)
+///                      cooling --release--> pending   (backoff expired)
+///                      leased/cooling --quarantine--> quarantined
+///
+/// complete() is also accepted from the pending/cooling states so a
+/// resume scan (or a record appended by a worker that died before its
+/// acknowledgment arrived) can mark recovered work finished.
+class lease_ledger {
+public:
+    explicit lease_ledger(std::size_t total);
+
+    /// Lease up to `limit` contiguous pending points starting at the
+    /// lowest pending index; nullopt when nothing is pending.
+    [[nodiscard]] std::optional<point_lease> grant(std::size_t limit);
+
+    /// Point finished (record durably appended). Allowed from any
+    /// non-quarantined state; idempotent when already done.
+    void complete(std::size_t index);
+    /// Attempt failed (worker crash / timeout); moves the point to
+    /// cooling and returns its cumulative attempt count.
+    std::size_t fail(std::size_t index);
+    /// Backoff expired: cooling -> pending, eligible for grant() again.
+    void release(std::size_t index);
+    /// A dead worker's lease points that it never started: leased ->
+    /// pending with no attempt penalty (only the in-flight point fails).
+    void requeue(std::size_t index);
+    /// Retry budget exhausted; terminal until reset_quarantined().
+    void quarantine(std::size_t index);
+    /// Resume gives quarantined points a fresh chance: quarantined ->
+    /// pending with the attempt counter cleared.
+    void reset_quarantined();
+
+    [[nodiscard]] std::size_t total() const noexcept { return state_.size(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+    [[nodiscard]] std::size_t leased() const noexcept { return leased_; }
+    [[nodiscard]] std::size_t cooling() const noexcept { return cooling_; }
+    [[nodiscard]] std::size_t done() const noexcept { return done_; }
+    [[nodiscard]] std::size_t quarantined() const noexcept { return quarantined_; }
+    /// Points not yet resolved (pending + leased + cooling).
+    [[nodiscard]] std::size_t unresolved() const noexcept
+    {
+        return state_.size() - done_ - quarantined_;
+    }
+    [[nodiscard]] std::size_t attempts(std::size_t index) const;
+    [[nodiscard]] bool is_done(std::size_t index) const;
+    [[nodiscard]] bool is_quarantined(std::size_t index) const;
+
+private:
+    enum class point_state : unsigned char { pending, leased, cooling, done, quarantined };
+
+    void check_index(std::size_t index) const;
+    void move(std::size_t index, point_state to);
+    [[nodiscard]] std::size_t& bucket(point_state s);
+
+    std::vector<point_state> state_;
+    std::vector<unsigned> attempts_;
+    std::size_t cursor_ = 0; ///< lowest index that might still be pending
+    std::size_t pending_ = 0;
+    std::size_t leased_ = 0;
+    std::size_t cooling_ = 0;
+    std::size_t done_ = 0;
+    std::size_t quarantined_ = 0;
+};
+
 } // namespace acstab::core
 
 #endif // ACSTAB_CORE_PARAM_GRID_H

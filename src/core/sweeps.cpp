@@ -116,6 +116,9 @@ std::string format_sweep(const std::vector<sweep_point_result>& points,
         } else if (p.status == point_status::analysis_failed) {
             std::snprintf(line, sizeof line, "%-12.4g (analysis failed: %.120s)\n",
                           p.parameter, p.error.c_str());
+        } else if (p.status == point_status::quarantined) {
+            std::snprintf(line, sizeof line, "%-12.4g (quarantined: %.120s)\n",
+                          p.parameter, p.error.c_str());
         } else if (!p.node.has_peak) {
             std::snprintf(line, sizeof line, "%-12.4g (no complex-pole peak)\n", p.parameter);
         } else {

@@ -25,9 +25,14 @@ namespace acstab::core {
 /// Per-point outcome classification. Anything but `ok` leaves the
 /// point's node result empty and its `error` text set.
 enum class point_status {
-    ok,             ///< analysis completed (node may still have no peak)
-    dc_failed,      ///< DC operating point did not converge
-    analysis_failed ///< any other analysis error (singular matrix, ...)
+    ok,              ///< analysis completed (node may still have no peak)
+    dc_failed,       ///< DC operating point did not converge
+    analysis_failed, ///< any other analysis error (singular matrix, ...)
+    /// The farm orchestrator exhausted the point's retry budget (worker
+    /// crash or wall-clock timeout on every attempt). Never produced by
+    /// the in-process sweep API — an in-process failure is classified as
+    /// one of the two statuses above.
+    quarantined
 };
 
 /// One grid point's outcome for the watched node.

@@ -12,15 +12,13 @@ namespace acstab::farm {
 
 namespace {
 
-    constexpr const char* shard_schema = "acstab-farm-shard-v1";
-    constexpr const char* report_schema = "acstab-farm-report-v1";
-
     [[nodiscard]] const char* status_name(core::point_status s)
     {
         switch (s) {
         case core::point_status::ok: return "ok";
         case core::point_status::dc_failed: return "dc_failed";
         case core::point_status::analysis_failed: return "failed";
+        case core::point_status::quarantined: return "quarantined";
         }
         return "failed";
     }
@@ -33,6 +31,8 @@ namespace {
             return core::point_status::dc_failed;
         if (s == "failed")
             return core::point_status::analysis_failed;
+        if (s == "quarantined")
+            return core::point_status::quarantined;
         throw analysis_error("farm: unknown record status '" + s + "'");
     }
 
@@ -76,74 +76,115 @@ namespace {
         return imp;
     }
 
-    [[nodiscard]] json_value record_to_json(const point_record& rec)
-    {
-        json_value obj = json_value::object();
-        obj.set("index", json_value::number(rec.index));
-        if (rec.point.temp_celsius)
-            obj.set("temp", json_value::number(*rec.point.temp_celsius));
-        if (!rec.point.corner.empty())
-            obj.set("corner", json_value::str(rec.point.corner));
-        obj.set("overrides", overrides_to_json(rec.point.overrides));
-        obj.set("label", json_value::str(rec.point.label()));
-        obj.set("status", json_value::str(status_name(rec.status)));
-        if (rec.status != core::point_status::ok) {
-            obj.set("error", json_value::str(rec.error));
-            return obj;
-        }
-        if (rec.impedance) {
-            obj.set("impedance", impedance_to_json(*rec.impedance));
-            return obj;
-        }
-        obj.set("has_peak", json_value::boolean(rec.has_peak));
-        if (rec.has_peak) {
-            obj.set("fn_hz", json_value::number(rec.fn_hz));
-            obj.set("peak", json_value::number(rec.peak));
-            obj.set("zeta", json_value::number(rec.zeta));
-            obj.set("phase_margin_deg", json_value::number(rec.phase_margin_deg));
-            obj.set("overshoot_pct", json_value::number(rec.overshoot_pct));
-        }
-        obj.set("freq_hz", reals_to_json(rec.freq_hz));
-        obj.set("magnitude", reals_to_json(rec.magnitude));
-        return obj;
-    }
-
-    [[nodiscard]] point_record record_from_json(const json_value& obj)
-    {
-        point_record rec;
-        rec.index = obj.at("index").as_index();
-        rec.point.index = rec.index;
-        if (const json_value* t = obj.find("temp"))
-            rec.point.temp_celsius = t->as_number();
-        if (const json_value* c = obj.find("corner"))
-            rec.point.corner = c->as_string();
-        for (const auto& [name, v] : obj.at("overrides").members())
-            rec.point.overrides[name] = v.as_number();
-        rec.status = status_from_name(obj.at("status").as_string());
-        if (rec.status != core::point_status::ok) {
-            rec.error = obj.at("error").as_string();
-            return rec;
-        }
-        if (const json_value* imp = obj.find("impedance")) {
-            rec.impedance = impedance_from_json(*imp);
-            return rec;
-        }
-        rec.has_peak = obj.at("has_peak").as_bool();
-        if (rec.has_peak) {
-            rec.fn_hz = obj.at("fn_hz").as_number();
-            rec.peak = obj.at("peak").as_number();
-            rec.zeta = obj.at("zeta").as_number();
-            rec.phase_margin_deg = obj.at("phase_margin_deg").as_number();
-            rec.overshoot_pct = obj.at("overshoot_pct").as_number();
-        }
-        rec.freq_hz = reals_from_json(obj.at("freq_hz"));
-        rec.magnitude = reals_from_json(obj.at("magnitude"));
-        return rec;
-    }
-
 } // namespace
 
+json_value point_record_to_json(const point_record& rec)
+{
+    json_value obj = json_value::object();
+    obj.set("index", json_value::number(rec.index));
+    if (rec.point.temp_celsius)
+        obj.set("temp", json_value::number(*rec.point.temp_celsius));
+    if (!rec.point.corner.empty())
+        obj.set("corner", json_value::str(rec.point.corner));
+    obj.set("overrides", overrides_to_json(rec.point.overrides));
+    obj.set("label", json_value::str(rec.point.label()));
+    obj.set("status", json_value::str(status_name(rec.status)));
+    if (rec.status != core::point_status::ok) {
+        obj.set("error", json_value::str(rec.error));
+        return obj;
+    }
+    if (rec.impedance) {
+        obj.set("impedance", impedance_to_json(*rec.impedance));
+        return obj;
+    }
+    obj.set("has_peak", json_value::boolean(rec.has_peak));
+    if (rec.has_peak) {
+        obj.set("fn_hz", json_value::number(rec.fn_hz));
+        obj.set("peak", json_value::number(rec.peak));
+        obj.set("zeta", json_value::number(rec.zeta));
+        obj.set("phase_margin_deg", json_value::number(rec.phase_margin_deg));
+        obj.set("overshoot_pct", json_value::number(rec.overshoot_pct));
+    }
+    obj.set("freq_hz", reals_to_json(rec.freq_hz));
+    obj.set("magnitude", reals_to_json(rec.magnitude));
+    return obj;
+}
+
+point_record point_record_from_json(const json_value& obj)
+{
+    point_record rec;
+    rec.index = obj.at("index").as_index();
+    rec.point.index = rec.index;
+    if (const json_value* t = obj.find("temp"))
+        rec.point.temp_celsius = t->as_number();
+    if (const json_value* c = obj.find("corner"))
+        rec.point.corner = c->as_string();
+    for (const auto& [name, v] : obj.at("overrides").members())
+        rec.point.overrides[name] = v.as_number();
+    rec.status = status_from_name(obj.at("status").as_string());
+    if (rec.status != core::point_status::ok) {
+        rec.error = obj.at("error").as_string();
+        return rec;
+    }
+    if (const json_value* imp = obj.find("impedance")) {
+        rec.impedance = impedance_from_json(*imp);
+        return rec;
+    }
+    rec.has_peak = obj.at("has_peak").as_bool();
+    if (rec.has_peak) {
+        rec.fn_hz = obj.at("fn_hz").as_number();
+        rec.peak = obj.at("peak").as_number();
+        rec.zeta = obj.at("zeta").as_number();
+        rec.phase_margin_deg = obj.at("phase_margin_deg").as_number();
+        rec.overshoot_pct = obj.at("overshoot_pct").as_number();
+    }
+    rec.freq_hz = reals_from_json(obj.at("freq_hz"));
+    rec.magnitude = reals_from_json(obj.at("magnitude"));
+    return rec;
+}
+
+
 namespace {
+
+    /// One impedance grid point, serially, every failure recorded.
+    [[nodiscard]] point_record run_impedance_point(const campaign_spec& spec,
+                                                   const core::circuit_template& tmpl,
+                                                   const analysis::impedance_options& opt,
+                                                   std::size_t index)
+    {
+        point_record rec;
+        rec.point = spec.grid.point(index);
+        rec.index = rec.point.index;
+        try {
+            spice::circuit c = std::move(tmpl.build(rec.point).ckt);
+            const analysis::impedance_result res
+                = analysis::analyze_impedance(c, spec.node, opt);
+            impedance_point_summary imp;
+            imp.stable = res.stable;
+            imp.encirclements = res.encirclements;
+            imp.nyquist_margin = res.nyquist_margin;
+            imp.nyquist_margin_freq_hz = res.nyquist_margin_freq_hz;
+            imp.has_unity_crossing = res.margins.has_unity_crossing;
+            imp.phase_margin_deg = res.margins.phase_margin_deg;
+            imp.has_phase_crossing = res.margins.has_phase_crossing;
+            imp.gain_margin_db = res.margins.gain_margin_db;
+            imp.freq_hz = res.freq_hz;
+            imp.lm_re.resize(res.minor_loop.size());
+            imp.lm_im.resize(res.minor_loop.size());
+            for (std::size_t k = 0; k < res.minor_loop.size(); ++k) {
+                imp.lm_re[k] = res.minor_loop[k].real();
+                imp.lm_im[k] = res.minor_loop[k].imag();
+            }
+            rec.impedance = std::move(imp);
+        } catch (const convergence_error& e) {
+            rec.status = core::point_status::dc_failed;
+            rec.error = e.what();
+        } catch (const error& e) {
+            rec.status = core::point_status::analysis_failed;
+            rec.error = e.what();
+        }
+        return rec;
+    }
 
     /// Impedance-campaign shard body: one analyze_impedance per point,
     /// points dispatched on the shared pool (per-point analysis serial,
@@ -160,39 +201,33 @@ namespace {
         eopt.threads = threads;
         const engine::sweep_engine eng(eopt);
         eng.for_each(records.size(), [&](std::size_t i) {
-            point_record& rec = records[i];
-            rec.point = spec.grid.point(range.begin + i);
-            rec.index = rec.point.index;
-            try {
-                spice::circuit c = std::move(tmpl.build(rec.point).ckt);
-                const analysis::impedance_result res
-                    = analysis::analyze_impedance(c, spec.node, point_opt);
-                impedance_point_summary imp;
-                imp.stable = res.stable;
-                imp.encirclements = res.encirclements;
-                imp.nyquist_margin = res.nyquist_margin;
-                imp.nyquist_margin_freq_hz = res.nyquist_margin_freq_hz;
-                imp.has_unity_crossing = res.margins.has_unity_crossing;
-                imp.phase_margin_deg = res.margins.phase_margin_deg;
-                imp.has_phase_crossing = res.margins.has_phase_crossing;
-                imp.gain_margin_db = res.margins.gain_margin_db;
-                imp.freq_hz = res.freq_hz;
-                imp.lm_re.resize(res.minor_loop.size());
-                imp.lm_im.resize(res.minor_loop.size());
-                for (std::size_t k = 0; k < res.minor_loop.size(); ++k) {
-                    imp.lm_re[k] = res.minor_loop[k].real();
-                    imp.lm_im[k] = res.minor_loop[k].imag();
-                }
-                rec.impedance = std::move(imp);
-            } catch (const convergence_error& e) {
-                rec.status = core::point_status::dc_failed;
-                rec.error = e.what();
-            } catch (const error& e) {
-                rec.status = core::point_status::analysis_failed;
-                rec.error = e.what();
-            }
+            records[i] = run_impedance_point(spec, tmpl, point_opt, range.begin + i);
         });
         return records;
+    }
+
+    /// One stability grid point as a point_record (shared by run_shard's
+    /// bulk path and the orchestrator's point_runner).
+    [[nodiscard]] point_record record_from_grid_result(const core::grid_point_result& res)
+    {
+        point_record rec;
+        rec.index = res.point.index;
+        rec.point = res.point;
+        rec.status = res.status;
+        rec.error = res.error;
+        if (res.status != core::point_status::ok)
+            return rec;
+        rec.has_peak = res.node.has_peak;
+        if (res.node.has_peak) {
+            rec.fn_hz = res.node.dominant.freq_hz;
+            rec.peak = res.node.dominant.value;
+            rec.zeta = res.node.zeta;
+            rec.phase_margin_deg = res.node.phase_margin_est_deg;
+            rec.overshoot_pct = res.node.overshoot_est_pct;
+        }
+        rec.freq_hz = res.node.plot.freq_hz;
+        rec.magnitude = res.node.plot.magnitude;
+        return rec;
     }
 
 } // namespace
@@ -216,27 +251,31 @@ std::vector<point_record> run_shard(const campaign_spec& spec, std::size_t shard
         spec.grid, range.begin, range.end, spec.stability_options(threads));
 
     std::vector<point_record> records(results.size());
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const core::grid_point_result& res = results[i];
-        point_record& rec = records[i];
-        rec.index = res.point.index;
-        rec.point = res.point;
-        rec.status = res.status;
-        rec.error = res.error;
-        if (res.status != core::point_status::ok)
-            continue;
-        rec.has_peak = res.node.has_peak;
-        if (res.node.has_peak) {
-            rec.fn_hz = res.node.dominant.freq_hz;
-            rec.peak = res.node.dominant.value;
-            rec.zeta = res.node.zeta;
-            rec.phase_margin_deg = res.node.phase_margin_est_deg;
-            rec.overshoot_pct = res.node.overshoot_est_pct;
-        }
-        rec.freq_hz = res.node.plot.freq_hz;
-        rec.magnitude = res.node.plot.magnitude;
-    }
+    for (std::size_t i = 0; i < results.size(); ++i)
+        records[i] = record_from_grid_result(results[i]);
     return records;
+}
+
+point_runner::point_runner(campaign_spec spec)
+    : spec_(std::move(spec)), tmpl_{spec_.netlist, ""}
+{
+    if (spec_.node.empty())
+        throw analysis_error("farm: campaign has no watched node");
+    (void)spec_.grid.size(); // validate the axes once, not per point
+}
+
+point_record point_runner::run(std::size_t index) const
+{
+    if (spec_.analysis == campaign_analysis::impedance)
+        return run_impedance_point(spec_, tmpl_, spec_.impedance_options(1), index);
+
+    const std::vector<core::grid_point_result> results = core::sweep_stability_grid(
+        [this](spice::circuit& c, const core::grid_point& pt) {
+            c = std::move(tmpl_.build(pt).ckt);
+            return spec_.node;
+        },
+        spec_.grid, index, index + 1, spec_.stability_options(1));
+    return record_from_grid_result(results.front());
 }
 
 json_value shard_to_json(const campaign_spec& spec, std::size_t shard,
@@ -254,7 +293,7 @@ json_value shard_to_json(const campaign_spec& spec, std::size_t shard,
     doc.set("shard", std::move(sh));
     json_value recs = json_value::array();
     for (const point_record& rec : records)
-        recs.push_back(record_to_json(rec));
+        recs.push_back(point_record_to_json(rec));
     doc.set("records", std::move(recs));
     return doc;
 }
@@ -266,7 +305,7 @@ std::vector<point_record> records_from_json(const json_value& shard_doc)
         throw analysis_error("farm: not an acstab shard result (bad schema field)");
     std::vector<point_record> records;
     for (const json_value& rec : shard_doc.at("records").items())
-        records.push_back(record_from_json(rec));
+        records.push_back(point_record_from_json(rec));
     return records;
 }
 

@@ -24,6 +24,10 @@
 
 namespace acstab::farm {
 
+/// Schema tags shared by shard documents and merged campaign reports.
+inline constexpr const char* shard_schema = "acstab-farm-shard-v1";
+inline constexpr const char* report_schema = "acstab-farm-report-v1";
+
 /// Impedance-campaign summary and raw samples of one grid point (present
 /// when the campaign's analysis kind is impedance and the point is ok).
 /// The raw minor-loop gain is stored as parallel re/im arrays so the
@@ -71,6 +75,28 @@ struct point_record {
 [[nodiscard]] std::vector<point_record> run_shard(const campaign_spec& spec,
                                                   std::size_t shard, std::size_t shard_count,
                                                   std::size_t threads = 1);
+
+/// One-point-at-a-time executor for the work-stealing farm workers: each
+/// call runs a single grid point serially and returns its record. Records
+/// are byte-identical (after point_record_to_json) to what run_shard
+/// produces for the same point — per-point analysis is independent and
+/// deterministic — which is the foundation of the orchestrator's
+/// retries-are-byte-safe and merge-byte-identity guarantees.
+class point_runner {
+public:
+    explicit point_runner(campaign_spec spec);
+    [[nodiscard]] point_record run(std::size_t index) const;
+    [[nodiscard]] const campaign_spec& spec() const noexcept { return spec_; }
+
+private:
+    campaign_spec spec_;
+    core::circuit_template tmpl_;
+};
+
+/// Canonical JSON form of one point record (the byte layout shard
+/// documents, JSONL shard streams and merged reports all share).
+[[nodiscard]] json_value point_record_to_json(const point_record& rec);
+[[nodiscard]] point_record point_record_from_json(const json_value& obj);
 
 /// Shard result document: campaign echo + slice + records.
 [[nodiscard]] json_value shard_to_json(const campaign_spec& spec, std::size_t shard,

@@ -1,0 +1,815 @@
+#include "farm/orchestrator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "core/param_grid.h"
+#include "farm/executor.h"
+#include "farm/shard_store.h"
+
+namespace acstab::farm {
+
+namespace {
+
+    using steady_clock = std::chrono::steady_clock;
+
+    constexpr const char* journal_schema = "acstab-farm-journal-v1";
+
+    [[nodiscard]] std::string errno_text()
+    {
+        return std::strerror(errno);
+    }
+
+    /// Locale-independent seconds formatting for error/journal text (the
+    /// quarantine error lands in the merged report, whose bytes must not
+    /// depend on the host locale).
+    [[nodiscard]] std::string format_seconds(real s)
+    {
+        return json_value::number(s).dump();
+    }
+
+    [[nodiscard]] std::string dirname_of(const std::string& path)
+    {
+        const std::size_t pos = path.rfind('/');
+        if (pos == std::string::npos)
+            return ".";
+        return pos == 0 ? "/" : path.substr(0, pos);
+    }
+
+    // ----- deterministic fault injection (ACSTAB_FAULT_INJECT) -----
+
+    struct fault_directive {
+        enum class kind { crash, stall, interrupt };
+        kind k = kind::crash;
+        std::size_t arg = 0;   ///< point index (crash/stall) or count (interrupt)
+        real seconds = 30.0;   ///< stall duration
+        bool always = false;   ///< repeat on every attempt (default: fire once)
+    };
+
+    [[nodiscard]] std::vector<fault_directive> parse_fault_env()
+    {
+        std::vector<fault_directive> out;
+        const char* env = std::getenv("ACSTAB_FAULT_INJECT");
+        if (env == nullptr || *env == '\0')
+            return out;
+        std::string text = env;
+        std::size_t start = 0;
+        while (start <= text.size()) {
+            std::size_t comma = text.find(',', start);
+            if (comma == std::string::npos)
+                comma = text.size();
+            const std::string token = text.substr(start, comma - start);
+            start = comma + 1;
+            if (token.empty())
+                continue;
+            std::vector<std::string> fields;
+            std::size_t fs = 0;
+            while (fs <= token.size()) {
+                std::size_t colon = token.find(':', fs);
+                if (colon == std::string::npos)
+                    colon = token.size();
+                fields.push_back(token.substr(fs, colon - fs));
+                fs = colon + 1;
+            }
+            if (fields.size() < 2)
+                throw analysis_error("farm: bad ACSTAB_FAULT_INJECT directive '" + token
+                                     + "' (want kind:arg[:seconds][:always])");
+            fault_directive d;
+            if (fields[0] == "crash")
+                d.k = fault_directive::kind::crash;
+            else if (fields[0] == "stall")
+                d.k = fault_directive::kind::stall;
+            else if (fields[0] == "interrupt")
+                d.k = fault_directive::kind::interrupt;
+            else
+                throw analysis_error("farm: unknown ACSTAB_FAULT_INJECT kind '" + fields[0]
+                                     + "' (crash, stall or interrupt)");
+            char* end = nullptr;
+            d.arg = std::strtoul(fields[1].c_str(), &end, 10);
+            if (end == fields[1].c_str() || *end != '\0')
+                throw analysis_error("farm: bad ACSTAB_FAULT_INJECT index in '" + token + "'");
+            for (std::size_t i = 2; i < fields.size(); ++i) {
+                if (fields[i] == "always") {
+                    d.always = true;
+                } else if (fields[i] == "once") {
+                    d.always = false;
+                } else {
+                    d.seconds = std::strtod(fields[i].c_str(), &end);
+                    if (end == fields[i].c_str() || *end != '\0')
+                        throw analysis_error("farm: bad ACSTAB_FAULT_INJECT field '"
+                                             + fields[i] + "' in '" + token + "'");
+                }
+            }
+            out.push_back(d);
+        }
+        return out;
+    }
+
+    /// Fire-once bookkeeping: creating the marker file with O_EXCL
+    /// succeeds exactly once per workdir, across processes and resumes —
+    /// so an injected fault's retry runs clean and the campaign still
+    /// converges to the byte-identical report.
+    [[nodiscard]] bool try_fire_marker(const std::string& dir, const char* kind,
+                                       std::size_t arg)
+    {
+        const std::string path
+            = dir + "/fault-" + kind + "-" + std::to_string(arg) + ".fired";
+        const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd < 0)
+            return false;
+        ::close(fd);
+        return true;
+    }
+
+    void sleep_seconds(real s)
+    {
+        if (s <= 0)
+            return;
+        timespec ts;
+        ts.tv_sec = static_cast<time_t>(s);
+        ts.tv_nsec = static_cast<long>((s - static_cast<real>(ts.tv_sec)) * 1e9);
+        while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) { }
+    }
+
+    /// Worker-side hook, called before each point runs.
+    void fault_point_hook(const std::vector<fault_directive>& faults,
+                          const std::string& marker_dir, std::size_t index)
+    {
+        for (const fault_directive& d : faults) {
+            if (d.arg != index)
+                continue;
+            switch (d.k) {
+            case fault_directive::kind::crash:
+                if (d.always || try_fire_marker(marker_dir, "crash", index))
+                    ::kill(::getpid(), SIGKILL);
+                break;
+            case fault_directive::kind::stall:
+                if (d.always || try_fire_marker(marker_dir, "stall", index))
+                    sleep_seconds(d.seconds);
+                break;
+            case fault_directive::kind::interrupt:
+                break; // orchestrator-side directive
+            }
+        }
+    }
+
+    // ----- journal -----
+
+    class journal_writer {
+    public:
+        journal_writer() = default;
+        ~journal_writer()
+        {
+            if (file_ != nullptr)
+                std::fclose(file_);
+        }
+        journal_writer(const journal_writer&) = delete;
+        journal_writer& operator=(const journal_writer&) = delete;
+
+        void open_append(const std::string& path)
+        {
+            file_ = std::fopen(path.c_str(), "ab");
+            if (file_ == nullptr)
+                throw analysis_error("farm: cannot open journal '" + path
+                                     + "': " + errno_text());
+        }
+
+        /// One flushed JSONL line per event; losing the tail on a crash
+        /// costs at worst repeated work (shard streams are authoritative).
+        void append(const json_value& event)
+        {
+            if (file_ == nullptr)
+                return;
+            const std::string line = event.dump() + "\n";
+            std::fwrite(line.data(), 1, line.size(), file_);
+            std::fflush(file_);
+        }
+
+    private:
+        std::FILE* file_ = nullptr;
+    };
+
+    // ----- worker process management -----
+
+    struct worker_proc {
+        pid_t pid = -1;
+        int to_fd = -1;   ///< orchestrator -> worker stdin
+        int from_fd = -1; ///< worker stdout -> orchestrator
+        std::size_t id = 0;
+        bool idle = true;
+        bool timed_out = false;
+        core::point_lease lease{0, 0};
+        std::size_t next_unacked = 0; ///< in-flight point (leases run in order)
+        steady_clock::time_point point_start{};
+        std::string buf; ///< partial protocol line
+    };
+
+    [[nodiscard]] std::string self_exe_path()
+    {
+        char buf[4096];
+        const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+        if (n <= 0)
+            throw analysis_error("farm: cannot resolve own executable path; "
+                                 "pass the tool path explicitly");
+        buf[n] = '\0';
+        return buf;
+    }
+
+    void set_cloexec(int fd)
+    {
+        const int flags = ::fcntl(fd, F_GETFD);
+        if (flags >= 0)
+            ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+    }
+
+    [[nodiscard]] worker_proc spawn_worker(const exec_options& opt,
+                                           const std::string& tool,
+                                           std::size_t id,
+                                           const std::string& shard_path)
+    {
+        int to_pipe[2];
+        int from_pipe[2];
+        if (::pipe(to_pipe) != 0)
+            throw analysis_error("farm: pipe: " + errno_text());
+        if (::pipe(from_pipe) != 0) {
+            ::close(to_pipe[0]);
+            ::close(to_pipe[1]);
+            throw analysis_error("farm: pipe: " + errno_text());
+        }
+        // Parent-held ends must not leak into sibling workers.
+        set_cloexec(to_pipe[1]);
+        set_cloexec(from_pipe[0]);
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(to_pipe[0]);
+            ::close(to_pipe[1]);
+            ::close(from_pipe[0]);
+            ::close(from_pipe[1]);
+            throw analysis_error("farm: fork: " + errno_text());
+        }
+        if (pid == 0) {
+            ::dup2(to_pipe[0], STDIN_FILENO);
+            ::dup2(from_pipe[1], STDOUT_FILENO);
+            ::close(to_pipe[0]);
+            ::close(from_pipe[1]);
+            const std::string id_str = std::to_string(id);
+            const char* argv[] = {
+                tool.c_str(),      "farm",         "worker",
+                opt.plan_path.c_str(), "--shard-file", shard_path.c_str(),
+                "--worker-id",     id_str.c_str(), nullptr,
+            };
+            ::execv(tool.c_str(), const_cast<char* const*>(argv));
+            std::fprintf(stderr, "farm worker: cannot exec '%s': %s\n", tool.c_str(),
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        worker_proc w;
+        w.pid = pid;
+        w.to_fd = to_pipe[1];
+        w.from_fd = from_pipe[0];
+        w.id = id;
+        return w;
+    }
+
+    /// worker-<id>.jsonl shard streams already present in the workdir,
+    /// id-sorted, plus the highest id seen (respawned workers continue
+    /// the numbering so no file is ever appended by two processes).
+    struct shard_file_listing {
+        std::vector<std::string> paths;
+        std::size_t next_id = 0;
+    };
+
+    [[nodiscard]] shard_file_listing list_shard_files(const std::string& workdir)
+    {
+        shard_file_listing out;
+        DIR* dir = ::opendir(workdir.c_str());
+        if (dir == nullptr)
+            return out;
+        std::vector<std::pair<std::size_t, std::string>> found;
+        while (dirent* ent = ::readdir(dir)) {
+            const std::string name = ent->d_name;
+            if (name.size() < std::strlen("worker-0.jsonl") || name.rfind("worker-", 0) != 0
+                || name.substr(name.size() - 6) != ".jsonl")
+                continue;
+            const std::string digits = name.substr(7, name.size() - 7 - 6);
+            if (digits.empty()
+                || digits.find_first_not_of("0123456789") != std::string::npos)
+                continue;
+            const std::size_t id = std::strtoul(digits.c_str(), nullptr, 10);
+            found.emplace_back(id, workdir + "/" + name);
+            out.next_id = std::max(out.next_id, id + 1);
+        }
+        ::closedir(dir);
+        std::sort(found.begin(), found.end());
+        for (auto& [id, path] : found)
+            out.paths.push_back(std::move(path));
+        return out;
+    }
+
+    [[nodiscard]] std::string describe_worker_death(int status)
+    {
+        if (WIFSIGNALED(status))
+            return "worker killed by signal " + std::to_string(WTERMSIG(status));
+        if (WIFEXITED(status))
+            return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+        return "worker stopped unexpectedly";
+    }
+
+} // namespace
+
+int run_worker(const campaign_spec& spec, const std::string& shard_path,
+               std::size_t worker_id)
+{
+    const std::vector<fault_directive> faults = parse_fault_env();
+    const std::string marker_dir = dirname_of(shard_path);
+    const point_runner runner(spec);
+    shard_writer writer(shard_path, spec, worker_id);
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        unsigned long begin = 0;
+        unsigned long end = 0;
+        if (std::sscanf(line.c_str(), "L %lu %lu", &begin, &end) != 2) {
+            std::fprintf(stderr, "farm worker: bad lease line '%s'\n", line.c_str());
+            return 2;
+        }
+        for (unsigned long i = begin; i < end; ++i) {
+            fault_point_hook(faults, marker_dir, i);
+            const point_record rec = runner.run(i);
+            // Durability before acknowledgment: the record is appended
+            // and flushed FIRST, so an ack always refers to a record
+            // that survives this process.
+            writer.append(rec);
+            std::printf("P %lu\n", i);
+            std::fflush(stdout);
+        }
+        std::printf("D %lu %lu\n", begin, end);
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
+{
+    const std::size_t total = spec.grid.size();
+    const std::string spec_bytes = to_json(spec).dump();
+    if (opt.workdir.empty())
+        throw analysis_error("farm exec: no working directory (--dir)");
+    if (opt.out.empty())
+        throw analysis_error("farm exec: no report path (--out)");
+    if (opt.plan_path.empty())
+        throw analysis_error("farm exec: no plan path for workers");
+    if (opt.max_attempts == 0)
+        throw analysis_error("farm exec: --retries must allow at least one attempt");
+    const std::size_t nworkers = std::min(std::max<std::size_t>(1, opt.workers), total);
+    const std::string tool = opt.tool_path.empty() ? self_exe_path() : opt.tool_path;
+
+    if (::mkdir(opt.workdir.c_str(), 0777) != 0 && errno != EEXIST)
+        throw analysis_error("farm exec: cannot create workdir '" + opt.workdir
+                             + "': " + errno_text());
+
+    // --- journal: create fresh (atomically) or verify + continue ---
+    const std::string journal_path = opt.workdir + "/journal.jsonl";
+    const bool journal_exists = ::access(journal_path.c_str(), F_OK) == 0;
+    if (journal_exists && !opt.resume)
+        throw analysis_error("farm exec: '" + opt.workdir
+                             + "' already holds a campaign journal; pass --resume to "
+                               "continue it or choose a fresh --dir");
+    if (!journal_exists && opt.resume)
+        throw analysis_error("farm exec: nothing to resume in '" + opt.workdir
+                             + "' (no journal)");
+    if (journal_exists) {
+        std::ifstream in(journal_path, std::ios::binary);
+        std::string header_line;
+        if (!std::getline(in, header_line))
+            throw analysis_error("farm exec: journal '" + journal_path + "' is empty");
+        const json_value header = parse_shard_document(header_line, journal_path);
+        const json_value* schema = header.find("schema");
+        if (schema == nullptr || schema->as_string() != journal_schema)
+            throw analysis_error("farm exec: '" + journal_path
+                                 + "' is not an acstab farm journal");
+        if (header.at("campaign").dump() != spec_bytes)
+            throw analysis_error("farm exec: the plan does not match the campaign "
+                                 "journaled in '" + opt.workdir
+                                 + "' (resume must use the original plan file)");
+    } else {
+        json_value header = json_value::object();
+        header.set("schema", json_value::str(journal_schema));
+        header.set("campaign", json_value::parse(spec_bytes));
+        header.set("workers", json_value::number(nworkers));
+        header.set("point_timeout_s", json_value::number(opt.point_timeout_s));
+        header.set("max_attempts", json_value::number(opt.max_attempts));
+        const std::string tmp = journal_path + ".tmp";
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        if (f == nullptr)
+            throw analysis_error("farm exec: cannot write '" + tmp + "': " + errno_text());
+        const std::string line = header.dump() + "\n";
+        const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size()
+            && std::fflush(f) == 0;
+        std::fclose(f);
+        if (!ok || std::rename(tmp.c_str(), journal_path.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            throw analysis_error("farm exec: cannot create journal '" + journal_path
+                                 + "': " + errno_text());
+        }
+    }
+    journal_writer journal;
+    journal.open_append(journal_path);
+
+    // --- recover completed points from existing shard streams ---
+    core::lease_ledger ledger(total);
+    shard_file_listing existing = list_shard_files(opt.workdir);
+    for (const std::string& path : existing.paths) {
+        const shard_stream_scan scan = scan_shard_stream(path, spec_bytes);
+        for (const stream_record_ref& ref : scan.records) {
+            if (ref.point >= total)
+                throw analysis_error("farm exec: shard file '" + path
+                                     + "' has record index " + std::to_string(ref.point)
+                                     + " outside the grid");
+            ledger.complete(ref.point);
+        }
+    }
+    std::size_t next_worker_id = existing.next_id;
+
+    const std::vector<fault_directive> faults = parse_fault_env();
+    const std::size_t chunk
+        = std::clamp<std::size_t>(total / (nworkers * 4), 1, 16);
+
+    {
+        json_value ev = json_value::object();
+        ev.set("ev", json_value::str("start"));
+        ev.set("resume", json_value::boolean(opt.resume));
+        ev.set("pending", json_value::number(ledger.unresolved()));
+        ev.set("workers", json_value::number(nworkers));
+        journal.append(ev);
+    }
+
+    // Writing a lease to a worker that died microseconds ago must not
+    // kill the orchestrator. Restored on every exit path.
+    struct sigpipe_guard {
+        struct sigaction old {};
+        sigpipe_guard()
+        {
+            struct sigaction ignore {};
+            ignore.sa_handler = SIG_IGN;
+            ::sigaction(SIGPIPE, &ignore, &old);
+        }
+        ~sigpipe_guard() { ::sigaction(SIGPIPE, &old, nullptr); }
+    } pipe_guard;
+
+    std::vector<worker_proc> workers;
+    // On ANY exit (including a thrown setup/journal error) no worker
+    // process may outlive the orchestrator.
+    struct fleet_guard {
+        std::vector<worker_proc>& fleet;
+        ~fleet_guard()
+        {
+            for (worker_proc& w : fleet) {
+                if (w.pid > 0) {
+                    ::kill(w.pid, SIGKILL);
+                    int status = 0;
+                    ::waitpid(w.pid, &status, 0);
+                }
+                if (w.to_fd >= 0)
+                    ::close(w.to_fd);
+                if (w.from_fd >= 0)
+                    ::close(w.from_fd);
+            }
+        }
+    } guard{workers};
+    std::vector<std::pair<steady_clock::time_point, std::size_t>> cooling;
+    std::map<std::size_t, std::string> quarantine_errors;
+    std::size_t completed_this_run = 0;
+    std::size_t idle_deaths = 0; ///< deaths with no lease: startup failures
+    bool interrupted = false;
+
+    const auto close_worker_fds = [](worker_proc& w) {
+        if (w.to_fd >= 0)
+            ::close(w.to_fd);
+        if (w.from_fd >= 0)
+            ::close(w.from_fd);
+        w.to_fd = w.from_fd = -1;
+    };
+
+    const auto user_interrupted = [&] {
+        return opt.interrupt != nullptr && *opt.interrupt != 0;
+    };
+
+    /// A worker died (crash, timeout kill, or premature exit): charge the
+    /// in-flight point one attempt, requeue the untouched lease tail,
+    /// reap the process.
+    const auto handle_death = [&](worker_proc& w) {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        close_worker_fds(w);
+        w.pid = -1;
+        const std::string reason = w.timed_out
+            ? "point exceeded " + format_seconds(opt.point_timeout_s)
+                + "s wall-clock timeout"
+            : describe_worker_death(status);
+        if (w.idle) {
+            // Death with no lease in hand is a startup failure (bad tool
+            // path, plan unreadable by the worker, ...). A few in a row
+            // means every respawn will fail too — abort instead of
+            // spinning the respawn loop forever.
+            if (++idle_deaths > nworkers * 3)
+                throw analysis_error("farm exec: workers keep dying before accepting "
+                                     "work (" + reason
+                                     + "); check the worker tool path and plan file");
+        }
+        if (!w.idle && w.next_unacked < w.lease.end) {
+            for (std::size_t i = w.next_unacked + 1; i < w.lease.end; ++i)
+                ledger.requeue(i);
+            const std::size_t inflight = w.next_unacked;
+            const std::size_t attempts = ledger.fail(inflight);
+            {
+                json_value ev = json_value::object();
+                ev.set("ev", json_value::str("fail"));
+                ev.set("point", json_value::number(inflight));
+                ev.set("attempt", json_value::number(attempts));
+                ev.set("error", json_value::str(reason));
+                journal.append(ev);
+            }
+            if (attempts >= opt.max_attempts) {
+                ledger.quarantine(inflight);
+                quarantine_errors[inflight] = "quarantined after "
+                    + std::to_string(attempts) + " failed attempts; last error: " + reason;
+                {
+                    json_value ev = json_value::object();
+                    ev.set("ev", json_value::str("quarantine"));
+                    ev.set("point", json_value::number(inflight));
+                    ev.set("error", json_value::str(quarantine_errors[inflight]));
+                    journal.append(ev);
+                }
+                if (opt.verbose) {
+                    std::printf("farm exec: point %zu quarantined (%s)\n", inflight,
+                                reason.c_str());
+                    std::fflush(stdout);
+                }
+            } else {
+                const std::size_t shift = std::min<std::size_t>(attempts - 1, 6);
+                const real delay = opt.backoff_s * static_cast<real>(1u << shift);
+                cooling.emplace_back(
+                    steady_clock::now()
+                        + std::chrono::microseconds(static_cast<long>(delay * 1e6)),
+                    inflight);
+                if (opt.verbose) {
+                    std::printf("farm exec: point %zu failed (%s), retry %zu/%zu\n",
+                                inflight, reason.c_str(), attempts + 1, opt.max_attempts);
+                    std::fflush(stdout);
+                }
+            }
+        }
+    };
+
+    /// Protocol lines from one worker's stdout.
+    const auto handle_line = [&](worker_proc& w, const std::string& line) {
+        unsigned long a = 0;
+        unsigned long b = 0;
+        if (std::sscanf(line.c_str(), "P %lu", &a) == 1) {
+            ledger.complete(a);
+            {
+                json_value ev = json_value::object();
+                ev.set("ev", json_value::str("done"));
+                ev.set("point", json_value::number(static_cast<std::size_t>(a)));
+                ev.set("worker", json_value::number(w.id));
+                journal.append(ev);
+            }
+            w.next_unacked = a + 1;
+            w.point_start = steady_clock::now();
+            w.timed_out = false;
+            ++completed_this_run;
+            if (opt.verbose) {
+                std::printf("farm exec: point %lu done (%zu/%zu)\n", a, ledger.done(),
+                            total);
+                std::fflush(stdout);
+            }
+            for (const fault_directive& d : faults) {
+                if (d.k == fault_directive::kind::interrupt && completed_this_run >= d.arg
+                    && (d.always || try_fire_marker(opt.workdir, "interrupt", d.arg)))
+                    interrupted = true;
+            }
+        } else if (std::sscanf(line.c_str(), "D %lu %lu", &a, &b) == 2) {
+            w.idle = true;
+            w.lease = {0, 0};
+        } else if (!line.empty()) {
+            std::fprintf(stderr, "farm exec: ignoring unexpected worker line '%s'\n",
+                         line.c_str());
+        }
+    };
+
+    while (!interrupted && !user_interrupted() && ledger.unresolved() > 0) {
+        const steady_clock::time_point now = steady_clock::now();
+
+        // Backoff expiry: cooling points become grantable again.
+        for (std::size_t i = 0; i < cooling.size();) {
+            if (cooling[i].first <= now) {
+                ledger.release(cooling[i].second);
+                cooling[i] = cooling.back();
+                cooling.pop_back();
+            } else {
+                ++i;
+            }
+        }
+
+        // Keep the worker pool full; respawns get fresh ids and fresh
+        // shard files (a dead worker's stream may end mid-record).
+        while (workers.size() < nworkers) {
+            const std::size_t id = next_worker_id++;
+            const std::string shard_path
+                = opt.workdir + "/worker-" + std::to_string(id) + ".jsonl";
+            workers.push_back(spawn_worker(opt, tool, id, shard_path));
+        }
+
+        // Hand small leases to idle workers (dynamic work-stealing).
+        for (worker_proc& w : workers) {
+            if (!w.idle)
+                continue;
+            const std::optional<core::point_lease> lease = ledger.grant(chunk);
+            if (!lease)
+                break;
+            const std::string msg = "L " + std::to_string(lease->begin) + " "
+                + std::to_string(lease->end) + "\n";
+            const ssize_t n = ::write(w.to_fd, msg.data(), msg.size());
+            if (n != static_cast<ssize_t>(msg.size())) {
+                // Dead before the lease arrived: undo the grant; the
+                // poll loop below reaps the corpse.
+                for (std::size_t i = lease->begin; i < lease->end; ++i)
+                    ledger.requeue(i);
+                continue;
+            }
+            w.idle = false;
+            w.lease = *lease;
+            w.next_unacked = lease->begin;
+            w.point_start = now;
+            w.timed_out = false;
+            {
+                json_value ev = json_value::object();
+                ev.set("ev", json_value::str("lease"));
+                ev.set("worker", json_value::number(w.id));
+                ev.set("begin", json_value::number(lease->begin));
+                ev.set("end", json_value::number(lease->end));
+                journal.append(ev);
+            }
+        }
+
+        // Sleep until the next deadline (lease timeout or backoff
+        // expiry), capped low enough to stay SIGINT-responsive.
+        long timeout_ms = 200;
+        const auto consider = [&](steady_clock::time_point due) {
+            const long ms = static_cast<long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count());
+            timeout_ms = std::clamp(ms, 0L, timeout_ms);
+        };
+        const auto point_deadline = [&](const worker_proc& w) {
+            return w.point_start
+                + std::chrono::microseconds(
+                    static_cast<long>(opt.point_timeout_s * 1e6));
+        };
+        for (const worker_proc& w : workers)
+            if (!w.idle)
+                consider(point_deadline(w));
+        for (const auto& [due, idx] : cooling)
+            consider(due);
+
+        std::vector<pollfd> fds;
+        fds.reserve(workers.size());
+        for (const worker_proc& w : workers)
+            fds.push_back({w.from_fd, POLLIN, 0});
+        const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(timeout_ms));
+        if (rc < 0 && errno != EINTR)
+            throw analysis_error("farm exec: poll: " + errno_text());
+
+        std::vector<std::size_t> dead;
+        for (std::size_t i = 0; i < workers.size() && rc > 0; ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            char buf[4096];
+            const ssize_t n = ::read(workers[i].from_fd, buf, sizeof buf);
+            if (n > 0) {
+                workers[i].buf.append(buf, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = workers[i].buf.find('\n')) != std::string::npos) {
+                    const std::string line = workers[i].buf.substr(0, nl);
+                    workers[i].buf.erase(0, nl + 1);
+                    handle_line(workers[i], line);
+                }
+            } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+                dead.push_back(i);
+            }
+        }
+        // Reap dead workers, highest index first so the swap-erase below
+        // never moves another doomed entry.
+        std::sort(dead.rbegin(), dead.rend());
+        for (const std::size_t i : dead) {
+            handle_death(workers[i]);
+            workers[i] = std::move(workers.back());
+            workers.pop_back();
+        }
+
+        // Per-point wall-clock enforcement: kill the worker; the EOF on
+        // its pipe routes the point through the normal crash path with
+        // the timeout recorded as the failure reason.
+        const steady_clock::time_point after = steady_clock::now();
+        for (worker_proc& w : workers) {
+            if (!w.idle && !w.timed_out && after >= point_deadline(w)) {
+                w.timed_out = true;
+                ::kill(w.pid, SIGKILL);
+            }
+        }
+    }
+
+    if (interrupted || user_interrupted()) {
+        // Stop the fleet hard; shard streams are crash-safe by design,
+        // so --resume recovers every acknowledged point.
+        for (worker_proc& w : workers) {
+            ::kill(w.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            close_worker_fds(w);
+        }
+        json_value ev = json_value::object();
+        ev.set("ev", json_value::str("interrupt"));
+        ev.set("completed", json_value::number(ledger.done()));
+        journal.append(ev);
+        workers.clear();
+        exec_summary summary;
+        summary.total = total;
+        summary.completed = ledger.done();
+        summary.interrupted = true;
+        for (const auto& [idx, err] : quarantine_errors)
+            summary.quarantined.emplace_back(idx, err);
+        return summary;
+    }
+
+    // Graceful shutdown: close stdins (workers exit on EOF), drain any
+    // trailing acknowledgments, reap.
+    for (worker_proc& w : workers) {
+        ::close(w.to_fd);
+        w.to_fd = -1;
+    }
+    for (worker_proc& w : workers) {
+        char buf[4096];
+        while (::read(w.from_fd, buf, sizeof buf) > 0) { }
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        close_worker_fds(w);
+    }
+    workers.clear();
+
+    // Quarantined points enter the report as explicit placeholder
+    // records (status "quarantined" + the recorded error) — listed, not
+    // silently dropped. A real record beats its own placeholder inside
+    // merge_shard_streams (the worker may have died after the append).
+    std::vector<point_record> extras;
+    for (const auto& [idx, err] : quarantine_errors) {
+        point_record rec;
+        rec.point = spec.grid.point(idx);
+        rec.index = idx;
+        rec.status = core::point_status::quarantined;
+        rec.error = err;
+        extras.push_back(std::move(rec));
+    }
+    const shard_file_listing final_files = list_shard_files(opt.workdir);
+    const stream_merge_result merged
+        = merge_shard_streams(spec, final_files.paths, extras, opt.out);
+
+    exec_summary summary;
+    summary.total = total;
+    summary.completed = total - merged.extras_used.size();
+    for (const std::size_t idx : merged.extras_used)
+        summary.quarantined.emplace_back(idx, quarantine_errors.at(idx));
+    {
+        json_value ev = json_value::object();
+        ev.set("ev", json_value::str("complete"));
+        ev.set("completed", json_value::number(summary.completed));
+        ev.set("quarantined", json_value::number(summary.quarantined.size()));
+        journal.append(ev);
+    }
+    return summary;
+}
+
+} // namespace acstab::farm

@@ -1,6 +1,7 @@
 #include "spice/dc_analysis.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 
 namespace acstab::spice {
@@ -10,7 +11,27 @@ namespace {
     struct newton_outcome {
         bool converged = false;
         int iterations = 0;
+        bool singular = false; ///< the linearized system could not be factored
     };
+
+    /// Shortest round-trip number text for the non-convergence ladder
+    /// diagnostics (std::to_chars: locale-independent, unlike %g).
+    [[nodiscard]] std::string format_value(real v)
+    {
+        char buf[40];
+        const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+        return ec == std::errc() ? std::string(buf, ptr) : std::string("?");
+    }
+
+    /// One ladder rung's verdict: what the Newton loop did at the point
+    /// it gave up.
+    [[nodiscard]] std::string describe_outcome(const newton_outcome& out)
+    {
+        if (out.singular)
+            return "singular matrix after " + std::to_string(out.iterations)
+                + " iteration(s)";
+        return "no convergence in " + std::to_string(out.iterations) + " iteration(s)";
+    }
 
     /// One damped Newton solve at fixed continuation parameters. Updates x
     /// in place; returns convergence status instead of throwing so the
@@ -34,6 +55,8 @@ namespace {
             try {
                 x_new = solve_system(b, opt.solver);
             } catch (const numeric_error&) {
+                out.singular = true;
+                out.iterations = it + 1;
                 return out; // singular at this continuation point
             }
 
@@ -73,14 +96,27 @@ namespace {
             dev->dc_begin();
     }
 
+    /// Append one attempted-strategy clause to the ladder diagnostic that
+    /// a final convergence_error carries.
+    void log_rung(std::string& ladder, const std::string& clause)
+    {
+        if (!ladder.empty())
+            ladder += "; ";
+        ladder += clause;
+    }
+
     [[nodiscard]] bool try_plain(circuit& c, real gshunt, const dc_options& opt,
-                                 const stamp_params& params, dc_result& result)
+                                 const stamp_params& params, dc_result& result,
+                                 std::string& ladder)
     {
         reset_devices(c);
         std::vector<real> x(c.unknown_count(), 0.0);
         const newton_outcome plain = newton_solve(c, x, params, gshunt, opt);
-        if (!plain.converged)
+        if (!plain.converged) {
+            log_rung(ladder, "plain Newton (gshunt=" + format_value(gshunt) + "): "
+                                 + describe_outcome(plain));
             return false;
+        }
         result.solution = std::move(x);
         result.iterations = plain.iterations;
         result.used_gshunt = gshunt > 0.0;
@@ -88,24 +124,31 @@ namespace {
     }
 
     [[nodiscard]] bool try_gmin_stepping(circuit& c, real gshunt, const dc_options& opt,
-                                         dc_result& result)
+                                         dc_result& result, std::string& ladder)
     {
         reset_devices(c);
         std::vector<real> x(c.unknown_count(), 0.0);
         stamp_params step;
         step.continuation = true;
-        bool ok = true;
-        for (real g = 1e-2; ok && g >= opt.gmin * 0.99; g *= 0.1) {
+        for (real g = 1e-2; g >= opt.gmin * 0.99; g *= 0.1) {
             step.gmin = g;
-            ok = newton_solve(c, x, step, gshunt, opt).converged;
+            const newton_outcome out = newton_solve(c, x, step, gshunt, opt);
+            if (!out.converged) {
+                log_rung(ladder, "gmin stepping (gshunt=" + format_value(gshunt)
+                                     + "): stalled at gmin=" + format_value(g) + ", "
+                                     + describe_outcome(out));
+                return false;
+            }
         }
-        if (!ok)
-            return false;
         step.gmin = opt.gmin;
         step.continuation = false;
         const newton_outcome last = newton_solve(c, x, step, gshunt, opt);
-        if (!last.converged)
+        if (!last.converged) {
+            log_rung(ladder, "gmin stepping (gshunt=" + format_value(gshunt)
+                                 + "): final polish at gmin=" + format_value(opt.gmin)
+                                 + " failed, " + describe_outcome(last));
             return false;
+        }
         result.solution = std::move(x);
         result.iterations = last.iterations;
         result.used_gmin_stepping = true;
@@ -114,7 +157,7 @@ namespace {
     }
 
     [[nodiscard]] bool try_source_stepping(circuit& c, real gshunt, const dc_options& opt,
-                                           dc_result& result)
+                                           dc_result& result, std::string& ladder)
     {
         reset_devices(c);
         std::vector<real> x_good(c.unknown_count(), 0.0);
@@ -125,25 +168,37 @@ namespace {
         real last_good = 0.0;
         real increment = 0.05;
         int failures = 0;
+        newton_outcome last_attempt;
         while (last_good < 1.0) {
             const real scale = std::min(1.0, last_good + increment);
             step.source_scale = scale;
             std::vector<real> x = x_good;
-            if (newton_solve(c, x, step, gshunt, opt).converged) {
+            last_attempt = newton_solve(c, x, step, gshunt, opt);
+            if (last_attempt.converged) {
                 last_good = scale;
                 x_good = std::move(x);
                 increment *= 1.5;
             } else {
                 increment *= 0.25;
-                if (++failures > 16 || increment < 1e-5)
+                if (++failures > 16 || increment < 1e-5) {
+                    log_rung(ladder, "source stepping (gshunt=" + format_value(gshunt)
+                                         + "): stalled at source scale "
+                                         + format_value(last_good) + " after "
+                                         + std::to_string(failures) + " rejected steps, "
+                                         + describe_outcome(last_attempt));
                     return false;
+                }
             }
         }
         step.source_scale = 1.0;
         step.continuation = false;
         const newton_outcome final_solve = newton_solve(c, x_good, step, gshunt, opt);
-        if (!final_solve.converged)
+        if (!final_solve.converged) {
+            log_rung(ladder, "source stepping (gshunt=" + format_value(gshunt)
+                                 + "): full-source polish failed, "
+                                 + describe_outcome(final_solve));
             return false;
+        }
         result.solution = std::move(x_good);
         result.iterations = final_solve.iterations;
         result.used_source_stepping = true;
@@ -161,20 +216,33 @@ dc_result dc_operating_point(circuit& c, const dc_options& opt)
     stamp_params params;
     params.gmin = opt.gmin;
 
-    if (try_plain(c, opt.gshunt, opt, params, result))
+    // Every rung the ladder actually attempts records its gshunt value
+    // and where the Newton loop gave up, so a non-convergence error tells
+    // the user (and the farm's quarantine records) exactly what was
+    // tried instead of a generic "did not converge".
+    std::string ladder;
+
+    if (try_plain(c, opt.gshunt, opt, params, result, ladder))
         return result;
     const bool retry_shunt = opt.gshunt_retry > opt.gshunt;
-    if (retry_shunt && try_plain(c, opt.gshunt_retry, opt, params, result))
+    if (retry_shunt && try_plain(c, opt.gshunt_retry, opt, params, result, ladder))
         return result;
 
     const real gshunt = std::max(opt.gshunt, retry_shunt ? opt.gshunt_retry : opt.gshunt);
-    if (opt.allow_gmin_stepping && try_gmin_stepping(c, gshunt, opt, result))
-        return result;
-    if (opt.allow_source_stepping && try_source_stepping(c, gshunt, opt, result))
-        return result;
+    if (opt.allow_gmin_stepping) {
+        if (try_gmin_stepping(c, gshunt, opt, result, ladder))
+            return result;
+    } else {
+        log_rung(ladder, "gmin stepping: disabled");
+    }
+    if (opt.allow_source_stepping) {
+        if (try_source_stepping(c, gshunt, opt, result, ladder))
+            return result;
+    } else {
+        log_rung(ladder, "source stepping: disabled");
+    }
 
-    throw convergence_error("dc operating point did not converge (plain Newton, gmin "
-                            "stepping and source stepping all failed)");
+    throw convergence_error("dc operating point did not converge; attempted: " + ladder);
 }
 
 real node_voltage(const circuit& c, const std::vector<real>& solution,

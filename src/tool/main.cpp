@@ -17,7 +17,9 @@
 //                                                      shards anywhere, merge
 //                                                      deterministically)
 #include <cctype>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -35,6 +37,8 @@
 #include "core/report.h"
 #include "farm/campaign.h"
 #include "farm/executor.h"
+#include "farm/orchestrator.h"
+#include "farm/shard_store.h"
 #include "gen/netlist_gen.h"
 #include "numeric/interpolation.h"
 #include "spice/ac_analysis.h"
@@ -334,6 +338,31 @@ int cmd_run(spice::parsed_netlist& net, const cli_options& base)
     return 0;
 }
 
+/// Write a whole text file atomically: temp file + rename, so consumers
+/// never observe a half-written document. Every file the tool emits
+/// (plans, shards, reports, generated netlists) goes through here — a
+/// crashed or ENOSPC'd writer must not leave a truncated file that
+/// poisons a later farm merge.
+void write_text_atomic(const std::string& text, const std::string& out_path)
+{
+    const std::string tmp = out_path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            throw analysis_error("cannot write file '" + tmp + "'");
+        out << text;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw analysis_error("write to '" + tmp + "' failed");
+        }
+    }
+    if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw analysis_error("cannot finalize '" + out_path + "' (rename from temp failed)");
+    }
+}
+
 /// acstab gen ladder|rcmesh --size N [--out FILE] [band opts]: emit a
 /// generated stress netlist (the size-scaling bench corpus) to --out or
 /// stdout. Takes no input netlist, so it dispatches before the loader.
@@ -357,13 +386,7 @@ int cmd_gen(int argc, char** argv)
         std::fputs(text.c_str(), stdout);
         return 0;
     }
-    std::ofstream out(opt.out, std::ios::binary);
-    if (!out)
-        throw analysis_error("cannot write file '" + opt.out + "'");
-    out << text;
-    out.flush();
-    if (!out)
-        throw analysis_error("write to '" + opt.out + "' failed");
+    write_text_atomic(text, opt.out);
     std::printf("wrote %s netlist (%zu target nodes) -> %s\n", opt.positionals[0].c_str(),
                 gopt.size, opt.out.c_str());
     return 0;
@@ -388,15 +411,14 @@ void write_document(const farm::json_value& doc, const std::string& out_path)
         std::fputs(text.c_str(), stdout);
         return;
     }
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out)
-        throw analysis_error("cannot write file '" + out_path + "'");
-    out << text;
-    out.flush();
-    // A silently truncated shard/plan file poisons the whole campaign;
-    // surface ENOSPC-style failures here, not at the eventual merge.
-    if (!out)
-        throw analysis_error("write to '" + out_path + "' failed");
+    write_text_atomic(text, out_path);
+}
+
+/// Read + parse one farm JSON file with the actionable corrupt-file
+/// diagnostic (file name, byte offset, crashed-writer hint).
+[[nodiscard]] farm::json_value parse_document_file(const std::string& path)
+{
+    return farm::parse_shard_document(read_file(path), path);
 }
 
 int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
@@ -495,7 +517,7 @@ int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
 int cmd_farm_run(const std::string& plan_path, const cli_options& opt)
 {
     const farm::campaign_spec spec
-        = farm::campaign_from_json(farm::json_value::parse(read_file(plan_path)));
+        = farm::campaign_from_json(parse_document_file(plan_path));
     shard_spec sh;
     if (!opt.shard.empty())
         sh = parse_shard_spec(opt.shard);
@@ -513,11 +535,42 @@ int cmd_farm_merge(const std::string& plan_path, const cli_options& opt)
     if (opt.positionals.empty())
         throw analysis_error("farm merge: pass at least one shard result file");
     const farm::campaign_spec spec
-        = farm::campaign_from_json(farm::json_value::parse(read_file(plan_path)));
+        = farm::campaign_from_json(parse_document_file(plan_path));
+
+    // `farm run` emits whole-document shards; `farm exec` workers emit
+    // JSONL shard streams. Sniff which one we were handed.
+    std::size_t streams = 0;
+    for (const std::string& path : opt.positionals)
+        streams += farm::is_shard_stream_file(path) ? 1 : 0;
+    if (streams != 0 && streams != opt.positionals.size())
+        throw analysis_error("farm merge: cannot mix JSONL shard streams and shard "
+                             "documents in one merge");
+    if (streams != 0) {
+        // Streaming path: O(1) resident records regardless of campaign
+        // size. --table needs the parsed report, so it rides through a
+        // temp file when no --out was asked for.
+        const std::string out_path = !opt.out.empty()
+            ? opt.out
+            : (opt.table ? opt.positionals[0] + ".merged.tmp.json" : std::string());
+        const farm::stream_merge_result merged
+            = farm::merge_shard_streams(spec, opt.positionals, {}, out_path);
+        if (opt.table) {
+            const farm::json_value report = parse_document_file(out_path);
+            if (opt.out.empty())
+                std::remove(out_path.c_str());
+            std::fputs(farm::format_report(report).c_str(), stdout);
+            return 0;
+        }
+        if (!opt.out.empty())
+            std::printf("merged %zu shard stream(s), %zu points -> %s\n",
+                        opt.positionals.size(), merged.points, opt.out.c_str());
+        return 0;
+    }
+
     std::vector<farm::json_value> shards;
     shards.reserve(opt.positionals.size());
     for (const std::string& path : opt.positionals)
-        shards.push_back(farm::json_value::parse(read_file(path)));
+        shards.push_back(parse_document_file(path));
     const farm::json_value report = farm::merge_shards(spec, shards);
     if (opt.table) {
         std::fputs(farm::format_report(report).c_str(), stdout);
@@ -530,11 +583,85 @@ int cmd_farm_merge(const std::string& plan_path, const cli_options& opt)
     return 0;
 }
 
-/// acstab farm plan <netlist> | run <plan.json> | merge <plan.json> <shard>...
+/// SIGINT/SIGTERM flag for `farm exec`: the handler only sets the flag;
+/// the orchestrator polls it, stops the workers, flushes the journal and
+/// returns, so the process exits through the normal path with the
+/// campaign resumable.
+volatile std::sig_atomic_t g_farm_interrupt = 0;
+
+extern "C" void farm_interrupt_handler(int)
+{
+    g_farm_interrupt = 1;
+}
+
+int cmd_farm_exec(const std::string& plan_path, const cli_options& opt)
+{
+    const farm::campaign_spec spec
+        = farm::campaign_from_json(parse_document_file(plan_path));
+
+    farm::exec_options eopt;
+    eopt.workers = opt.workers;
+    eopt.workdir = opt.dir.empty() ? plan_path + ".work" : opt.dir;
+    eopt.out = opt.out.empty() ? plan_path + ".report.json" : opt.out;
+    eopt.plan_path = plan_path;
+    eopt.resume = opt.resume;
+    eopt.point_timeout_s = opt.point_timeout;
+    eopt.max_attempts = opt.retries;
+    eopt.verbose = !opt.quiet;
+    eopt.interrupt = &g_farm_interrupt;
+
+    // No SA_RESTART: the signal must interrupt the orchestrator's poll()
+    // so the flag is noticed immediately.
+    struct sigaction sa {};
+    sa.sa_handler = farm_interrupt_handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    const farm::exec_summary sum = farm::exec_campaign(spec, eopt);
+    if (sum.interrupted) {
+        std::fprintf(stderr,
+                     "farm exec: interrupted; %zu/%zu points finished; resume with: "
+                     "acstab farm exec %s --dir %s --out %s --resume\n",
+                     sum.completed, sum.total, plan_path.c_str(), eopt.workdir.c_str(),
+                     eopt.out.c_str());
+        return 130;
+    }
+    std::printf("farm exec: %zu/%zu points ok -> %s\n", sum.completed, sum.total,
+                eopt.out.c_str());
+    if (!sum.quarantined.empty()) {
+        // Quarantined points are listed explicitly (they are also in the
+        // report as status "quarantined" records) and flagged with a
+        // distinct exit code so farm drivers can tell "done" from "done
+        // with holes".
+        std::printf("farm exec: %zu point(s) quarantined:\n", sum.quarantined.size());
+        for (const auto& [idx, err] : sum.quarantined)
+            std::printf("  point %zu: %s\n", idx, err.c_str());
+        std::printf("farm exec: re-run with --resume to retry quarantined points\n");
+        return 3;
+    }
+    return 0;
+}
+
+/// Internal: the worker half of `farm exec` (spawned by the
+/// orchestrator, not meant for direct use).
+int cmd_farm_worker(const std::string& plan_path, const cli_options& opt)
+{
+    if (opt.shard_file.empty())
+        throw analysis_error("farm worker: --shard-file is required (internal command "
+                             "spawned by 'farm exec')");
+    const farm::campaign_spec spec
+        = farm::campaign_from_json(parse_document_file(plan_path));
+    return farm::run_worker(spec, opt.shard_file, opt.worker_id);
+}
+
+/// acstab farm plan <netlist> | run <plan.json> | exec <plan.json> |
+///        merge <plan.json> <shard>...
 int cmd_farm(int argc, char** argv)
 {
     if (argc < 4)
-        throw analysis_error("farm: usage: acstab farm plan|run|merge <file> [options]");
+        throw analysis_error(
+            "farm: usage: acstab farm plan|run|exec|merge <file> [options]");
     const std::string sub = argv[2];
     const std::string file = argv[3];
     const cli_options opt = parse_cli_options(argc - 4, argv + 4,
@@ -543,9 +670,14 @@ int cmd_farm(int argc, char** argv)
         return cmd_farm_plan(file, opt);
     if (sub == "run")
         return cmd_farm_run(file, opt);
+    if (sub == "exec")
+        return cmd_farm_exec(file, opt);
+    if (sub == "worker")
+        return cmd_farm_worker(file, opt);
     if (sub == "merge")
         return cmd_farm_merge(file, opt);
-    throw analysis_error("farm: unknown subcommand '" + sub + "' (plan|run|merge)");
+    throw analysis_error("farm: unknown subcommand '" + sub
+                         + "' (plan|run|exec|merge)");
 }
 
 void print_usage()
@@ -577,7 +709,15 @@ void print_usage()
     std::puts("                    [--analysis stability|impedance [--source e1,..]]");
     std::puts("                    (.temp / .corner netlist cards seed the grid)");
     std::puts("              run   <plan.json> [--shard k/N] [--threads N] [--out f.json]");
-    std::puts("              merge <plan.json> <shard.json>... [--out f.json | --table]");
+    std::puts("              exec  <plan.json> [--workers N] [--dir D] [--out f.json]");
+    std::puts("                    [--point-timeout S] [--retries N] [--resume] [--quiet]");
+    std::puts("                    fault-tolerant multi-process run: work-stealing leases,");
+    std::puts("                    per-point timeout, retry + quarantine, crash-safe JSONL");
+    std::puts("                    shards, SIGINT-resumable (exit 0 ok, 3 = quarantined");
+    std::puts("                    points, 130 = interrupted/resumable)");
+    std::puts("              merge <plan.json> <shard.json|worker.jsonl>...");
+    std::puts("                    [--out f.json | --table] (streams JSONL shards with");
+    std::puts("                    O(1) resident records)");
     std::puts("options:");
     std::puts("  --node NAME --all --probe NAME --source ELEM,.. --fstart HZ --fstop HZ");
     std::puts("  --ppd N");

@@ -77,6 +77,23 @@ cli_options parse_cli_options(int argc, char** argv, bool allow_positionals)
             opt.out = need_value(key);
         else if (key == "--table")
             opt.table = true;
+        else if (key == "--workers")
+            opt.workers = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--dir")
+            opt.dir = need_value(key);
+        else if (key == "--resume")
+            opt.resume = true;
+        else if (key == "--point-timeout")
+            opt.point_timeout = spice::parse_spice_number(need_value(key));
+        else if (key == "--retries")
+            opt.retries = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--quiet")
+            opt.quiet = true;
+        else if (key == "--shard-file")
+            opt.shard_file = need_value(key);
+        else if (key == "--worker-id")
+            opt.worker_id
+                = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
         else if (allow_positionals && !key.empty() && key.substr(0, 2) != "--")
             opt.positionals.emplace_back(key);
         else

@@ -59,6 +59,16 @@ struct cli_options {
     std::string shard;                 ///< --shard k/N (1-based k)
     std::string out;                   ///< --out FILE (default: stdout)
     bool table = false;                ///< --table (merge: text table, not JSON)
+
+    // Fault-tolerant orchestrator flags (`acstab farm exec`).
+    std::size_t workers = 2;           ///< --workers N (worker processes)
+    std::string dir;                   ///< --dir D (journal + shard streams)
+    bool resume = false;               ///< --resume (continue an interrupted exec)
+    real point_timeout = 300.0;        ///< --point-timeout SECONDS (per point)
+    std::size_t retries = 3;           ///< --retries N (attempts before quarantine)
+    bool quiet = false;                ///< --quiet (no per-point progress lines)
+    std::string shard_file;            ///< --shard-file F (internal: farm worker)
+    std::size_t worker_id = 0;         ///< --worker-id K (internal: farm worker)
     /// Non-flag arguments after the command's own positionals (the merge
     /// step's shard files).
     std::vector<std::string> positionals;

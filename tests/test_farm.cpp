@@ -312,6 +312,23 @@ TEST(farm_executor, two_shard_merge_is_byte_identical_to_single_run)
     EXPECT_EQ(single.dump(), reversed.dump());
 }
 
+TEST(farm_executor, point_runner_matches_run_shard_bytes)
+{
+    // The orchestrator's workers execute one point at a time through
+    // point_runner; retries and resumes are only byte-safe if those
+    // records are identical to the batch path's.
+    const farm::campaign_spec spec = tank_campaign();
+    const std::vector<farm::point_record> batch = farm::run_shard(spec, 0, 1);
+    const farm::point_runner runner(spec);
+    ASSERT_EQ(batch.size(), spec.grid.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const farm::point_record one = runner.run(i);
+        EXPECT_EQ(farm::point_record_to_json(one).dump(),
+                  farm::point_record_to_json(batch[i]).dump())
+            << "point " << i;
+    }
+}
+
 TEST(farm_executor, threaded_run_matches_serial_bytes)
 {
     const farm::campaign_spec spec = tank_campaign();

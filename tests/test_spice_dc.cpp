@@ -231,6 +231,50 @@ TEST(dc, bias_generator_needs_continuation)
     EXPECT_LT(vbe, 0.75);
 }
 
+TEST(dc, non_convergence_error_reports_the_attempted_ladder)
+{
+    // Two ideal sources forcing different voltages onto one node: the MNA
+    // system is inconsistent at every continuation rung, so the whole
+    // ladder runs dry. The error must say what was tried — each rung's
+    // gshunt value and where its Newton loop gave up — not just "did not
+    // converge".
+    circuit c;
+    const node_id n = c.node("n");
+    c.add<vsource>("v1", n, ground_node, 1.0);
+    c.add<vsource>("v2", n, ground_node, 2.0);
+    try {
+        (void)dc_operating_point(c);
+        FAIL() << "conflicting sources must not converge";
+    } catch (const convergence_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("attempted:"), std::string::npos) << what;
+        EXPECT_NE(what.find("plain Newton (gshunt=0)"), std::string::npos) << what;
+        EXPECT_NE(what.find("gshunt=1e-09"), std::string::npos) << what;
+        EXPECT_NE(what.find("singular matrix"), std::string::npos) << what;
+        EXPECT_NE(what.find("gmin stepping"), std::string::npos) << what;
+        EXPECT_NE(what.find("source stepping"), std::string::npos) << what;
+    }
+}
+
+TEST(dc, ladder_reports_disabled_strategies)
+{
+    circuit c;
+    const node_id n = c.node("n");
+    c.add<vsource>("v1", n, ground_node, 1.0);
+    c.add<vsource>("v2", n, ground_node, 2.0);
+    dc_options opt;
+    opt.allow_gmin_stepping = false;
+    opt.allow_source_stepping = false;
+    try {
+        (void)dc_operating_point(c, opt);
+        FAIL() << "conflicting sources must not converge";
+    } catch (const convergence_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gmin stepping: disabled"), std::string::npos) << what;
+        EXPECT_NE(what.find("source stepping: disabled"), std::string::npos) << what;
+    }
+}
+
 TEST(dc, tolerances_are_respected)
 {
     circuit c;

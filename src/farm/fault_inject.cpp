@@ -1,0 +1,100 @@
+#include "farm/fault_inject.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <ctime>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace acstab::farm {
+
+std::vector<fault_directive> parse_fault_env()
+{
+    std::vector<fault_directive> out;
+    const char* env = std::getenv("ACSTAB_FAULT_INJECT");
+    if (env == nullptr || *env == '\0')
+        return out;
+    std::string text = env;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(start, comma - start);
+        start = comma + 1;
+        if (token.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::size_t fs = 0;
+        while (fs <= token.size()) {
+            std::size_t colon = token.find(':', fs);
+            if (colon == std::string::npos)
+                colon = token.size();
+            fields.push_back(token.substr(fs, colon - fs));
+            fs = colon + 1;
+        }
+        if (fields.size() < 2)
+            throw analysis_error("farm: bad ACSTAB_FAULT_INJECT directive '" + token
+                                 + "' (want kind:arg[:seconds][:always])");
+        fault_directive d;
+        if (fields[0] == "crash")
+            d.k = fault_directive::kind::crash;
+        else if (fields[0] == "stall")
+            d.k = fault_directive::kind::stall;
+        else if (fields[0] == "interrupt")
+            d.k = fault_directive::kind::interrupt;
+        else if (fields[0] == "client-drop")
+            d.k = fault_directive::kind::client_drop;
+        else if (fields[0] == "slow-reader")
+            d.k = fault_directive::kind::slow_reader;
+        else if (fields[0] == "mid-frame-kill")
+            d.k = fault_directive::kind::mid_frame_kill;
+        else
+            throw analysis_error("farm: unknown ACSTAB_FAULT_INJECT kind '" + fields[0]
+                                 + "' (crash, stall, interrupt, client-drop, "
+                                   "slow-reader or mid-frame-kill)");
+        char* end = nullptr;
+        d.arg = std::strtoul(fields[1].c_str(), &end, 10);
+        if (end == fields[1].c_str() || *end != '\0')
+            throw analysis_error("farm: bad ACSTAB_FAULT_INJECT index in '" + token + "'");
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+            if (fields[i] == "always") {
+                d.always = true;
+            } else if (fields[i] == "once") {
+                d.always = false;
+            } else {
+                d.seconds = std::strtod(fields[i].c_str(), &end);
+                if (end == fields[i].c_str() || *end != '\0')
+                    throw analysis_error("farm: bad ACSTAB_FAULT_INJECT field '" + fields[i]
+                                         + "' in '" + token + "'");
+            }
+        }
+        out.push_back(d);
+    }
+    return out;
+}
+
+bool try_fire_marker(const std::string& dir, const char* kind, std::size_t arg)
+{
+    const std::string path = dir + "/fault-" + kind + "-" + std::to_string(arg) + ".fired";
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+}
+
+void fault_sleep(real seconds)
+{
+    if (seconds <= 0)
+        return;
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(seconds);
+    ts.tv_nsec = static_cast<long>((seconds - static_cast<real>(ts.tv_sec)) * 1e9);
+    while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) { }
+}
+
+} // namespace acstab::farm

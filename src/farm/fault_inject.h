@@ -1,0 +1,74 @@
+// Deterministic fault injection shared by the farm orchestrator and the
+// serve daemon (ACSTAB_FAULT_INJECT).
+//
+// The whole fault model of `farm exec` and `acstab serve` is testable
+// because every fault the code is built to absorb can be injected
+// deterministically from one environment variable, which flows unchanged
+// from the serve daemon through the orchestrator into the worker
+// processes. Directives are comma-separated `kind:arg[:seconds][:always]`
+// tokens:
+//
+//   worker-level (consumed by `farm worker` processes):
+//     crash:<idx>            worker SIGKILLs itself before running <idx>
+//     stall:<idx>[:<s>]      worker sleeps <s> (default 30) before <idx>
+//   orchestrator-level (consumed by exec_campaign):
+//     interrupt:<n>          behave as if SIGINT arrived after the n-th
+//                            completed point
+//   serve-level (consumed by serve::run_server):
+//     client-drop:<k>        hard-close connection <k> right after its
+//                            first streamed point frame (simulates the
+//                            client vanishing mid-request)
+//     slow-reader:<k>        stop draining connection <k>'s output and
+//                            cap its buffer small, forcing the bounded
+//                            output-buffer overflow (slow client) path
+//     mid-frame-kill:<k>     treat connection <k> as disconnected as
+//                            soon as a partial (newline-less) frame is
+//                            pending (simulates a client killed mid-send)
+//
+// Each directive fires once per working directory — an O_CREAT|O_EXCL
+// marker file records the firing, across processes and resumes — unless
+// suffixed `:always`, so the retry of an injected fault runs clean and
+// campaigns still converge to the byte-identical report.
+#ifndef ACSTAB_FARM_FAULT_INJECT_H
+#define ACSTAB_FARM_FAULT_INJECT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acstab::farm {
+
+struct fault_directive {
+    enum class kind {
+        crash,
+        stall,
+        interrupt,
+        client_drop,
+        slow_reader,
+        mid_frame_kill,
+    };
+    kind k = kind::crash;
+    std::size_t arg = 0; ///< point index / completion count / connection serial
+    real seconds = 30.0; ///< stall duration (stall directives only)
+    bool always = false; ///< repeat on every attempt (default: fire once)
+};
+
+/// Parse ACSTAB_FAULT_INJECT; empty/unset -> no directives. Throws
+/// analysis_error on malformed directives or unknown kinds (a typo'd
+/// injection silently not firing would invalidate the chaos test that
+/// set it).
+[[nodiscard]] std::vector<fault_directive> parse_fault_env();
+
+/// Fire-once bookkeeping: creating the marker file with O_EXCL succeeds
+/// exactly once per directory, across processes and resumes.
+[[nodiscard]] bool try_fire_marker(const std::string& dir, const char* kind,
+                                   std::size_t arg);
+
+/// EINTR-safe nanosleep (stall directives).
+void fault_sleep(real seconds);
+
+} // namespace acstab::farm
+
+#endif // ACSTAB_FARM_FAULT_INJECT_H

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,8 @@
 #include "common/error.h"
 #include "core/param_grid.h"
 #include "farm/executor.h"
+#include "farm/fault_inject.h"
+#include "farm/posix_io.h"
 #include "farm/shard_store.h"
 
 namespace acstab::farm {
@@ -58,99 +61,9 @@ namespace {
     }
 
     // ----- deterministic fault injection (ACSTAB_FAULT_INJECT) -----
-
-    struct fault_directive {
-        enum class kind { crash, stall, interrupt };
-        kind k = kind::crash;
-        std::size_t arg = 0;   ///< point index (crash/stall) or count (interrupt)
-        real seconds = 30.0;   ///< stall duration
-        bool always = false;   ///< repeat on every attempt (default: fire once)
-    };
-
-    [[nodiscard]] std::vector<fault_directive> parse_fault_env()
-    {
-        std::vector<fault_directive> out;
-        const char* env = std::getenv("ACSTAB_FAULT_INJECT");
-        if (env == nullptr || *env == '\0')
-            return out;
-        std::string text = env;
-        std::size_t start = 0;
-        while (start <= text.size()) {
-            std::size_t comma = text.find(',', start);
-            if (comma == std::string::npos)
-                comma = text.size();
-            const std::string token = text.substr(start, comma - start);
-            start = comma + 1;
-            if (token.empty())
-                continue;
-            std::vector<std::string> fields;
-            std::size_t fs = 0;
-            while (fs <= token.size()) {
-                std::size_t colon = token.find(':', fs);
-                if (colon == std::string::npos)
-                    colon = token.size();
-                fields.push_back(token.substr(fs, colon - fs));
-                fs = colon + 1;
-            }
-            if (fields.size() < 2)
-                throw analysis_error("farm: bad ACSTAB_FAULT_INJECT directive '" + token
-                                     + "' (want kind:arg[:seconds][:always])");
-            fault_directive d;
-            if (fields[0] == "crash")
-                d.k = fault_directive::kind::crash;
-            else if (fields[0] == "stall")
-                d.k = fault_directive::kind::stall;
-            else if (fields[0] == "interrupt")
-                d.k = fault_directive::kind::interrupt;
-            else
-                throw analysis_error("farm: unknown ACSTAB_FAULT_INJECT kind '" + fields[0]
-                                     + "' (crash, stall or interrupt)");
-            char* end = nullptr;
-            d.arg = std::strtoul(fields[1].c_str(), &end, 10);
-            if (end == fields[1].c_str() || *end != '\0')
-                throw analysis_error("farm: bad ACSTAB_FAULT_INJECT index in '" + token + "'");
-            for (std::size_t i = 2; i < fields.size(); ++i) {
-                if (fields[i] == "always") {
-                    d.always = true;
-                } else if (fields[i] == "once") {
-                    d.always = false;
-                } else {
-                    d.seconds = std::strtod(fields[i].c_str(), &end);
-                    if (end == fields[i].c_str() || *end != '\0')
-                        throw analysis_error("farm: bad ACSTAB_FAULT_INJECT field '"
-                                             + fields[i] + "' in '" + token + "'");
-                }
-            }
-            out.push_back(d);
-        }
-        return out;
-    }
-
-    /// Fire-once bookkeeping: creating the marker file with O_EXCL
-    /// succeeds exactly once per workdir, across processes and resumes —
-    /// so an injected fault's retry runs clean and the campaign still
-    /// converges to the byte-identical report.
-    [[nodiscard]] bool try_fire_marker(const std::string& dir, const char* kind,
-                                       std::size_t arg)
-    {
-        const std::string path
-            = dir + "/fault-" + kind + "-" + std::to_string(arg) + ".fired";
-        const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-        if (fd < 0)
-            return false;
-        ::close(fd);
-        return true;
-    }
-
-    void sleep_seconds(real s)
-    {
-        if (s <= 0)
-            return;
-        timespec ts;
-        ts.tv_sec = static_cast<time_t>(s);
-        ts.tv_nsec = static_cast<long>((s - static_cast<real>(ts.tv_sec)) * 1e9);
-        while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) { }
-    }
+    // Directive parsing and fire-once markers live in farm/fault_inject.h,
+    // shared with the serve daemon (whose client-drop/slow-reader/
+    // mid-frame-kill directives this hook ignores).
 
     /// Worker-side hook, called before each point runs.
     void fault_point_hook(const std::vector<fault_directive>& faults,
@@ -166,10 +79,10 @@ namespace {
                 break;
             case fault_directive::kind::stall:
                 if (d.always || try_fire_marker(marker_dir, "stall", index))
-                    sleep_seconds(d.seconds);
+                    fault_sleep(d.seconds);
                 break;
-            case fault_directive::kind::interrupt:
-                break; // orchestrator-side directive
+            default:
+                break; // orchestrator- or serve-side directive
             }
         }
     }
@@ -222,8 +135,34 @@ namespace {
         core::point_lease lease{0, 0};
         std::size_t next_unacked = 0; ///< in-flight point (leases run in order)
         steady_clock::time_point point_start{};
-        std::string buf; ///< partial protocol line
+        std::string buf;        ///< partial protocol line
+        std::string shard_path; ///< this worker's append-only stream
+        /// Byte offset of the next unread record line in shard_path (0 =
+        /// header not skipped yet); advanced per acknowledged point by the
+        /// on_point streaming tail reader.
+        std::uint64_t tail_offset = 0;
     };
+
+    /// Read the one record line the worker appended (and flushed) before
+    /// the acknowledgment that just arrived. Returns nullopt on any read
+    /// hiccup — streaming is best-effort; the merge stays authoritative.
+    [[nodiscard]] std::optional<std::string> read_appended_record(worker_proc& w)
+    {
+        std::ifstream in(w.shard_path, std::ios::binary);
+        if (!in)
+            return std::nullopt;
+        std::string line;
+        if (w.tail_offset == 0) {
+            if (!std::getline(in, line) || in.eof())
+                return std::nullopt;
+            w.tail_offset = line.size() + 1;
+        }
+        in.seekg(static_cast<std::streamoff>(w.tail_offset));
+        if (!std::getline(in, line) || in.eof())
+            return std::nullopt;
+        w.tail_offset += line.size() + 1;
+        return line;
+    }
 
     [[nodiscard]] std::string self_exe_path()
     {
@@ -234,13 +173,6 @@ namespace {
                                  "pass the tool path explicitly");
         buf[n] = '\0';
         return buf;
-    }
-
-    void set_cloexec(int fd)
-    {
-        const int flags = ::fcntl(fd, F_GETFD);
-        if (flags >= 0)
-            ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
     }
 
     [[nodiscard]] worker_proc spawn_worker(const exec_options& opt,
@@ -291,6 +223,7 @@ namespace {
         w.to_fd = to_pipe[1];
         w.from_fd = from_pipe[0];
         w.id = id;
+        w.shard_path = shard_path;
         return w;
     }
 
@@ -343,11 +276,19 @@ namespace {
 int run_worker(const campaign_spec& spec, const std::string& shard_path,
                std::size_t worker_id)
 {
+    // A dying orchestrator must not kill this worker mid-append via
+    // SIGPIPE; the failed ack below is the clean exit path (the appended
+    // record is durable either way).
+    ignore_sigpipe();
     const std::vector<fault_directive> faults = parse_fault_env();
     const std::string marker_dir = dirname_of(shard_path);
     const point_runner runner(spec);
     shard_writer writer(shard_path, spec, worker_id);
 
+    const auto ack = [](const std::string& text) {
+        return std::fwrite(text.data(), 1, text.size(), stdout) == text.size()
+            && std::fflush(stdout) == 0;
+    };
     std::string line;
     while (std::getline(std::cin, line)) {
         unsigned long begin = 0;
@@ -363,11 +304,11 @@ int run_worker(const campaign_spec& spec, const std::string& shard_path,
             // and flushed FIRST, so an ack always refers to a record
             // that survives this process.
             writer.append(rec);
-            std::printf("P %lu\n", i);
-            std::fflush(stdout);
+            if (!ack("P " + std::to_string(i) + "\n"))
+                return 0; // orchestrator gone (EPIPE); records are durable
         }
-        std::printf("D %lu %lu\n", begin, end);
-        std::fflush(stdout);
+        if (!ack("D " + std::to_string(begin) + " " + std::to_string(end) + "\n"))
+            return 0;
     }
     return 0;
 }
@@ -384,6 +325,25 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
         throw analysis_error("farm exec: no plan path for workers");
     if (opt.max_attempts == 0)
         throw analysis_error("farm exec: --retries must allow at least one attempt");
+    // Probe the report destination BEFORE any work runs: an unwritable
+    // --out would otherwise surface only at the final merge, hours of
+    // compute later, as a mid-merge crash with partial state.
+    {
+        const std::string out_dir = dirname_of(opt.out);
+        struct stat st {};
+        if (::stat(out_dir.c_str(), &st) != 0)
+            throw analysis_error("farm exec: report directory '" + out_dir
+                                 + "' does not exist (--out " + opt.out
+                                 + "); create it first — no points were run");
+        if (!S_ISDIR(st.st_mode))
+            throw analysis_error("farm exec: report path '" + opt.out
+                                 + "' is not inside a directory ('" + out_dir
+                                 + "' is not a directory) — no points were run");
+        if (::access(out_dir.c_str(), W_OK) != 0)
+            throw analysis_error("farm exec: report directory '" + out_dir
+                                 + "' is not writable: " + errno_text()
+                                 + " — no points were run");
+    }
     const std::size_t nworkers = std::min(std::max<std::size_t>(1, opt.workers), total);
     const std::string tool = opt.tool_path.empty() ? self_exe_path() : opt.tool_path;
 
@@ -515,7 +475,8 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
     };
 
     const auto user_interrupted = [&] {
-        return opt.interrupt != nullptr && *opt.interrupt != 0;
+        return (opt.interrupt != nullptr && *opt.interrupt != 0)
+            || (opt.cancelled && opt.cancelled());
     };
 
     /// A worker died (crash, timeout kill, or premature exit): charge the
@@ -602,6 +563,12 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
             w.point_start = steady_clock::now();
             w.timed_out = false;
             ++completed_this_run;
+            if (opt.on_point) {
+                // The record was flushed before this ack, so the tail
+                // read sees a complete line.
+                if (std::optional<std::string> rec = read_appended_record(w))
+                    opt.on_point(static_cast<std::size_t>(a), *rec);
+            }
             if (opt.verbose) {
                 std::printf("farm exec: point %lu done (%zu/%zu)\n", a, ledger.done(),
                             total);
@@ -653,8 +620,7 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
                 break;
             const std::string msg = "L " + std::to_string(lease->begin) + " "
                 + std::to_string(lease->end) + "\n";
-            const ssize_t n = ::write(w.to_fd, msg.data(), msg.size());
-            if (n != static_cast<ssize_t>(msg.size())) {
+            if (!write_fully(w.to_fd, msg.data(), msg.size())) {
                 // Dead before the lease arrived: undo the grant; the
                 // poll loop below reaps the corpse.
                 for (std::size_t i = lease->begin; i < lease->end; ++i)
@@ -708,7 +674,7 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
             if (fds[i].revents == 0)
                 continue;
             char buf[4096];
-            const ssize_t n = ::read(workers[i].from_fd, buf, sizeof buf);
+            const ssize_t n = read_retry(workers[i].from_fd, buf, sizeof buf);
             if (n > 0) {
                 workers[i].buf.append(buf, static_cast<std::size_t>(n));
                 std::size_t nl;
@@ -717,7 +683,7 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
                     workers[i].buf.erase(0, nl + 1);
                     handle_line(workers[i], line);
                 }
-            } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+            } else if (n == 0 || (n < 0 && errno != EAGAIN)) {
                 dead.push_back(i);
             }
         }
@@ -794,8 +760,18 @@ exec_summary exec_campaign(const campaign_spec& spec, const exec_options& opt)
         extras.push_back(std::move(rec));
     }
     const shard_file_listing final_files = list_shard_files(opt.workdir);
-    const stream_merge_result merged
-        = merge_shard_streams(spec, final_files.paths, extras, opt.out);
+    stream_merge_result merged;
+    try {
+        merged = merge_shard_streams(spec, final_files.paths, extras, opt.out);
+    } catch (const error& e) {
+        // Every acknowledged record is durable in the shard streams; a
+        // failed merge (out path vanished, disk full, ...) must not read
+        // as lost compute.
+        throw analysis_error(std::string(e.what())
+                             + "; all completed point records are safe in '" + opt.workdir
+                             + "' — fix the report path and re-run with --resume to "
+                               "merge without recomputing");
+    }
 
     exec_summary summary;
     summary.total = total;

@@ -47,6 +47,7 @@
 
 #include <csignal>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -70,6 +71,18 @@ struct exec_options {
     /// CLI's SIGINT/SIGTERM flag; polled every loop iteration (nullptr =
     /// not interruptible from outside).
     const volatile std::sig_atomic_t* interrupt = nullptr;
+    /// Cooperative cancellation hook polled alongside `interrupt`;
+    /// returning true stops the campaign exactly like SIGINT (workers
+    /// killed, on-disk state stays resumable). The serve daemon points
+    /// this at the request's cancel flag so a client disconnect or
+    /// deadline reaps exactly that request's workers.
+    std::function<bool()> cancelled;
+    /// Streamed per completed point: the global index plus the exact
+    /// record line appended to the shard stream (canonical
+    /// point_record_to_json bytes, durable before this fires). Called
+    /// from inside the orchestrator loop; must not throw. Points
+    /// recovered from shard streams by --resume are NOT replayed.
+    std::function<void(std::size_t index, const std::string& record_json)> on_point;
     bool verbose = true; ///< per-point progress lines on stdout
 };
 

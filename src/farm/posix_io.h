@@ -1,0 +1,81 @@
+// EINTR-safe POSIX I/O helpers shared by the farm orchestrator and the
+// serve daemon.
+//
+// Every pipe and socket write in the long-lived paths must survive two
+// things the default C library behavior does not: signal interruption
+// (EINTR, including partial writes) and a peer that died mid-transfer
+// (SIGPIPE's default disposition kills the writing PROCESS — a dead
+// worker or client must never take down the orchestrator or the server).
+// Callers pair these helpers with ignore_sigpipe() so a broken pipe
+// surfaces as a plain EPIPE errno they can handle per-peer.
+#ifndef ACSTAB_FARM_POSIX_IO_H
+#define ACSTAB_FARM_POSIX_IO_H
+
+#include <cerrno>
+#include <csignal>
+#include <cstddef>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace acstab::farm {
+
+/// Ignore SIGPIPE process-wide (idempotent). A worker or client dying
+/// mid-write then yields EPIPE from write(), which the per-peer error
+/// handling absorbs, instead of killing the whole process.
+inline void ignore_sigpipe()
+{
+    struct sigaction sa {};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+/// write() the whole buffer, retrying EINTR and short writes. Returns
+/// false on any other error (errno preserved); EPIPE here means the
+/// peer is gone, not a reason to die.
+[[nodiscard]] inline bool write_fully(int fd, const void* data, std::size_t len)
+{
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// read() retrying EINTR; other outcomes (including EAGAIN on
+/// non-blocking fds and 0 = EOF) pass through to the caller.
+[[nodiscard]] inline ssize_t read_retry(int fd, void* buf, std::size_t len)
+{
+    while (true) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
+}
+
+/// Keep parent-held fds out of forked worker processes.
+inline void set_cloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Non-blocking mode for the server's event loop fds.
+[[nodiscard]] inline bool set_nonblock(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace acstab::farm
+
+#endif // ACSTAB_FARM_POSIX_IO_H

@@ -1,0 +1,136 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace acstab::serve {
+
+using farm::json_value;
+
+namespace {
+
+    /// JSON-escape a string through the canonical dumper so reply frames
+    /// stay in the same dialect as every other acstab artifact.
+    [[nodiscard]] std::string quoted(const std::string& s)
+    {
+        return json_value::str(s).dump();
+    }
+
+    [[nodiscard]] std::string num(std::size_t n)
+    {
+        return std::to_string(n);
+    }
+
+} // namespace
+
+request_frame parse_request_frame(const std::string& line)
+{
+    const json_value doc = json_value::parse(line);
+    if (doc.type() != json_value::kind::object)
+        throw analysis_error("serve: request frame must be a JSON object");
+    const json_value* op = doc.find("op");
+    if (op == nullptr || op->type() != json_value::kind::string)
+        throw analysis_error("serve: request frame has no \"op\" string "
+                             "(want submit, cancel or ping)");
+    request_frame out;
+    const std::string& kind = op->as_string();
+    if (kind == "ping") {
+        out.kind = request_frame::op::ping;
+        return out;
+    }
+    const json_value* id = doc.find("id");
+    if (id == nullptr || id->type() != json_value::kind::string || id->as_string().empty())
+        throw analysis_error("serve: \"" + kind
+                             + "\" frame needs a non-empty string \"id\"");
+    out.id = id->as_string();
+    if (kind == "cancel") {
+        out.kind = request_frame::op::cancel;
+        return out;
+    }
+    if (kind != "submit")
+        throw analysis_error("serve: unknown request op \"" + kind
+                             + "\" (want submit, cancel or ping)");
+    out.kind = request_frame::op::submit;
+    const json_value* plan = doc.find("plan");
+    if (plan == nullptr || plan->type() != json_value::kind::object)
+        throw analysis_error("serve: submit frame needs a \"plan\" object "
+                             "(an acstab farm campaign plan)");
+    out.plan = *plan;
+    if (const json_value* dl = doc.find("deadline_s")) {
+        if (dl->type() != json_value::kind::number || !(dl->as_number() > 0))
+            throw analysis_error("serve: \"deadline_s\" must be a positive number "
+                                 "of seconds");
+        out.has_deadline = true;
+        out.deadline_s = dl->as_number();
+    }
+    if (const json_value* w = doc.find("workers")) {
+        if (w->type() != json_value::kind::number || w->as_number() < 1)
+            throw analysis_error("serve: \"workers\" must be a number >= 1");
+        out.has_workers = true;
+        out.workers = static_cast<std::size_t>(w->as_number());
+    }
+    return out;
+}
+
+long parse_offset_of(const std::string& what)
+{
+    const std::string needle = " at offset ";
+    const std::size_t pos = what.rfind(needle);
+    if (pos == std::string::npos)
+        return -1;
+    const char* digits = what.c_str() + pos + needle.size();
+    if (std::isdigit(static_cast<unsigned char>(*digits)) == 0)
+        return -1;
+    return std::strtol(digits, nullptr, 10);
+}
+
+std::string ack_frame(const std::string& id, std::size_t points, std::size_t queued,
+                      const std::string& dir)
+{
+    return "{\"frame\":\"ack\",\"id\":" + quoted(id) + ",\"points\":" + num(points)
+        + ",\"queued\":" + num(queued) + ",\"dir\":" + quoted(dir) + "}\n";
+}
+
+std::string point_frame(const std::string& id, std::size_t index,
+                        const std::string& record_json)
+{
+    return "{\"frame\":\"point\",\"id\":" + quoted(id) + ",\"index\":" + num(index)
+        + ",\"record\":" + record_json + "}\n";
+}
+
+std::string report_frame(const std::string& id, std::size_t completed,
+                         std::size_t quarantined, const std::string& report_json)
+{
+    return "{\"frame\":\"report\",\"id\":" + quoted(id) + ",\"completed\":"
+        + num(completed) + ",\"quarantined\":" + num(quarantined)
+        + ",\"report\":" + report_json + "}\n";
+}
+
+std::string error_frame(const std::string& id, const std::string& message, long offset)
+{
+    std::string out = "{\"frame\":\"error\"";
+    if (!id.empty())
+        out += ",\"id\":" + quoted(id);
+    out += ",\"error\":" + quoted(message);
+    if (offset >= 0)
+        out += ",\"offset\":" + std::to_string(offset);
+    return out + "}\n";
+}
+
+std::string overloaded_frame(const std::string& id, std::size_t running,
+                             std::size_t queued)
+{
+    std::string out = "{\"frame\":\"overloaded\"";
+    if (!id.empty())
+        out += ",\"id\":" + quoted(id);
+    return out + ",\"running\":" + num(running) + ",\"queued\":" + num(queued) + "}\n";
+}
+
+std::string pong_frame()
+{
+    return "{\"frame\":\"pong\"}\n";
+}
+
+} // namespace acstab::serve

@@ -1,0 +1,81 @@
+// Wire protocol for `acstab serve`: newline-delimited JSON frames.
+//
+// The daemon speaks JSON-lines in both directions — one frame per line,
+// using the same byte-stable farm/json.h dialect as every other acstab
+// artifact (insertion-ordered objects, shortest round-trip numbers,
+// non-finite values as the strings "nan"/"inf"/"-inf", parser depth
+// capped at 128 nesting levels).
+//
+// Client -> server (request frames, keyed by "op"):
+//   {"op":"submit","id":"<client-chosen>","plan":{...campaign plan...},
+//    "deadline_s":<seconds>?, "workers":<n>?}
+//   {"op":"cancel","id":"<id of an earlier submit>"}
+//   {"op":"ping"}
+//
+// Server -> client (reply frames, keyed by "frame"):
+//   {"frame":"ack","id":...,"points":N,"queued":B,"dir":"<request dir>"}
+//   {"frame":"point","id":...,"index":I,"record":{...}}     (streamed)
+//   {"frame":"report","id":...,"completed":N,"quarantined":Q,
+//    "report":{...merged report...}}                        (terminal)
+//   {"frame":"error","id":...?,"error":"<message>","offset":N?}
+//   {"frame":"overloaded","id":...,"running":M,"queued":B}  (terminal)
+//   {"frame":"pong"}
+//
+// Robustness contract: a malformed, over-deep, or oversized request line
+// yields exactly one "error" frame (with the parser's byte offset when
+// known) and the connection stays usable; it never kills the server or
+// the connection. "point" and "report" frames splice the orchestrator's
+// canonical record/report bytes verbatim, so a served report is
+// byte-identical to `acstab farm exec` output for the same plan.
+#ifndef ACSTAB_SERVE_PROTOCOL_H
+#define ACSTAB_SERVE_PROTOCOL_H
+
+#include <cstddef>
+#include <string>
+
+#include "farm/json.h"
+
+namespace acstab::serve {
+
+struct request_frame {
+    enum class op { submit, cancel, ping };
+    op kind = op::ping;
+    std::string id;             ///< client-chosen correlation id (submit/cancel)
+    farm::json_value plan;      ///< campaign plan (submit only)
+    bool has_deadline = false;  ///< deadline_s present on submit
+    double deadline_s = 0.0;    ///< wall-clock budget from admission
+    bool has_workers = false;   ///< workers present on submit
+    std::size_t workers = 0;    ///< per-request worker override
+};
+
+/// Parse one request line. Throws parse_error on malformed JSON (message
+/// carries "at offset N") and analysis_error on structurally valid JSON
+/// that is not a known request frame. Never returns a half-filled frame.
+[[nodiscard]] request_frame parse_request_frame(const std::string& line);
+
+/// Best-effort extraction of the trailing "at offset N" from a parser
+/// message; -1 when absent. Lets error frames point at the offending
+/// byte of the client's own line.
+[[nodiscard]] long parse_offset_of(const std::string& what);
+
+// ----- reply frame builders (each returns one full line incl. '\n') -----
+// `record_json` / `report_json` are spliced as raw bytes: they are
+// already canonical farm/json.h output, and re-parsing them here would
+// only risk perturbing the byte-identical-report guarantee.
+
+[[nodiscard]] std::string ack_frame(const std::string& id, std::size_t points,
+                                    std::size_t queued, const std::string& dir);
+[[nodiscard]] std::string point_frame(const std::string& id, std::size_t index,
+                                      const std::string& record_json);
+[[nodiscard]] std::string report_frame(const std::string& id, std::size_t completed,
+                                       std::size_t quarantined,
+                                       const std::string& report_json);
+[[nodiscard]] std::string error_frame(const std::string& id, const std::string& message,
+                                      long offset = -1);
+[[nodiscard]] std::string overloaded_frame(const std::string& id, std::size_t running,
+                                           std::size_t queued);
+[[nodiscard]] std::string pong_frame();
+
+} // namespace acstab::serve
+
+#endif // ACSTAB_SERVE_PROTOCOL_H

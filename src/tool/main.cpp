@@ -39,6 +39,7 @@
 #include "farm/executor.h"
 #include "farm/orchestrator.h"
 #include "farm/shard_store.h"
+#include "serve/server.h"
 #include "gen/netlist_gen.h"
 #include "numeric/interpolation.h"
 #include "spice/ac_analysis.h"
@@ -349,17 +350,21 @@ void write_text_atomic(const std::string& text, const std::string& out_path)
     {
         std::ofstream out(tmp, std::ios::binary);
         if (!out)
-            throw analysis_error("cannot write file '" + tmp + "'");
+            throw analysis_error("cannot write file '" + tmp
+                                 + "': " + std::strerror(errno));
         out << text;
         out.flush();
         if (!out) {
+            const std::string why = std::strerror(errno);
             std::remove(tmp.c_str());
-            throw analysis_error("write to '" + tmp + "' failed");
+            throw analysis_error("write to '" + tmp + "' failed: " + why);
         }
     }
     if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+        const std::string why = std::strerror(errno);
         std::remove(tmp.c_str());
-        throw analysis_error("cannot finalize '" + out_path + "' (rename from temp failed)");
+        throw analysis_error("cannot finalize '" + out_path + "': " + why
+                             + " (rename from temp failed)");
     }
 }
 
@@ -655,6 +660,53 @@ int cmd_farm_worker(const std::string& plan_path, const cli_options& opt)
     return farm::run_worker(spec, opt.shard_file, opt.worker_id);
 }
 
+/// Shutdown ladder for `acstab serve`: first SIGTERM/SIGINT = drain
+/// (finish in-flight requests), second = checkpoint them now. The
+/// handler only bumps the flag; the server polls it.
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+
+extern "C" void serve_shutdown_handler(int)
+{
+    if (g_serve_shutdown < 2)
+        ++g_serve_shutdown;
+}
+
+/// acstab serve [--socket PATH | --stdio] [--max-concurrent M] ...: the
+/// long-lived campaign service (serve/server.h).
+int cmd_serve(int argc, char** argv)
+{
+    const cli_options opt = parse_cli_options(argc - 2, argv + 2);
+    serve::serve_options sopt;
+    sopt.socket_path = opt.socket_path;
+    sopt.stdio = opt.stdio;
+    sopt.max_concurrent = opt.max_concurrent;
+    sopt.queue_depth = opt.queue_depth;
+    sopt.max_frame_bytes = opt.max_frame;
+    sopt.workers = opt.workers;
+    sopt.point_timeout_s = opt.point_timeout;
+    sopt.max_attempts = opt.retries;
+    sopt.root_dir = opt.dir.empty() ? "acstab-serve.work" : opt.dir;
+    sopt.drain_grace_s = opt.drain_grace;
+    sopt.shutdown = &g_serve_shutdown;
+    sopt.verbose = !opt.quiet;
+
+    // No SA_RESTART: the signal must interrupt the server's poll() so
+    // the drain starts immediately.
+    struct sigaction sa {};
+    sa.sa_handler = serve_shutdown_handler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    const serve::serve_summary sum = serve::run_server(sopt);
+    std::fprintf(stderr,
+                 "serve: %s; %zu accepted, %zu completed, %zu cancelled, %zu failed, "
+                 "%zu shed, %zu protocol errors\n",
+                 sum.drained ? "drained" : "idle exit", sum.accepted, sum.completed,
+                 sum.cancelled, sum.failed, sum.shed, sum.protocol_errors);
+    return 0;
+}
+
 /// acstab farm plan <netlist> | run <plan.json> | exec <plan.json> |
 ///        merge <plan.json> <shard>...
 int cmd_farm(int argc, char** argv)
@@ -718,6 +770,15 @@ void print_usage()
     std::puts("              merge <plan.json> <shard.json|worker.jsonl>...");
     std::puts("                    [--out f.json | --table] (streams JSONL shards with");
     std::puts("                    O(1) resident records)");
+    std::puts("  serve       long-lived campaign service (JSON-lines protocol; see");
+    std::puts("              README \"Serving\"): accepts plans as submit frames, runs");
+    std::puts("              them through the fault-tolerant orchestrator, streams");
+    std::puts("              per-point records + the merged report back:");
+    std::puts("              serve --socket PATH | --stdio  [--dir ROOT] [--workers N]");
+    std::puts("                    [--max-concurrent M] [--queue-depth Q] [--max-frame B]");
+    std::puts("                    [--point-timeout S] [--retries N] [--drain-grace S]");
+    std::puts("                    [--quiet]; SIGTERM drains gracefully (exit 0), a second");
+    std::puts("                    SIGTERM checkpoints in-flight requests immediately");
     std::puts("options:");
     std::puts("  --node NAME --all --probe NAME --source ELEM,.. --fstart HZ --fstop HZ");
     std::puts("  --ppd N");
@@ -745,6 +806,8 @@ int main(int argc, char** argv)
         }
         if (command == "farm")
             return cmd_farm(argc, argv);
+        if (command == "serve")
+            return cmd_serve(argc, argv);
         if (command == "gen")
             return cmd_gen(argc, argv);
         // The netlist is the command's one free positional, so flags may

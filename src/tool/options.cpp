@@ -91,6 +91,21 @@ cli_options parse_cli_options(int argc, char** argv, bool allow_positionals)
             opt.quiet = true;
         else if (key == "--shard-file")
             opt.shard_file = need_value(key);
+        else if (key == "--socket")
+            opt.socket_path = need_value(key);
+        else if (key == "--stdio")
+            opt.stdio = true;
+        else if (key == "--max-concurrent")
+            opt.max_concurrent
+                = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--queue-depth")
+            opt.queue_depth
+                = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--max-frame")
+            opt.max_frame
+                = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));
+        else if (key == "--drain-grace")
+            opt.drain_grace = spice::parse_spice_number(need_value(key));
         else if (key == "--worker-id")
             opt.worker_id
                 = static_cast<std::size_t>(spice::parse_spice_number(need_value(key)));

@@ -69,6 +69,14 @@ struct cli_options {
     bool quiet = false;                ///< --quiet (no per-point progress lines)
     std::string shard_file;            ///< --shard-file F (internal: farm worker)
     std::size_t worker_id = 0;         ///< --worker-id K (internal: farm worker)
+
+    // Campaign service flags (`acstab serve`).
+    std::string socket_path;           ///< --socket PATH (unix listen socket)
+    bool stdio = false;                ///< --stdio (single client on stdin/stdout)
+    std::size_t max_concurrent = 2;    ///< --max-concurrent M (parallel requests)
+    std::size_t queue_depth = 4;       ///< --queue-depth Q (admitted waiters)
+    std::size_t max_frame = 1u << 20;  ///< --max-frame BYTES (request line cap)
+    real drain_grace = 10.0;           ///< --drain-grace SECONDS (SIGTERM budget)
     /// Non-flag arguments after the command's own positionals (the merge
     /// step's shard files).
     std::vector<std::string> positionals;

@@ -7,8 +7,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "core/param_grid.h"
@@ -447,6 +450,111 @@ TEST(farm_exec, interrupt_then_resume_is_byte_identical)
     EXPECT_FALSE(resumed.interrupted);
     EXPECT_EQ(resumed.completed, 4u);
     EXPECT_TRUE(resumed.quarantined.empty());
+    EXPECT_EQ(read_file_bytes(fx.out), legacy_report_bytes(fx.spec));
+}
+
+TEST(farm_exec, nonexistent_report_directory_fails_before_any_work)
+{
+    exec_fixture fx("badout");
+    farm::exec_options opt = fx.options();
+    opt.out = "no_such_dir_xyz/report.json";
+    try {
+        (void)farm::exec_campaign(fx.spec, opt);
+        FAIL() << "exec must refuse an unwritable report destination";
+    } catch (const analysis_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("does not exist"), std::string::npos) << what;
+        EXPECT_NE(what.find("no points were run"), std::string::npos) << what;
+    }
+    // The probe fires before any state is created: no workdir, no journal,
+    // no worker was ever spawned.
+    EXPECT_FALSE(std::filesystem::exists(fx.workdir));
+}
+
+TEST(farm_exec, file_as_report_parent_fails_before_any_work)
+{
+    exec_fixture fx("badparent");
+    const std::string bogus_parent = "test_orch_badparent_file";
+    { std::ofstream(bogus_parent, std::ios::binary) << "not a directory\n"; }
+    farm::exec_options opt = fx.options();
+    opt.out = bogus_parent + "/report.json";
+    try {
+        (void)farm::exec_campaign(fx.spec, opt);
+        FAIL() << "exec must refuse a non-directory report parent";
+    } catch (const analysis_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("is not a directory"), std::string::npos) << what;
+        EXPECT_NE(what.find("no points were run"), std::string::npos) << what;
+    }
+    EXPECT_FALSE(std::filesystem::exists(fx.workdir));
+    std::filesystem::remove(bogus_parent);
+}
+
+TEST(farm_exec, failed_final_merge_preserves_records_and_names_resume)
+{
+    exec_fixture fx("mergefail");
+    // A directory squatting on the report path defeats the writability
+    // probe (its parent is fine) but makes the final rename fail — the
+    // computed records must survive and the error must say how to recover.
+    std::filesystem::remove_all(fx.out);
+    std::filesystem::create_directory(fx.out);
+    try {
+        (void)farm::exec_campaign(fx.spec, fx.options());
+        FAIL() << "merge onto a directory must fail";
+    } catch (const analysis_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--resume"), std::string::npos) << what;
+        EXPECT_NE(what.find(fx.workdir), std::string::npos) << what;
+    }
+    // Recovery path from the error message: fix the destination, resume,
+    // and get the byte-identical report without recomputing any point.
+    std::filesystem::remove_all(fx.out);
+    farm::exec_options opt = fx.options();
+    opt.resume = true;
+    const farm::exec_summary sum = farm::exec_campaign(fx.spec, opt);
+    EXPECT_EQ(sum.completed, 4u);
+    EXPECT_EQ(read_file_bytes(fx.out), legacy_report_bytes(fx.spec));
+}
+
+TEST(farm_exec, on_point_hook_streams_each_record_as_it_lands)
+{
+    exec_fixture fx("onpoint");
+    farm::exec_options opt = fx.options();
+    std::vector<std::pair<std::size_t, std::string>> seen;
+    opt.on_point = [&](std::size_t index, const std::string& record_json) {
+        seen.emplace_back(index, record_json);
+    };
+    const farm::exec_summary sum = farm::exec_campaign(fx.spec, opt);
+    EXPECT_EQ(sum.completed, 4u);
+    ASSERT_EQ(seen.size(), 4u);
+    std::set<std::size_t> indices;
+    for (const auto& [index, record_json] : seen) {
+        indices.insert(index);
+        const farm::json_value record = farm::json_value::parse(record_json);
+        EXPECT_EQ(static_cast<std::size_t>(record.at("index").as_number()), index);
+        EXPECT_EQ(record.at("status").as_string(), "ok");
+    }
+    EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(read_file_bytes(fx.out), legacy_report_bytes(fx.spec));
+}
+
+TEST(farm_exec, cancelled_hook_checkpoints_like_an_interrupt)
+{
+    exec_fixture fx("cancelhook");
+    bool cancel = false;
+    farm::exec_options opt = fx.options();
+    opt.on_point = [&](std::size_t, const std::string&) { cancel = true; };
+    opt.cancelled = [&] { return cancel; };
+    const farm::exec_summary sum = farm::exec_campaign(fx.spec, opt);
+    EXPECT_TRUE(sum.interrupted);
+    EXPECT_LT(sum.completed, 4u);
+    EXPECT_GE(sum.completed, 1u);
+    // Same contract as SIGINT: the campaign is resumable to identical bytes.
+    farm::exec_options resume_opt = fx.options();
+    resume_opt.resume = true;
+    const farm::exec_summary resumed = farm::exec_campaign(fx.spec, resume_opt);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.completed, 4u);
     EXPECT_EQ(read_file_bytes(fx.out), legacy_report_bytes(fx.spec));
 }
 

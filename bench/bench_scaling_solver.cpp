@@ -1,31 +1,48 @@
 // A5 — large-circuit solver scaling on the generated stress corpus
-// (`acstab gen`, src/gen/netlist_gen.h): the PR 6 ablation.
+// (`acstab gen`, src/gen/netlist_gen.h): the PR 6 ablation, extended in
+// PR 9 with the supernodal/approx-ordering/pipelined round-2 stack.
 //
 //   * fill table: L+U nonzeros of the shared symbolic factorization under
-//     the three column pre-orderings (none / count / amd) on RC ladders
-//     and 2-D RC meshes from a few hundred to several thousand unknowns.
-//     The mesh is the discriminating workload — every interior column has
-//     the same degree, so the count heuristic degenerates to the natural
-//     order and fills like n*k while minimum degree stays near n*log n.
+//     the column pre-orderings (none / count / amd / amd-approx) on RC
+//     ladders and 2-D RC meshes. The mesh is the discriminating workload
+//     — every interior column has the same degree, so the count heuristic
+//     degenerates to the natural order and fills like n*k while minimum
+//     degree stays near n*log n; amd-approx must track exact amd's fill.
 //     CI asserts the >= 2x reduction from the amd rows of this table.
+//   * phase breakdown ("scaling_phase" rows): wall time of each solver
+//     phase in isolation — exact vs approximate minimum-degree ordering,
+//     the full symbolic analysis, one numeric refactorization on the
+//     column vs the supernodal path, and one 24-RHS batched back-solve
+//     on each path (with the blocked-vs-column solution equivalence
+//     recorded as max_rel_err). CI's perf-ratio guard reads the
+//     refactor_column / refactor_supernodal pair of this table.
 //   * sweep ablation: wall time per frequency point of a serial
-//     injection sweep under four solver configurations —
+//     injection sweep under the stacked solver configurations —
 //       pr5            count ordering, scalar kernel, cold refactor per
 //                      frequency (the PR 5 solver path, the baseline)
 //       amd            minimum-degree ordering only
 //       amd_simd       + the split real/imag vectorized batch kernel
 //       amd_simd_warm  + frequency-coherence warm-started refactorization
-//     with each configuration's answers checked against the pr5 baseline
-//     and the warm-start accept/fallback counters reported. The ablation
-//     runs in both right-hand-side regimes, because they favor opposite
-//     configurations: 24 probes (the all-nodes stability shape, where the
-//     factorization is amortized over the batch and warm-starting cannot
-//     pay for its refinement solves) and 1 probe (the single-node
-//     stability / ac / impedance / loopgain shape, where the
-//     factorization dominates and warm-starting is the big lever).
+//       amdx_simd      approximate minimum degree + SIMD (column path)
+//       amdx_sn_simd   + the supernodal/blocked numeric path (the PR 9
+//                      default configuration)
+//       amdx_sn_pipe   + the pipelined warm start (the next point's
+//                      refactorization runs on a pool worker while this
+//                      point's batches solve; bit-identical to cold)
+//     with each configuration's answers checked against the first
+//     configuration run at that size and the warm accept/fallback
+//     counters reported. The ablation runs in both right-hand-side
+//     regimes because they favor opposite configurations: 24 probes (the
+//     all-nodes stability shape — the regime the classic warm start
+//     loses; the pipelined variant stays correct here and wins given a
+//     spare core, though a core-starved host pays a ~1.1-1.2x
+//     contention tax at 8k — see the CI tripwire) and 1 probe (the
+//     single-node stability / ac / impedance / loopgain shape). The
+//     scalar column modes are skipped above ~4k unknowns in the 24-probe
+//     regime (hours of wall clock for a known-overtaken configuration).
 //
 // Prints tables plus one machine-readable ACSTAB_BENCH_JSON line; the
-// committed BENCH_6.json at the repo root is this line's array (see
+// committed BENCH_9.json at the repo root is this line's array (see
 // README "Benchmarks"). --quick restricts sizes/grids for the CI smoke
 // job; this binary registers no google-benchmark cases.
 #include <chrono>
@@ -37,9 +54,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "engine/linearized_snapshot.h"
 #include "engine/sweep_engine.h"
 #include "gen/netlist_gen.h"
+#include "numeric/amd_order.h"
 #include "numeric/interpolation.h"
 #include "numeric/sparse_factor.h"
 #include "spice/ac_analysis.h"
@@ -119,6 +139,7 @@ const char* ordering_name(numeric::column_ordering o)
     case numeric::column_ordering::none: return "none";
     case numeric::column_ordering::count: return "count";
     case numeric::column_ordering::amd: return "amd";
+    case numeric::column_ordering::amd_approx: return "amd-approx";
     }
     return "?";
 }
@@ -130,7 +151,7 @@ void print_fill_table(const std::vector<std::size_t>& sizes)
     std::puts("==============================================================================");
     std::puts("A5a — symbolic fill (L+U nonzeros) vs column pre-ordering, generated corpus");
     std::puts("==============================================================================");
-    std::puts("kind     unknowns    A nnz      none      count        amd   amd vs count");
+    std::puts("kind     unknowns    A nnz      none      count        amd amd-approx  amd/cnt");
     std::puts("------------------------------------------------------------------------------");
     for (const std::string kind : {"ladder", "rcmesh"}) {
         for (const std::size_t size : sizes) {
@@ -138,10 +159,11 @@ void print_fill_table(const std::vector<std::size_t>& sizes)
             const engine::linearized_snapshot snap(w.net.ckt, w.op, {});
             numeric::csc_matrix<cplx> work = snap.make_workspace();
             snap.assemble(to_omega(1e6), work);
-            std::size_t nnz[3] = {0, 0, 0};
+            std::size_t nnz[4] = {0, 0, 0, 0};
             for (const auto o : {numeric::column_ordering::none,
                                  numeric::column_ordering::count,
-                                 numeric::column_ordering::amd}) {
+                                 numeric::column_ordering::amd,
+                                 numeric::column_ordering::amd_approx}) {
                 numeric::lu_options lopt;
                 lopt.ordering = o;
                 const numeric::symbolic_lu<cplx> sym(work, lopt);
@@ -149,9 +171,105 @@ void print_fill_table(const std::vector<std::size_t>& sizes)
                 results().push_back({"scaling_fill", kind, snap.size(), ordering_name(o), -1,
                                      static_cast<long long>(nnz[static_cast<int>(o)])});
             }
-            std::printf("%-8s %8zu %8zu  %8zu   %8zu   %8zu        %5.2fx\n", kind.c_str(),
-                        snap.size(), work.nnz(), nnz[0], nnz[1], nnz[2],
+            std::printf("%-8s %8zu %8zu  %8zu   %8zu   %8zu   %8zu   %5.2fx\n", kind.c_str(),
+                        snap.size(), work.nnz(), nnz[0], nnz[1], nnz[2], nnz[3],
                         static_cast<double>(nnz[1]) / static_cast<double>(nnz[2]));
+        }
+    }
+    std::puts("");
+}
+
+/// Wall time of each solver phase in isolation — ordering (exact vs
+/// approximate minimum degree), full symbolic analysis, one numeric
+/// refactorization and one 24-RHS batched back-solve on the column and
+/// the supernodal paths — plus the blocked-vs-column solution agreement.
+void print_phase_breakdown(const std::vector<std::size_t>& sizes, int repeats)
+{
+    std::puts("==============================================================================");
+    std::puts("A5d — per-phase wall time [ms], column vs supernodal numeric paths");
+    std::puts("==============================================================================");
+    std::puts("kind     unknowns  order_amd  order_amdx  symbolic  refac_col  refac_sn  "
+              "solve24_col  solve24_sn  sn err");
+    std::puts("------------------------------------------------------------------------------");
+    for (const std::string kind : {"ladder", "rcmesh"}) {
+        for (const std::size_t size : sizes) {
+            workload w(kind, size);
+            const engine::linearized_snapshot snap(w.net.ckt, w.op, {});
+            const std::size_t n = snap.size();
+            numeric::csc_matrix<cplx> work = snap.make_workspace();
+            snap.assemble(to_omega(1e6), work);
+            const int reps = size > 4000 ? std::max(1, repeats / 2) : repeats;
+
+            const auto best_of = [reps](const std::function<void()>& fn) {
+                double ms = 1e300;
+                for (int rep = 0; rep < reps; ++rep)
+                    ms = std::min(ms, time_ms(fn));
+                return ms;
+            };
+
+            std::vector<std::size_t> order;
+            const double ms_amd = best_of([&] {
+                order = numeric::minimum_degree_order(n, work.col_ptr(), work.row_idx());
+            });
+            const double ms_amdx = best_of([&] {
+                order = numeric::approx_minimum_degree_order(n, work.col_ptr(), work.row_idx());
+            });
+
+            numeric::lu_options lopt;
+            lopt.ordering = numeric::column_ordering::amd_approx;
+            std::shared_ptr<const numeric::symbolic_lu<cplx>> sym;
+            const double ms_sym = best_of([&] {
+                sym = std::make_shared<const numeric::symbolic_lu<cplx>>(work, lopt);
+            });
+
+            numeric::numeric_lu<cplx> col(sym);
+            col.set_batch_kernel(numeric::batch_kernel::simd);
+            numeric::numeric_lu<cplx> blk(sym);
+            blk.set_batch_kernel(numeric::batch_kernel::simd);
+            blk.set_supernodal(true);
+            col.refactor(work); // prime allocations outside the timed region
+            blk.refactor(work);
+            const double ms_refac_col = best_of([&] { col.refactor(work); });
+            const double ms_refac_sn = best_of([&] { blk.refactor(work); });
+
+            constexpr std::size_t nrhs = 24;
+            std::vector<std::vector<cplx>> rhs(nrhs, std::vector<cplx>(n, cplx{}));
+            for (std::size_t r = 0; r < nrhs; ++r)
+                rhs[r][(r * 31) % n] = cplx{1.0, 0.0};
+            std::vector<const cplx*> cols;
+            for (const auto& b : rhs)
+                cols.push_back(b.data());
+            std::vector<cplx> xc(n * nrhs);
+            std::vector<cplx> xb(n * nrhs);
+            const double ms_solve_col = best_of([&] {
+                col.solve_batch(cols.data(), nrhs, xc.data());
+            });
+            const double ms_solve_sn = best_of([&] {
+                blk.solve_batch(cols.data(), nrhs, xb.data());
+            });
+            double err = 0.0;
+            for (std::size_t i = 0; i < xc.size(); ++i) {
+                const double mag = std::max(std::abs(xc[i]), std::abs(xb[i]));
+                if (mag > 1e-30)
+                    err = std::max(err, std::abs(xc[i] - xb[i]) / mag);
+            }
+
+            std::printf("%-8s %8zu   %8.2f    %8.2f  %8.2f   %8.2f  %8.2f     %8.3f    "
+                        "%8.3f  %.2g\n",
+                        kind.c_str(), n, ms_amd, ms_amdx, ms_sym, ms_refac_col, ms_refac_sn,
+                        ms_solve_col, ms_solve_sn, err);
+            const auto phase_row = [&](const char* mode, double ms, long long probes,
+                                       double rel_err) {
+                results().push_back({"scaling_phase", kind, n, mode, probes, -1, ms, -1, -1,
+                                     -1, rel_err});
+            };
+            phase_row("order_amd", ms_amd, -1, 0.0);
+            phase_row("order_amd_approx", ms_amdx, -1, 0.0);
+            phase_row("symbolic", ms_sym, -1, 0.0);
+            phase_row("refactor_column", ms_refac_col, -1, 0.0);
+            phase_row("refactor_supernodal", ms_refac_sn, -1, 0.0);
+            phase_row("solve24_column", ms_solve_col, 24, 0.0);
+            phase_row("solve24_supernodal", ms_solve_sn, 24, err);
         }
     }
     std::puts("");
@@ -160,7 +278,22 @@ void print_fill_table(const std::vector<std::size_t>& sizes)
 struct sweep_mode {
     const char* name;
     engine::solver_tuning tuning;
+    /// Skip this configuration above ~4k unknowns (the scalar column
+    /// modes: hours of wall clock for a known-overtaken path).
+    bool skip_large = false;
 };
+
+engine::solver_tuning make_tuning(numeric::column_ordering ordering, bool simd, bool warm,
+                                  bool supernodal, bool pipeline)
+{
+    engine::solver_tuning t;
+    t.ordering = ordering;
+    t.simd = simd;
+    t.warm_start = warm;
+    t.supernodal = supernodal;
+    t.warm_pipeline = pipeline;
+    return t;
+}
 
 /// Serial batched injection sweep (the all-nodes stability shape: one
 /// unit-current stimulus per probed node) under one solver configuration.
@@ -210,11 +343,15 @@ void print_sweep_ablation(const char* title, std::size_t nprobes,
     std::puts("kind     unknowns  mode            ms/freq   speedup   cold   warm   max err");
     std::puts("------------------------------------------------------------------------------");
 
+    using co = numeric::column_ordering;
     const std::vector<sweep_mode> modes = {
-        {"pr5", {numeric::column_ordering::count, false, false}},
-        {"amd", {numeric::column_ordering::amd, false, false}},
-        {"amd_simd", {numeric::column_ordering::amd, true, false}},
-        {"amd_simd_warm", {numeric::column_ordering::amd, true, true}},
+        {"pr5", make_tuning(co::count, false, false, false, false), true},
+        {"amd", make_tuning(co::amd, false, false, false, false), true},
+        {"amd_simd", make_tuning(co::amd, true, false, false, false)},
+        {"amd_simd_warm", make_tuning(co::amd, true, true, false, false)},
+        {"amdx_simd", make_tuning(co::amd_approx, true, false, false, false)},
+        {"amdx_sn_simd", make_tuning(co::amd_approx, true, false, true, false)},
+        {"amdx_sn_pipe", make_tuning(co::amd_approx, true, false, true, true)},
     };
     const std::vector<real> freqs = numeric::log_grid(1e4, 1e7, 40);
 
@@ -244,6 +381,8 @@ void print_sweep_ablation(const char* title, std::size_t nprobes,
             // fast cases.
             const int reps = size > 4000 ? 1 : repeats;
             for (const sweep_mode& m : modes) {
+                if (m.skip_large && nprobes > 1 && size > 4000)
+                    continue;
                 engine::sweep_stats stats;
                 std::vector<std::vector<real>> mag;
                 double ms = 1e300;
@@ -292,13 +431,18 @@ int main(int argc, char** argv)
     const char* title1 = "A5c — single-probe sweep, ms per frequency point (serial, 1 probe, "
                          "40 ppd)";
     if (quick) {
-        // CI smoke: one ~2k-unknown point per kind, single timing pass.
+        // CI smoke: one ~2k-unknown point per kind, single timing pass,
+        // plus the 8k point the supernodal and pipelined perf guards
+        // read (the scalar column modes are skipped there, so it stays
+        // within the job's minutes budget).
         print_fill_table({2048});
-        print_sweep_ablation(title24, 24, {2048}, 1);
+        print_phase_breakdown({2048, 8192}, 1);
+        print_sweep_ablation(title24, 24, {2048, 8192}, 1);
         print_sweep_ablation(title1, 1, {2048}, 1);
     } else {
         print_fill_table({512, 2048, 8192});
-        print_sweep_ablation(title24, 24, {512, 2048}, 3);
+        print_phase_breakdown({512, 2048, 8192}, 3);
+        print_sweep_ablation(title24, 24, {512, 2048, 8192}, 3);
         print_sweep_ablation(title1, 1, {512, 2048, 8192}, 3);
     }
     emit_json();

@@ -82,7 +82,7 @@ public:
     /// or ordering replaces the cached object.
     [[nodiscard]] std::shared_ptr<const numeric::symbolic_lu<cplx>>
     shared_symbolic(real omega_ref,
-                    numeric::column_ordering ordering = numeric::column_ordering::amd) const;
+                    numeric::column_ordering ordering = numeric::column_ordering::amd_approx) const;
 
 private:
     std::size_t n_ = 0;
@@ -96,7 +96,7 @@ private:
     mutable std::mutex symbolic_mutex_;
     mutable std::shared_ptr<const numeric::symbolic_lu<cplx>> symbolic_;
     mutable real symbolic_omega_ = -1.0;
-    mutable numeric::column_ordering symbolic_ordering_ = numeric::column_ordering::amd;
+    mutable numeric::column_ordering symbolic_ordering_ = numeric::column_ordering::amd_approx;
 };
 
 } // namespace acstab::engine

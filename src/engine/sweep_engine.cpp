@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "engine/thread_pool.h"
@@ -14,6 +17,51 @@
 namespace acstab::engine {
 
 namespace {
+
+    /// A claimable single-shot background task: whoever flips `claimed`
+    /// first runs (or cancels) the work, everyone else blocks on `done`.
+    /// This is what makes the pipelined warm start deadlock-free on the
+    /// shared pool — a waiter that finds the task still unclaimed (every
+    /// worker busy) claims it and runs it inline, paying exactly the
+    /// cold path's cost instead of waiting on a thread that may itself
+    /// be waiting.
+    struct bg_refactor {
+        std::atomic<int> claimed{0};
+        std::atomic<bool> done{false};
+        std::mutex m;
+        std::condition_variable cv;
+        std::function<void()> work;
+        bool ok = false; ///< work outcome; valid only after join()
+
+        void claim_and_run()
+        {
+            if (claimed.exchange(1, std::memory_order_acq_rel) != 0)
+                return;
+            work();
+            {
+                std::lock_guard<std::mutex> lock(m);
+                done.store(true, std::memory_order_release);
+            }
+            cv.notify_all();
+        }
+
+        void join()
+        {
+            claim_and_run();
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [this] { return done.load(std::memory_order_acquire); });
+        }
+
+        /// Cancel if still unclaimed, else wait for the runner: after
+        /// this returns, no thread will touch the submitter's buffers.
+        void cancel_or_wait()
+        {
+            if (claimed.exchange(1, std::memory_order_acq_rel) == 0)
+                return; // won the claim: the work never runs
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [this] { return done.load(std::memory_order_acquire); });
+        }
+    };
 
     /// Per-worker solver state: a pattern workspace plus a numeric
     /// factorization refactored in place frequency to frequency against a
@@ -35,7 +83,7 @@ namespace {
                 if (shared != nullptr) {
                     sym_ = std::move(shared);
                     num_.emplace(sym_);
-                    set_kernel();
+                    configure(*num_);
                 } else {
                     snap_.assemble(omega_ref, work_);
                     fresh_factor();
@@ -46,17 +94,62 @@ namespace {
             }
         }
 
+        chunk_solver(const chunk_solver&) = delete;
+        chunk_solver& operator=(const chunk_solver&) = delete;
+
+        ~chunk_solver()
+        {
+            // A still-queued background refactor references this object's
+            // buffers: cancel it (or wait out a running one) before they
+            // go away.
+            if (pending_ != nullptr)
+                pending_->cancel_or_wait();
+        }
+
         /// Factor Y(j w) — or, with warm_start, decide that the previous
         /// point's factors are close enough to serve this one through
-        /// iterative refinement. Throws numeric_error only if the matrix
-        /// is singular under every pivot order (matching the direct path).
-        void factor(real omega)
+        /// iterative refinement. omega_next (0 = none) is the chunk's
+        /// following grid point: with warm_pipeline its refactorization
+        /// is launched onto the pool before this call returns, so it
+        /// overlaps this point's batched back-solves. Throws
+        /// numeric_error only if the matrix is singular under every
+        /// pivot order (matching the direct path).
+        void factor(real omega, real omega_next = 0.0)
         {
             snap_.assemble(omega, work_);
             omega_cur_ = omega;
             if (opt_.solver == spice::solver_kind::dense) {
                 dense_.emplace(work_.to_dense());
                 return;
+            }
+            if (pending_ != nullptr) {
+                // A lookahead refactorization is in flight (or queued).
+                // When it is exactly this point's matrix, adopt it: the
+                // join claims an unclaimed task and runs it inline, so
+                // the wait is bounded by one refactor and a worker-less
+                // pool degrades to the cold path's cost. The adopted
+                // factors came from identically assembled values, so
+                // after the cold guard below the state is bit-for-bit
+                // what cold_factor would have produced.
+                if (omega == omega_bg_ && adopt_incoming()) {
+                    if (num_->growth() > opt_.refactor_growth_limit
+                        && probe_residual() > opt_.refactor_guard_tol)
+                        fresh_factor();
+                    factored_ = true;
+                    omega_fact_ = omega;
+                    warm_ = false;
+                    bump(&sweep_stats::warm_accepts);
+                    bump(&sweep_stats::cold_factors);
+                    launch_lookahead(omega_next);
+                    return;
+                }
+                // Mismatched frequency (the foreground went cold out of
+                // order) or the background hit a zero pivot: discard and
+                // take the normal path.
+                if (pending_ != nullptr) {
+                    pending_->cancel_or_wait();
+                    pending_ = nullptr;
+                }
             }
             if (opt_.tuning.warm_start && factored_ && warm_eligible(omega)) {
                 // The warm guard keeps the cold path's two tiers but moves
@@ -71,12 +164,14 @@ namespace {
                 if (num_->growth() <= opt_.refactor_growth_limit) {
                     warm_ = true;
                     bump(&sweep_stats::warm_accepts);
+                    launch_lookahead(omega_next);
                     return;
                 }
                 bump(&sweep_stats::warm_fallbacks);
             }
             warm_ = false;
             cold_factor();
+            launch_lookahead(omega_next);
         }
 
         /// Back-solve a batch of right-hand sides against the current
@@ -103,7 +198,9 @@ namespace {
             if (!refine_batch(b, nrhs, x)) {
                 // Refinement stalled (frequency step too aggressive for
                 // these values): go cold and redo the whole batch against
-                // exact factors of the current Y(jw).
+                // exact factors of the current Y(jw). Any in-flight
+                // lookahead task targets the NEXT grid point's matrix, so
+                // it is of no use here; it stays queued for that point.
                 bump(&sweep_stats::warm_fallbacks);
                 warm_ = false;
                 cold_factor();
@@ -240,10 +337,62 @@ namespace {
                 (opt_.stats->*member).fetch_add(1, std::memory_order_relaxed);
         }
 
-        void set_kernel()
+        void configure(numeric::numeric_lu<cplx>& num) const
         {
-            num_->set_batch_kernel(opt_.tuning.simd ? numeric::batch_kernel::simd
-                                                    : numeric::batch_kernel::scalar);
+            num.set_batch_kernel(opt_.tuning.simd ? numeric::batch_kernel::simd
+                                                  : numeric::batch_kernel::scalar);
+            num.set_supernodal(opt_.tuning.supernodal);
+        }
+
+        /// Join (or claim and run inline) the in-flight background
+        /// refactorization, adopting its factors when it succeeded; true
+        /// exactly then. On failure (zero pivot under the reused order)
+        /// the current factors stay live and the caller falls back to
+        /// the cold path.
+        bool adopt_incoming()
+        {
+            if (pending_ == nullptr)
+                return false;
+            pending_->join();
+            const bool ok = pending_->ok;
+            pending_ = nullptr;
+            if (!ok)
+                return false;
+            std::swap(num_, incoming_);
+            omega_fact_ = omega_bg_;
+            return true;
+        }
+
+        /// Lookahead prefetch: assemble the NEXT grid point's matrix into
+        /// the spare workspace and kick its refactorization onto a pool
+        /// worker, overlapping it with this point's batched back-solves.
+        /// Assembly runs here on the foreground (it is cheap and snap_
+        /// assembly is not advertised thread-safe against itself); only
+        /// the refactor crosses the task boundary, and it never throws
+        /// across it — a zero pivot is recorded as ok = false.
+        void launch_lookahead(real omega_next)
+        {
+            if (!opt_.tuning.warm_pipeline || !(omega_next > 0.0))
+                return;
+            if (!bg_work_)
+                bg_work_.emplace(snap_.make_workspace());
+            if (!incoming_) {
+                incoming_.emplace(sym_);
+                configure(*incoming_);
+            }
+            snap_.assemble(omega_next, *bg_work_);
+            omega_bg_ = omega_next;
+            auto task = std::make_shared<bg_refactor>();
+            task->work = [this, t = task.get()] {
+                try {
+                    incoming_->refactor(*bg_work_);
+                    t->ok = true;
+                } catch (...) {
+                    t->ok = false;
+                }
+            };
+            pending_ = task;
+            thread_pool::shared().submit([task] { task->claim_and_run(); });
         }
 
         /// Normwise backward error of Y x = 1 for the all-ones probe:
@@ -271,6 +420,13 @@ namespace {
 
         void fresh_factor()
         {
+            // A queued lookahead task refactors incoming_ against the
+            // OLD symbolic pattern this call is about to replace: cancel
+            // it (or wait out a running one) before tearing that down.
+            if (pending_ != nullptr) {
+                pending_->cancel_or_wait();
+                pending_ = nullptr;
+            }
             // Adopt the seed values the pivot-selecting analysis computes
             // anyway instead of repeating the numeric elimination.
             numeric::lu_options sopt;
@@ -278,7 +434,10 @@ namespace {
             numeric::symbolic_lu<cplx>::factor_values seed;
             sym_ = std::make_shared<const numeric::symbolic_lu<cplx>>(work_, sopt, &seed);
             num_.emplace(sym_, std::move(seed));
-            set_kernel();
+            configure(*num_);
+            // The spare background object is bound to the old symbolic
+            // pattern; rebuild it lazily against the new one.
+            incoming_.reset();
         }
 
         const linearized_snapshot& snap_;
@@ -299,6 +458,13 @@ namespace {
         real omega_fact_ = 0.0; ///< frequency of the current cold factors
         real omega_cur_ = 0.0;  ///< frequency of the assembled workspace
         real ymax_ = 0.0;       ///< max |Y| of the assembled workspace (warm)
+        // Pipelined warm start: the spare numeric object the lookahead
+        // refactorization fills, the next point's assembled workspace,
+        // and the claimable in-flight task.
+        std::optional<numeric::numeric_lu<cplx>> incoming_;
+        std::optional<numeric::csc_matrix<cplx>> bg_work_;
+        std::shared_ptr<bg_refactor> pending_;
+        real omega_bg_ = 0.0; ///< frequency of the lookahead matrix
     };
 
 } // namespace
@@ -367,7 +533,10 @@ namespace {
             std::vector<const cplx*> cols(block);
             std::vector<cplx> xbuf(block * n);
             for (std::size_t fi = begin; fi < end; ++fi) {
-                solver.factor(to_omega(freqs_hz[fi]));
+                // The lookahead (warm_pipeline) stops at the chunk edge:
+                // the next chunk's points belong to another worker.
+                solver.factor(to_omega(freqs_hz[fi]),
+                              fi + 1 < end ? to_omega(freqs_hz[fi + 1]) : 0.0);
                 for (std::size_t r0 = 0; r0 < nrhs; r0 += block) {
                     const std::size_t bn = std::min(block, nrhs - r0);
                     for (std::size_t j = 0; j < bn; ++j)

@@ -42,7 +42,12 @@ namespace acstab::engine {
 /// options; the CLI exposes it as --order / --no-simd / --warm).
 struct solver_tuning {
     /// Fill-reducing column pre-ordering of the shared symbolic LU.
-    numeric::column_ordering ordering = numeric::column_ordering::amd;
+    /// Approximate minimum degree by default: fill within a few percent
+    /// of exact minimum degree everywhere we measure, with an ordering
+    /// cost that stays flat to hundreds of thousands of nodes. `amd`
+    /// (exact) and the cheap `count`/`none` heuristics remain as escape
+    /// hatches; the ordering never changes answers, only speed.
+    numeric::column_ordering ordering = numeric::column_ordering::amd_approx;
     /// Vectorize the batched back-solve across the contiguous RHS block
     /// (numeric_lu's split real/imag SIMD kernel). Deterministic for a
     /// given batch shape, so thread count still never changes results;
@@ -62,6 +67,30 @@ struct solver_tuning {
     /// results would vary with the thread count's chunk boundaries —
     /// opt in per run (bench harnesses, serial sweeps, --warm).
     bool warm_start = false;
+    /// Supernodal/blocked numeric path: refactorization runs the blocked
+    /// elimination over the symbolic supernode partition and the batched
+    /// back-solve walks dense panels (numeric_lu::set_supernodal). ON by
+    /// default — it is a pure speed knob; blocked and column answers
+    /// agree to rounding (CI-guarded at 1e-12) exactly like the SIMD
+    /// kernel. --no-supernodal is the escape hatch / ablation axis.
+    bool supernodal = true;
+    /// Pipelined warm start, the batched-regime variant of warm_start:
+    /// while a worker back-solves one grid point's RHS batches, the NEXT
+    /// point's matrix is assembled into a spare workspace and refactored
+    /// concurrently on a shared-pool worker; reaching that point adopts
+    /// the finished factors instead of refactoring on the critical path.
+    /// The lookahead refactorization runs on the same assembled values a
+    /// cold refactor would use and the adopted factors pass the cold
+    /// path's growth/probe guard, so results are BIT-IDENTICAL to the
+    /// cold path — unlike warm_start nothing is served stale and no
+    /// refinement is involved. Wins when spare cores exist to overlap
+    /// factor with solve; on a core-starved host the lookahead instead
+    /// timeslices against the solves and doubles the live factor
+    /// working set (~1.1-1.2x over cold at 8k unknowns, single-core).
+    /// OFF by default because it spends a second core per worker —
+    /// results do not depend on thread count or chunk boundaries
+    /// (--warm-pipeline).
+    bool warm_pipeline = false;
 };
 
 /// Live solver counters, aggregated across workers (relaxed atomics).
@@ -69,7 +98,7 @@ struct solver_tuning {
 /// (the size-scaling bench reports these per configuration).
 struct sweep_stats {
     std::atomic<std::size_t> cold_factors{0};   ///< full numeric refactorizations
-    std::atomic<std::size_t> warm_accepts{0};   ///< frequencies that adopted stale factors
+    std::atomic<std::size_t> warm_accepts{0};   ///< warm: stale factors served; pipelined: lookahead factors adopted
     std::atomic<std::size_t> warm_fallbacks{0}; ///< warm attempts that went cold
     std::atomic<std::size_t> warm_refinements{0}; ///< batched refinement solves
 };

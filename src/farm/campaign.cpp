@@ -18,8 +18,10 @@ namespace {
             return "count";
         case numeric::column_ordering::amd:
             return "amd";
+        case numeric::column_ordering::amd_approx:
+            return "amd-approx";
         }
-        return "amd";
+        return "amd-approx";
     }
 
     numeric::column_ordering ordering_from_name(const std::string& name)
@@ -30,8 +32,10 @@ namespace {
             return numeric::column_ordering::count;
         if (name == "amd")
             return numeric::column_ordering::amd;
+        if (name == "amd-approx")
+            return numeric::column_ordering::amd_approx;
         throw analysis_error("farm: unknown column ordering '" + name
-                             + "' (amd | count | none)");
+                             + "' (amd-approx | amd | count | none)");
     }
 
 } // namespace
@@ -119,6 +123,10 @@ json_value to_json(const campaign_spec& spec)
         sweep.set("simd", json_value::boolean(spec.tuning.simd));
     if (spec.tuning.warm_start != default_tuning.warm_start)
         sweep.set("warm", json_value::boolean(spec.tuning.warm_start));
+    if (spec.tuning.supernodal != default_tuning.supernodal)
+        sweep.set("supernodal", json_value::boolean(spec.tuning.supernodal));
+    if (spec.tuning.warm_pipeline != default_tuning.warm_pipeline)
+        sweep.set("warm_pipeline", json_value::boolean(spec.tuning.warm_pipeline));
     doc.set("sweep", std::move(sweep));
     return doc;
 }
@@ -166,6 +174,10 @@ campaign_spec campaign_from_json(const json_value& doc)
         spec.tuning.simd = simd->as_bool();
     if (const json_value* warm = sweep.find("warm"))
         spec.tuning.warm_start = warm->as_bool();
+    if (const json_value* sn = sweep.find("supernodal"))
+        spec.tuning.supernodal = sn->as_bool();
+    if (const json_value* wp = sweep.find("warm_pipeline"))
+        spec.tuning.warm_pipeline = wp->as_bool();
 
     // The recorded point count guards against grid-decoding drift between
     // the planning and executing binaries.

@@ -1,0 +1,57 @@
+// Vector kernels for the supernodal numeric path (sparse_factor.h).
+//
+// The blocked refactor and solve spend their flops in unit-stride
+// complex rank-1 updates over dense panel columns and over split
+// real/imaginary solution planes. Those loops vectorize — but the
+// library is built for baseline x86-64 (SSE2, no FMA), so this one
+// translation unit is compiled with AVX2+FMA enabled (see CMakeLists)
+// and selected at runtime behind a cpuid check. Callers fall back to
+// their portable scalar loops when the CPU (or the build) lacks the
+// extensions, so results and portability never depend on them being
+// present; the kernels compute the same split-complex expressions as
+// the scalar fallbacks, in the same order, differing only by FMA
+// contraction (within the paths' documented rounding slack).
+//
+// Interleaved arrays are std::complex<double> storage viewed as
+// double[2*m] (re, im pairs); `m` counts complex elements throughout.
+#ifndef ACSTAB_NUMERIC_SN_KERNELS_H
+#define ACSTAB_NUMERIC_SN_KERNELS_H
+
+#include <cstddef>
+
+namespace acstab::numeric::snk {
+
+/// True when the AVX2+FMA kernels below are compiled in and the CPU
+/// supports them (checked once, cached).
+[[nodiscard]] bool available() noexcept;
+
+/// Interleaved complex rank-1 updates: y op= l * (ur + i*ui).
+void cax_sub(double* y, const double* l, double ur, double ui, std::size_t m) noexcept;
+void cax_set(double* y, const double* l, double ur, double ui, std::size_t m) noexcept;
+void cax_add(double* y, const double* l, double ur, double ui, std::size_t m) noexcept;
+
+/// Fused rank-2 forms: y op= l0*u0 + l1*u1 in a single pass over y,
+/// halving the accumulator load/store traffic of the refactor's panel
+/// update (its hottest loop).
+void cax_set2(double* y, const double* l0, double u0r, double u0i, const double* l1,
+              double u1r, double u1i, std::size_t m) noexcept;
+void cax_add2(double* y, const double* l0, double u0r, double u0i, const double* l1,
+              double u1r, double u1i, std::size_t m) noexcept;
+void cax_sub2(double* y, const double* l0, double u0r, double u0i, const double* l1,
+              double u1r, double u1i, std::size_t m) noexcept;
+
+/// Split-plane complex rank-1 update (solve kernels): for r < m,
+///   yr[r] op= lr*xr[r] - li*xi[r],  yi[r] op= lr*xi[r] + li*xr[r].
+void plane_sub(double* yr, double* yi, const double* xr, const double* xi, double lr,
+               double li, std::size_t m) noexcept;
+void plane_add(double* yr, double* yi, const double* xr, const double* xi, double lr,
+               double li, std::size_t m) noexcept;
+
+/// In-place split-plane scaling by a complex constant (reciprocal
+/// diagonal in the blocked back solve): xr,xi <- xr*dr - xi*di,
+/// xr*di + xi*dr. Returns true when any resulting lane is nonzero.
+bool plane_scale(double* xr, double* xi, double dr, double di, std::size_t m) noexcept;
+
+} // namespace acstab::numeric::snk
+
+#endif // ACSTAB_NUMERIC_SN_KERNELS_H

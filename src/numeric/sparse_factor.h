@@ -22,6 +22,7 @@
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -30,7 +31,27 @@
 
 #include "common/error.h"
 #include "numeric/amd_order.h"
+#include "numeric/sn_kernels.h"
 #include "numeric/sparse_matrix.h"
+#include "numeric/supernode.h"
+
+#ifdef ACSTAB_SN_PROF
+inline unsigned long long acstab_snp[16];
+inline unsigned long long acstab_snp_now()
+{
+    unsigned lo, hi;
+    __asm__ volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<unsigned long long>(hi) << 32) | lo;
+}
+#define ACSTAB_SNPM(s)                                                                   \
+    do {                                                                                 \
+        const unsigned long long t__ = acstab_snp_now();                                 \
+        acstab_snp[s] += t__ - snp_t;                                                    \
+        snp_t = t__;                                                                     \
+    } while (0)
+#else
+#define ACSTAB_SNPM(s)
+#endif
 
 namespace acstab::numeric {
 
@@ -43,9 +64,15 @@ enum class column_ordering {
     /// every column has the same degree.
     count,
     /// Minimum external degree on A + A^T (amd_order.h): re-ranks the
-    /// remaining columns after every elimination, the production choice
-    /// for thousands-of-unknowns circuits.
+    /// remaining columns after every elimination with exact degrees.
+    /// Fill matches amd_approx to a few percent; the ordering itself is
+    /// the slower of the two at 100k+ nodes.
     amd,
+    /// Approximate minimum degree (supervariables + the approximate
+    /// external-degree bound + aggressive absorption, amd_order.h): the
+    /// same fill quality at a per-pivot cost that scales to hundreds of
+    /// thousands of nodes. The default.
+    amd_approx,
 };
 
 /// Batched back-solve kernel of numeric_lu::solve_batch.
@@ -70,7 +97,15 @@ struct lu_options {
     /// preferred, preserving MNA structure and limiting fill-in.
     double pivot_tol = 0.1;
     /// Fill-reducing column pre-ordering.
-    column_ordering ordering = column_ordering::amd;
+    column_ordering ordering = column_ordering::amd_approx;
+    /// Supernode partition shape for the blocked numeric path: width cap
+    /// of a dense panel, and the relaxed-amalgamation padding bounds
+    /// (see detect_supernodes; 0 / 0.0 keeps the strict partition). The
+    /// partition only affects how the blocked path groups its work —
+    /// factors and solves are identical under any setting.
+    std::size_t sn_max_width = 32;
+    std::size_t sn_relax_zeros = 12;
+    double sn_relax_fill = 0.25;
 };
 
 /// Immutable symbolic factorization: pivot order, column ordering and the
@@ -116,6 +151,9 @@ public:
     [[nodiscard]] const std::vector<std::size_t>& pinv() const noexcept { return pinv_; }
     /// Pivot step -> original column.
     [[nodiscard]] const std::vector<std::size_t>& q() const noexcept { return q_; }
+    /// Supernode partition of the pivot columns (supernode.h), computed
+    /// once at analysis time; numeric_lu's blocked mode is built on it.
+    [[nodiscard]] const supernode_partition& supernodes() const noexcept { return sn_; }
 
 private:
     void analyze(const csc_matrix<T>& a, const options& opt, factor_values* values_out)
@@ -133,6 +171,9 @@ private:
             break;
         case column_ordering::amd:
             q_ = minimum_degree_order(n_, a.col_ptr(), a.row_idx());
+            break;
+        case column_ordering::amd_approx:
+            q_ = approx_minimum_degree_order(n_, a.col_ptr(), a.row_idx());
             break;
         }
 
@@ -283,6 +324,11 @@ private:
             values_out->lval = std::move(lval);
             values_out->uval = std::move(uval);
         }
+
+        // The L rows are in pivot space now, which is what the supernode
+        // nesting rule is defined over.
+        sn_ = detect_supernodes(n_, lcol_ptr_, lrow_, opt.sn_max_width,
+                                opt.sn_relax_zeros, opt.sn_relax_fill);
     }
 
     std::size_t n_ = 0;
@@ -290,6 +336,7 @@ private:
     std::vector<std::size_t> ucol_ptr_, urow_;
     std::vector<std::size_t> pinv_;
     std::vector<std::size_t> q_;
+    supernode_partition sn_;
 };
 
 /// Per-worker numeric factorization bound to a shared symbolic_lu. Holds
@@ -324,11 +371,29 @@ public:
     /// sparsity pattern, reusing its pivot order (no search, no
     /// allocation). Throws numeric_error on an exactly-zero pivot; the
     /// values are then undefined but the instance may be refactored again.
+    /// In supernodal mode the blocked elimination runs instead of the
+    /// column-at-a-time loop; both fill the same CSC value arrays (the
+    /// blocked path additionally fills its dense panels), so every solve
+    /// path stays valid either way.
     void refactor(const csc_matrix<T>& a)
     {
         const std::size_t n = sym_->size();
         if (a.rows() != n || a.cols() != n)
             throw numeric_error("numeric_lu: refactor size mismatch");
+        if (snmode_)
+            refactor_supernodal(a);
+        else
+            refactor_column(a);
+        // Growth witness from three tight contiguous passes (kept out of
+        // the indirect-indexed elimination loops so they stay lean).
+        const double amax = max_l1(a.values());
+        growth_ = std::max(max_l1(lval_), amax > 0.0 ? max_l1(uval_) / amax : 0.0);
+    }
+
+private:
+    void refactor_column(const csc_matrix<T>& a)
+    {
+        const std::size_t n = sym_->size();
         const auto& lcol_ptr = sym_->lcol_ptr();
         const auto& lrow = sym_->lrow();
         const auto& ucol_ptr = sym_->ucol_ptr();
@@ -373,11 +438,441 @@ public:
                 w[lrow[p]] = T{};
             }
         }
-        // Growth witness from three tight contiguous passes (kept out of
-        // the indirect-indexed elimination loops so they stay lean).
-        const double amax = max_l1(a.values());
-        growth_ = std::max(max_l1(lval_), amax > 0.0 ? max_l1(uval_) / amax : 0.0);
     }
+
+    /// True when the value type is interleaved double complex, in which
+    /// case the blocked refactor kernels below do the multiply in split
+    /// real/imaginary form (same expressions the inline fast path of
+    /// std::complex uses, minus its non-finite recovery branch that
+    /// blocks vectorization).
+    static constexpr bool split_cplx_ = std::is_same_v<T, std::complex<double>>;
+
+    /// a * b without the Annex-G recovery branch.
+    [[nodiscard]] static T cmul_(T a, T b) noexcept
+    {
+        if constexpr (split_cplx_)
+            return T{a.real() * b.real() - a.imag() * b.imag(),
+                     a.real() * b.imag() + a.imag() * b.real()};
+        else
+            return a * b;
+    }
+
+    /// y[r] -= l[r] * u for r < m (unit stride both sides). Runs of 4+
+    /// complex elements go through the AVX2+FMA kernel TU when the CPU
+    /// has it (snk_ok_); shorter runs aren't worth the call.
+    void mul_sub_(T* __restrict y, const T* __restrict l, T u, std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            const double ur = u.real();
+            const double ui = u.imag();
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* __restrict lp = reinterpret_cast<const double*>(l);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_sub(yp, lp, ur, ui, m);
+                return;
+            }
+            for (std::size_t d = 0; d < 2 * m; d += 2) {
+                const double lr = lp[d];
+                const double li = lp[d + 1];
+                yp[d] -= lr * ur - li * ui;
+                yp[d + 1] -= lr * ui + li * ur;
+            }
+        } else {
+            for (std::size_t r = 0; r < m; ++r)
+                y[r] -= l[r] * u;
+        }
+    }
+
+    /// tmp[r] = l[r] * u (assignment form: the first contributing column
+    /// of a run initializes the accumulator, so no zeroing pass).
+    void mul_set_(T* __restrict y, const T* __restrict l, T u, std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            const double ur = u.real();
+            const double ui = u.imag();
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* __restrict lp = reinterpret_cast<const double*>(l);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_set(yp, lp, ur, ui, m);
+                return;
+            }
+            for (std::size_t d = 0; d < 2 * m; d += 2) {
+                const double lr = lp[d];
+                const double li = lp[d + 1];
+                yp[d] = lr * ur - li * ui;
+                yp[d + 1] = lr * ui + li * ur;
+            }
+        } else {
+            for (std::size_t r = 0; r < m; ++r)
+                y[r] = l[r] * u;
+        }
+    }
+
+    /// tmp[r] += l[r] * u.
+    void mul_add_(T* __restrict y, const T* __restrict l, T u, std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            const double ur = u.real();
+            const double ui = u.imag();
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* __restrict lp = reinterpret_cast<const double*>(l);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_add(yp, lp, ur, ui, m);
+                return;
+            }
+            for (std::size_t d = 0; d < 2 * m; d += 2) {
+                const double lr = lp[d];
+                const double li = lp[d + 1];
+                yp[d] += lr * ur - li * ui;
+                yp[d + 1] += lr * ui + li * ur;
+            }
+        } else {
+            for (std::size_t r = 0; r < m; ++r)
+                y[r] += l[r] * u;
+        }
+    }
+
+    /// Fused pair forms of mul_set_/mul_add_: y op= l0*u0 + l1*u1 in one
+    /// pass over y.
+    void mul_set2_(T* __restrict y, const T* l0, T u0, const T* l1, T u1,
+                   std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* l0p = reinterpret_cast<const double*>(l0);
+            const double* l1p = reinterpret_cast<const double*>(l1);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_set2(yp, l0p, u0.real(), u0.imag(), l1p, u1.real(), u1.imag(), m);
+                return;
+            }
+        }
+        for (std::size_t r = 0; r < m; ++r)
+            y[r] = cmul_(l0[r], u0) + cmul_(l1[r], u1);
+    }
+
+    void mul_add2_(T* __restrict y, const T* l0, T u0, const T* l1, T u1,
+                   std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* l0p = reinterpret_cast<const double*>(l0);
+            const double* l1p = reinterpret_cast<const double*>(l1);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_add2(yp, l0p, u0.real(), u0.imag(), l1p, u1.real(), u1.imag(), m);
+                return;
+            }
+        }
+        for (std::size_t r = 0; r < m; ++r)
+            y[r] += cmul_(l0[r], u0) + cmul_(l1[r], u1);
+    }
+
+    void mul_sub2_(T* __restrict y, const T* l0, T u0, const T* l1, T u1,
+                   std::size_t m) const noexcept
+    {
+        if constexpr (split_cplx_) {
+            double* __restrict yp = reinterpret_cast<double*>(y);
+            const double* l0p = reinterpret_cast<const double*>(l0);
+            const double* l1p = reinterpret_cast<const double*>(l1);
+            if (snk_ok_ && m >= 4) {
+                snk::cax_sub2(yp, l0p, u0.real(), u0.imag(), l1p, u1.real(), u1.imag(), m);
+                return;
+            }
+        }
+        for (std::size_t r = 0; r < m; ++r)
+            y[r] -= cmul_(l0[r], u0) + cmul_(l1[r], u1);
+    }
+
+    /// w[rows[r]] -= l[r] * u: direct one-column scatter for width-1
+    /// runs, where staging through the accumulator would cost two extra
+    /// passes over the sub-rows.
+    static void scatter_sub1_(T* w, const std::size_t* rows, const T* l, T u,
+                              std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            w[rows[r]] -= cmul_(l[r], u);
+    }
+
+    /// w[rows[r]] -= l0[r] * u0 + l1[r] * u1: fused two-column scatter.
+    static void scatter_sub2_(T* w, const std::size_t* rows, const T* l0, T u0, const T* l1,
+                              T u1, std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            w[rows[r]] -= cmul_(l0[r], u0) + cmul_(l1[r], u1);
+    }
+
+    /// w[rows[r]] -= t[r]: drain of the staged sub-row accumulator.
+    static void scatter_sub_acc_(T* w, const std::size_t* rows, const T* t,
+                                 std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            w[rows[r]] -= t[r];
+    }
+
+    /// Panel-column drains: like the scatter helpers above but indexed by
+    /// the precomputed target-panel slots, so the read-modify-writes land
+    /// in the current (cache-resident) panel column rather than the
+    /// n-sized work vector.
+    static void panel_sub1_(T* pc, const std::uint32_t* slot, const T* l, T u,
+                            std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            pc[slot[r]] -= cmul_(l[r], u);
+    }
+
+    static void panel_sub2_(T* pc, const std::uint32_t* slot, const T* l0, T u0, const T* l1,
+                            T u1, std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            pc[slot[r]] -= cmul_(l0[r], u0) + cmul_(l1[r], u1);
+    }
+
+    static void panel_sub_acc_(T* pc, const std::uint32_t* slot, const T* t,
+                               std::size_t m) noexcept
+    {
+        for (std::size_t r = 0; r < m; ++r)
+            pc[slot[r]] -= t[r];
+    }
+
+    /// Blocked left-looking elimination over the symbolic supernode
+    /// partition. Identical structure to refactor_column, but the U
+    /// entries of a target column are consumed per *source supernode*:
+    /// within one supernode the entries lie in one span of pivot rows
+    /// ending at the supernode's last column (the nested L patterns close
+    /// the reach through the dense diagonal block), so one run costs a
+    /// dense unit-lower triangular solve against the source's diagonal
+    /// block plus a dense rectangular update — instead of one indirect
+    /// scatter per source column as in the column path.
+    ///
+    /// The target column's L region (pivot row included) accumulates in
+    /// its own dense panel column rather than the work vector: deposits
+    /// at or below the target column drain into the cache-resident panel
+    /// through precomputed slot lists (in-block sources are fully dense,
+    /// no indices at all), only rows above the target stay in the n-sized
+    /// work vector for the later triangular solves that consume them.
+    /// The pivot then scales the panel's L region in place (one complex
+    /// division per column instead of one per L entry) and the CSC L
+    /// values are gathered out of the panel. Results agree with
+    /// refactor_column to rounding.
+    void refactor_supernodal(const csc_matrix<T>& a)
+    {
+        const std::size_t n = sym_->size();
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        const supernode_partition& sn = sym_->supernodes();
+        std::vector<T>& w = work_;
+        const std::uint32_t* slot_cur = sn_slots_.data();
+        std::uint32_t* pos = sn_pos_.data();
+#ifdef ACSTAB_SN_PROF
+        unsigned long long snp_t = acstab_snp_now();
+#endif
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t t = sn.col_super[k];
+            const std::size_t ft = sn.first[t];
+            const std::size_t wt = sn.width(t);
+            const std::size_t ldt = panel_ld_[t];
+            T* pant = panels_.data() + panel_off_[t];
+            T* pancol_t = pant + (k - ft) * ldt; // target's panel column
+
+            if (k == ft) {
+                // Entering a new target supernode: refresh the pivot-row
+                // -> panel-slot map the matrix scatter below routes
+                // through.
+                for (std::size_t i = 0; i < wt; ++i)
+                    pos[ft + i] = static_cast<std::uint32_t>(i);
+                const std::size_t* rt = sn.rows.data() + sn.row_ptr[t];
+                const std::size_t mt = sn.row_ptr[t + 1] - sn.row_ptr[t];
+                for (std::size_t z = 0; z < mt; ++z)
+                    pos[rt[z]] = static_cast<std::uint32_t>(wt + z);
+            }
+
+            // Scatter the matrix column: rows above the target into the
+            // work vector (consumed by the triangular solves below), the
+            // pivot row and everything under it straight into the freshly
+            // cleared panel column.
+            std::fill(pancol_t + (k - ft), pancol_t + ldt, T{});
+            const std::size_t col = qperm[k];
+            for (std::size_t p = a.col_ptr()[col]; p < a.col_ptr()[col + 1]; ++p) {
+                const std::size_t r = pinv[a.row_idx()[p]];
+                if (r < k)
+                    w[r] += a.values()[p];
+                else
+                    pancol_t[pos[r]] += a.values()[p];
+            }
+            ACSTAB_SNPM(0);
+
+            const std::size_t ulast = ucol_ptr[k + 1] - 1;
+            std::size_t p = ucol_ptr[k];
+            const sn_run* run = sn_runs_.data() + sn_run_ptr_[k];
+            const sn_run* const run_end = sn_runs_.data() + sn_run_ptr_[k + 1];
+            for (; run != run_end; ++run) {
+                const std::size_t j = run->j;
+                const std::size_t m = run->m;
+                const std::size_t msub = run->msub;
+                const bool inblk = j >= ft;
+                const std::uint32_t* sl = slot_cur;
+                if (!inblk)
+                    slot_cur += msub - run->wsub;
+
+                if (m == 1) {
+                    // Singleton span: no triangular solve, no staging —
+                    // exactly the column path's cost for this source.
+                    const T u0 = w[j];
+                    w[j] = T{};
+                    uval_[p] = u0;
+                    if (inblk) { // source is the target's own supernode
+                        pancol_t[j - ft] = u0;
+                        if (u0 != T{}) {
+                            // Diagonal tail and sub-rows are one
+                            // contiguous range in both panel columns.
+                            const T* lcol = panels_.data() + run->loff;
+                            mul_sub_(pancol_t + (k - ft), lcol + (k - ft), u0,
+                                     ldt - (k - ft));
+                        }
+                    } else if (u0 != T{} && msub != 0) {
+                        // Off-block singleton: everything it needs is in
+                        // the run record, touched only when the value
+                        // actually contributes.
+                        const std::size_t wsub = run->wsub;
+                        const T* lsub = panels_.data() + run->loff + (run->lds - msub);
+                        scatter_sub1_(w.data(), sn.rows.data() + run->rows, lsub, u0, wsub);
+                        panel_sub1_(pancol_t, sl, lsub + wsub, u0, msub - wsub);
+                    }
+                    ACSTAB_SNPM(1);
+                    ++p;
+                    continue;
+                }
+
+                const std::size_t jrel = run->jrel;
+                const std::size_t lds = run->lds;
+                const T* lrun = panels_.data() + run->loff; // span's first L column
+
+                // Dense unit-lower triangular solve with the trailing
+                // m x m sub-block of the source's diagonal block: yields
+                // this column's U values for the whole span. Contributing
+                // (nonzero) columns are collected as their values become
+                // final, so the update passes below skip exact zeros —
+                // including any structural-zero gap positions the relaxed
+                // partition padded into the span (their w is zero and
+                // every product feeding them is zero, so they stay 0.0).
+                T* u = sn_ubuf_.data();
+                for (std::size_t i = 0; i < m; ++i) {
+                    u[i] = w[j + i];
+                    w[j + i] = T{};
+                }
+                std::size_t* idx = sn_idx_.data();
+                std::size_t nc = 0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const T ui = u[i];
+                    if (inblk)
+                        pancol_t[j - ft + i] = ui;
+                    if (ui == T{})
+                        continue;
+                    idx[nc++] = i;
+                    mul_sub_(u + i + 1, lrun + i * lds + (jrel + i + 1), ui, m - i - 1);
+                }
+                // CSC stores only the structural subset of the span.
+                const std::size_t cnt = run->cnt;
+                if (cnt == m) {
+                    for (std::size_t i = 0; i < m; ++i)
+                        uval_[p + i] = u[i];
+                } else {
+                    for (std::size_t e = 0; e < cnt; ++e)
+                        uval_[p + e] = u[urow[p + e] - j];
+                }
+                p += cnt;
+                ACSTAB_SNPM(2);
+                if (nc == 0)
+                    continue;
+
+                // In-block target update (source == target supernode):
+                // the diagonal tail and the shared sub-rows are one
+                // contiguous range of the panel columns, so the whole
+                // update is dense rank-2 streams — no staging, no
+                // indices.
+                if (inblk) {
+                    const std::size_t len = ldt - (k - ft);
+                    T* dst = pancol_t + (k - ft);
+                    const T* lc = lrun + (k - ft);
+                    std::size_t ii = 0;
+                    if (nc & 1) {
+                        mul_sub_(dst, lc + idx[0] * lds, u[idx[0]], len);
+                        ii = 1;
+                    }
+                    for (; ii + 1 < nc; ii += 2)
+                        mul_sub2_(dst, lc + idx[ii] * lds, u[idx[ii]],
+                                  lc + idx[ii + 1] * lds, u[idx[ii + 1]], len);
+                    ACSTAB_SNPM(3);
+                    continue;
+                }
+                ACSTAB_SNPM(3);
+
+                // Rectangular update of an off-block source's sub-rows.
+                // One or two contributing columns scatter directly
+                // (staging passes would outweigh the saved scatters);
+                // more accumulate pairwise in a dense buffer (unit stride
+                // over each panel column) and drain once — rows above the
+                // target into the work vector, the rest into the target's
+                // panel column through the precomputed slots.
+                if (msub != 0) {
+                    const std::size_t wsub = run->wsub;
+                    const std::size_t* rows = sn.rows.data() + run->rows;
+                    const T* lsub0 = lrun + (lds - msub);
+                    if (nc == 1) {
+                        const T* l0 = lsub0 + idx[0] * lds;
+                        scatter_sub1_(w.data(), rows, l0, u[idx[0]], wsub);
+                        panel_sub1_(pancol_t, sl, l0 + wsub, u[idx[0]], msub - wsub);
+                    } else if (nc == 2) {
+                        const T* l0 = lsub0 + idx[0] * lds;
+                        const T* l1 = lsub0 + idx[1] * lds;
+                        scatter_sub2_(w.data(), rows, l0, u[idx[0]], l1, u[idx[1]], wsub);
+                        panel_sub2_(pancol_t, sl, l0 + wsub, u[idx[0]], l1 + wsub,
+                                    u[idx[1]], msub - wsub);
+                    } else {
+                        T* tmp = sn_subtmp_.data();
+                        std::size_t ii;
+                        if (nc & 1) {
+                            mul_set_(tmp, lsub0 + idx[0] * lds, u[idx[0]], msub);
+                            ii = 1;
+                        } else {
+                            mul_set2_(tmp, lsub0 + idx[0] * lds, u[idx[0]],
+                                      lsub0 + idx[1] * lds, u[idx[1]], msub);
+                            ii = 2;
+                        }
+                        for (; ii + 1 < nc; ii += 2)
+                            mul_add2_(tmp, lsub0 + idx[ii] * lds, u[idx[ii]],
+                                      lsub0 + idx[ii + 1] * lds, u[idx[ii + 1]], msub);
+                        scatter_sub_acc_(w.data(), rows, tmp, wsub);
+                        panel_sub_acc_(pancol_t, sl, tmp + wsub, msub - wsub);
+                    }
+                }
+                ACSTAB_SNPM(4);
+            }
+
+            // The pivot accumulated in the panel; rows above it were all
+            // consumed by the runs, so the work vector is already clean
+            // either way.
+            const T pivot = pancol_t[k - ft];
+            if (pivot == T{})
+                throw numeric_error("numeric_lu: refactor hit a zero pivot at column "
+                                    + std::to_string(col));
+            uval_[ulast] = pivot;
+            const T rpivot = T{1.0} / pivot;
+            sn_rdiag_[k] = rpivot;
+            // Dense in-place scale of the panel's L region (padded
+            // positions hold exact zeros and stay zero), then gather the
+            // CSC L values from their panel slots.
+            for (std::size_t r = k - ft + 1; r < ldt; ++r)
+                pancol_t[r] = cmul_(pancol_t[r], rpivot);
+            for (std::size_t q = lcol_ptr[k]; q < lcol_ptr[k + 1]; ++q)
+                lval_[q] = pancol_t[lpanel_pos_[q]];
+            ACSTAB_SNPM(5);
+        }
+    }
+
+public:
 
     /// Element growth of the last refactor (L1-norm proxies): the larger
     /// of the biggest |L| multiplier and the classical U-side growth
@@ -396,6 +891,190 @@ public:
     void set_batch_kernel(batch_kernel k) noexcept { kernel_ = k; }
     [[nodiscard]] batch_kernel kernel() const noexcept { return kernel_; }
 
+    /// Enable the supernodal/blocked numeric path: refactor() runs the
+    /// blocked elimination over the symbolic supernode partition and
+    /// solve_batch's SIMD kernel walks dense panels per supernode
+    /// instead of CSC columns. The CSC value arrays are maintained in
+    /// both modes, so scalar solves (and the const allocating solve())
+    /// stay valid and blocked-vs-column answers agree to rounding.
+    /// Enabling loads the panels from the current CSC values, so factors
+    /// adopted from the symbolic seed are usable without a refactor.
+    void set_supernodal(bool on)
+    {
+        if (on && panels_.empty() && sym_->size() > 0)
+            init_supernodal();
+        if (on)
+            load_panels_from_values();
+        snmode_ = on;
+    }
+    [[nodiscard]] bool supernodal() const noexcept { return snmode_; }
+
+private:
+    /// One-time panel bookkeeping: per-supernode panel offsets/leading
+    /// dimensions, the CSC-L-entry -> panel-row map, and the per-column
+    /// split of U entries into off-block and in-block halves.
+    void init_supernodal()
+    {
+        const std::size_t n = sym_->size();
+        const supernode_partition& sn = sym_->supernodes();
+        const std::size_t ns = sn.count();
+        panel_off_.assign(ns + 1, 0);
+        panel_ld_.assign(ns, 0);
+        std::size_t max_w = 1;
+        std::size_t max_sub = 0;
+        for (std::size_t s = 0; s < ns; ++s) {
+            const std::size_t w = sn.width(s);
+            const std::size_t m = sn.sub_rows(s);
+            panel_ld_[s] = w + m;
+            panel_off_[s + 1] = panel_off_[s] + panel_ld_[s] * w;
+            max_w = std::max(max_w, w);
+            max_sub = std::max(max_sub, m);
+        }
+        panels_.assign(panel_off_[ns], T{});
+        sn_ubuf_.resize(max_w);
+        sn_subtmp_.resize(max_sub);
+        sn_idx_.resize(max_w);
+        sn_rdiag_.assign(n, T{});
+        sn_max_sub_ = max_sub;
+
+        // Panel row of every CSC L entry within its column's supernode:
+        // in-block rows map to their offset in the diagonal block,
+        // sub-rows to width + their slot in the supernode's shared
+        // (sorted) sub-row list.
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& lrow = sym_->lrow();
+        lpanel_pos_.resize(lrow.size());
+        std::vector<std::size_t> slot(n, 0);
+        for (std::size_t s = 0; s < ns; ++s) {
+            const std::size_t f = sn.first[s];
+            const std::size_t e = sn.first[s + 1];
+            const std::size_t w = sn.width(s);
+            for (std::size_t r = sn.row_ptr[s]; r < sn.row_ptr[s + 1]; ++r)
+                slot[sn.rows[r]] = w + (r - sn.row_ptr[s]);
+            for (std::size_t k = f; k < e; ++k)
+                for (std::size_t p = lcol_ptr[k]; p < lcol_ptr[k + 1]; ++p) {
+                    const std::size_t row = lrow[p];
+                    lpanel_pos_[p] = row < e ? row - f : slot[row];
+                }
+        }
+
+        // First in-block U entry of each column (rows >= the column's
+        // supernode start); entries before it are off-block and stay on
+        // the CSC back-solve path.
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        u_split_.resize(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t f = sn.first[sn.col_super[k]];
+            std::size_t p = ucol_ptr[k];
+            const std::size_t ulast = ucol_ptr[k + 1] - 1;
+            while (p < ulast && urow[p] < f)
+                ++p;
+            u_split_[k] = p;
+        }
+
+        // Flat run partition of every column's off-diagonal U entries:
+        // group the (sorted) entries by source supernode and record each
+        // group's dense span — from its first entry to the source's reach
+        // end (the supernode's last column; the diagonal block closes the
+        // reach), or just before the target column when the source is the
+        // target's own supernode. With the strict partition every span
+        // position is a CSC entry (cnt == m); relaxed amalgamation leaves
+        // structural-zero gaps the dense solve carries as exact zeros.
+        // Purely symbolic, so derived once here instead of re-walking
+        // urow/col_super on every refactor.
+        sn_run_ptr_.assign(n + 1, 0);
+        sn_runs_.clear();
+        sn_runs_.reserve(urow.size() / 2);
+        sn_slots_.clear();
+        sn_pos_.assign(n, 0);
+        // Slot map of the current TARGET supernode, maintained while the
+        // column sweep below crosses supernode boundaries (the refactor
+        // rebuilds the same map at run time for the matrix scatter). The
+        // stamp marks which rows the current map actually covers: a
+        // relaxed source's union sub-rows can include rows outside the
+        // target's pattern — their deposits are exact zeros, so they are
+        // routed to the (harmless) pivot slot rather than a stale index.
+        std::vector<std::size_t> pos_stamp(n, 0);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t t = sn.col_super[k];
+            if (k == sn.first[t]) {
+                const std::size_t w = sn.width(t);
+                for (std::size_t i = 0; i < w; ++i) {
+                    sn_pos_[sn.first[t] + i] = static_cast<std::uint32_t>(i);
+                    pos_stamp[sn.first[t] + i] = t + 1;
+                }
+                for (std::size_t r = sn.row_ptr[t]; r < sn.row_ptr[t + 1]; ++r) {
+                    sn_pos_[sn.rows[r]] =
+                        static_cast<std::uint32_t>(w + (r - sn.row_ptr[t]));
+                    pos_stamp[sn.rows[r]] = t + 1;
+                }
+            }
+            const std::size_t ulast = ucol_ptr[k + 1] - 1;
+            std::size_t p = ucol_ptr[k];
+            while (p < ulast) {
+                const std::size_t j = urow[p];
+                const std::size_t s = sn.col_super[j];
+                const std::size_t run_end = s == t ? k : sn.first[s + 1];
+                std::size_t cnt = 1;
+                while (p + cnt < ulast && urow[p + cnt] < run_end)
+                    ++cnt;
+                const std::size_t jrel = j - sn.first[s];
+                const std::size_t loff = panel_off_[s] + jrel * panel_ld_[s];
+                // Split an off-block source's sub-rows at the target
+                // column: rows above it update the work vector, rows at
+                // or below it drain into the target's panel column, so
+                // their slots are emitted here once instead of resolved
+                // per refactor. In-block sources are fully dense against
+                // the target panel and need neither.
+                std::size_t wsub = 0;
+                if (s != t) {
+                    const std::size_t* rs = sn.rows.data() + sn.row_ptr[s];
+                    const std::size_t ms = sn.sub_rows(s);
+                    while (wsub < ms && rs[wsub] < k)
+                        ++wsub;
+                    for (std::size_t z = wsub; z < ms; ++z)
+                        sn_slots_.push_back(pos_stamp[rs[z]] == t + 1
+                                                ? sn_pos_[rs[z]]
+                                                : static_cast<std::uint32_t>(k - sn.first[t]));
+                }
+                sn_runs_.push_back({j, run_end - j, cnt, jrel, loff, panel_ld_[s],
+                                    sn.sub_rows(s), sn.row_ptr[s], wsub});
+                p += cnt;
+            }
+            sn_run_ptr_[k + 1] = sn_runs_.size();
+        }
+    }
+
+    /// Fill the dense panels from the CSC values (pure data movement);
+    /// structural zeros inside the dense blocks were never written and
+    /// stay zero from the panel allocation.
+    void load_panels_from_values()
+    {
+        const std::size_t n = sym_->size();
+        const supernode_partition& sn = sym_->supernodes();
+        const auto& lcol_ptr = sym_->lcol_ptr();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t t = sn.col_super[k];
+            const std::size_t ft = sn.first[t];
+            T* pancol = panels_.data() + panel_off_[t] + (k - ft) * panel_ld_[t];
+            const std::size_t ulast = ucol_ptr[k + 1] - 1;
+            for (std::size_t p = u_split_[k]; p < ulast; ++p)
+                pancol[urow[p] - ft] = uval_[p];
+            pancol[k - ft] = uval_[ulast];
+            // Reciprocal pivot for the blocked back solve; a zero pivot
+            // (factors never computed) poisons it exactly as division
+            // would have.
+            sn_rdiag_[k] = T{1.0} / uval_[ulast];
+            for (std::size_t p = lcol_ptr[k]; p < lcol_ptr[k + 1]; ++p)
+                pancol[lpanel_pos_[p]] = lval_[p];
+        }
+    }
+
+public:
+
     /// Solve A X = B for a batch of right-hand sides.
     /// b[r] points at right-hand side r (length n); x is column-major
     /// n*nrhs and is fully overwritten with the solutions. b[r] must not
@@ -407,7 +1086,10 @@ public:
     {
         if constexpr (std::is_same_v<T, std::complex<double>>) {
             if (kernel_ == batch_kernel::simd && nrhs >= 2) {
-                solve_batch_simd(b, nrhs, x);
+                if (snmode_)
+                    solve_batch_blocked(b, nrhs, x);
+                else
+                    solve_batch_simd(b, nrhs, x);
                 return;
             }
         }
@@ -560,6 +1242,192 @@ private:
         }
     }
 
+    /// Blocked split-complex batch kernel (supernodal mode): same plane
+    /// layout and zero-lane skipping as solve_batch_simd, but the L
+    /// forward pass walks dense panels per supernode — a dense
+    /// unit-lower solve on the diagonal block, the rectangular sub-row
+    /// update accumulated into contiguous scratch planes and scattered
+    /// ONCE per supernode — and the U backward pass solves each
+    /// supernode's dense upper-triangular block in place, leaving only
+    /// the off-block U entries on the indirect CSC path. Agrees with the
+    /// CSC kernels to rounding (per-row update sums are reassociated).
+    void solve_batch_blocked(const T* const* b, std::size_t nrhs, T* x)
+    {
+        const std::size_t n = sym_->size();
+        const auto& pinv = sym_->pinv();
+        const auto& qperm = sym_->q();
+        const auto& ucol_ptr = sym_->ucol_ptr();
+        const auto& urow = sym_->urow();
+        const supernode_partition& sn = sym_->supernodes();
+        const std::size_t ns = sn.count();
+
+        if (plane_re_.size() < n * nrhs) {
+            plane_re_.resize(n * nrhs);
+            plane_im_.resize(n * nrhs);
+        }
+        if (sn_plane_tr_.size() < sn_max_sub_ * nrhs) {
+            sn_plane_tr_.resize(sn_max_sub_ * nrhs);
+            sn_plane_ti_.resize(sn_max_sub_ * nrhs);
+        }
+        double* __restrict xr = plane_re_.data();
+        double* __restrict xi = plane_im_.data();
+        double* __restrict tr = sn_plane_tr_.data();
+        double* __restrict ti = sn_plane_ti_.data();
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t base = pinv[i] * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                xr[base + r] = b[r][i].real();
+                xi[base + r] = b[r][i].imag();
+            }
+        }
+
+        // Forward solve with unit-diagonal L, one supernode at a time.
+        for (std::size_t s = 0; s < ns; ++s) {
+            const std::size_t f = sn.first[s];
+            const std::size_t w = sn.width(s);
+            const std::size_t msub = sn.sub_rows(s);
+            const std::size_t ld = panel_ld_[s];
+            const T* pan = panels_.data() + panel_off_[s];
+            bool block_any = false;
+            for (std::size_t c = f; c < f + w; ++c) {
+                const std::size_t cb = c * nrhs;
+                bool any = false;
+                for (std::size_t r = 0; r < nrhs; ++r)
+                    any = any || xr[cb + r] != 0.0 || xi[cb + r] != 0.0;
+                if (!any)
+                    continue;
+                if (!block_any && msub != 0) {
+                    std::fill(tr, tr + msub * nrhs, 0.0);
+                    std::fill(ti, ti + msub * nrhs, 0.0);
+                }
+                block_any = true;
+                const T* pancol = pan + (c - f) * ld;
+                // Dense in-block update of the lanes below the diagonal.
+                for (std::size_t rr = c - f + 1; rr < w; ++rr) {
+                    const double lr = pancol[rr].real();
+                    const double li = pancol[rr].imag();
+                    if (lr == 0.0 && li == 0.0)
+                        continue;
+                    const std::size_t rb = (f + rr) * nrhs;
+                    if (snk_ok_) {
+                        snk::plane_sub(xr + rb, xi + rb, xr + cb, xi + cb, lr, li, nrhs);
+                        continue;
+                    }
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        const double ar = xr[cb + r];
+                        const double ai = xi[cb + r];
+                        xr[rb + r] -= lr * ar - li * ai;
+                        xi[rb + r] -= lr * ai + li * ar;
+                    }
+                }
+                // Sub-row contribution, accumulated contiguously.
+                const T* lsub = pancol + w;
+                for (std::size_t rr = 0; rr < msub; ++rr) {
+                    const double lr = lsub[rr].real();
+                    const double li = lsub[rr].imag();
+                    if (lr == 0.0 && li == 0.0)
+                        continue;
+                    const std::size_t tb = rr * nrhs;
+                    if (snk_ok_) {
+                        snk::plane_add(tr + tb, ti + tb, xr + cb, xi + cb, lr, li, nrhs);
+                        continue;
+                    }
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        const double ar = xr[cb + r];
+                        const double ai = xi[cb + r];
+                        tr[tb + r] += lr * ar - li * ai;
+                        ti[tb + r] += lr * ai + li * ar;
+                    }
+                }
+            }
+            if (block_any && msub != 0) {
+                const std::size_t* rows = sn.rows.data() + sn.row_ptr[s];
+                for (std::size_t rr = 0; rr < msub; ++rr) {
+                    const std::size_t rb = rows[rr] * nrhs;
+                    const std::size_t tb = rr * nrhs;
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        xr[rb + r] -= tr[tb + r];
+                        xi[rb + r] -= ti[tb + r];
+                    }
+                }
+            }
+        }
+
+        // Back solve with U: dense diagonal block per supernode, CSC for
+        // the off-block entries above it.
+        for (std::size_t s = ns; s-- > 0;) {
+            const std::size_t f = sn.first[s];
+            const std::size_t w = sn.width(s);
+            const std::size_t ld = panel_ld_[s];
+            const T* pan = panels_.data() + panel_off_[s];
+            for (std::size_t c = f + w; c-- > f;) {
+                const std::size_t cb = c * nrhs;
+                const T* pancol = pan + (c - f) * ld;
+                // Divide by the diagonal via the reciprocal precomputed
+                // at refactor/load time: one complex multiply per lane
+                // instead of one complex division.
+                const double dr = sn_rdiag_[c].real();
+                const double di = sn_rdiag_[c].imag();
+                bool any;
+                if (snk_ok_) {
+                    any = snk::plane_scale(xr + cb, xi + cb, dr, di, nrhs);
+                } else {
+                    any = false;
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        const double ar = xr[cb + r];
+                        const double ai = xi[cb + r];
+                        const double vr = ar * dr - ai * di;
+                        const double vi = ar * di + ai * dr;
+                        xr[cb + r] = vr;
+                        xi[cb + r] = vi;
+                        any = any || vr != 0.0 || vi != 0.0;
+                    }
+                }
+                if (!any)
+                    continue;
+                for (std::size_t rr = c - f; rr-- > 0;) {
+                    const double ur = pancol[rr].real();
+                    const double ui = pancol[rr].imag();
+                    if (ur == 0.0 && ui == 0.0)
+                        continue;
+                    const std::size_t rb = (f + rr) * nrhs;
+                    if (snk_ok_) {
+                        snk::plane_sub(xr + rb, xi + rb, xr + cb, xi + cb, ur, ui, nrhs);
+                        continue;
+                    }
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        const double ar = xr[cb + r];
+                        const double ai = xi[cb + r];
+                        xr[rb + r] -= ur * ar - ui * ai;
+                        xi[rb + r] -= ur * ai + ui * ar;
+                    }
+                }
+                for (std::size_t p = ucol_ptr[c]; p < u_split_[c]; ++p) {
+                    const double ur = uval_[p].real();
+                    const double ui = uval_[p].imag();
+                    const std::size_t rb = urow[p] * nrhs;
+                    if (snk_ok_) {
+                        snk::plane_sub(xr + rb, xi + rb, xr + cb, xi + cb, ur, ui, nrhs);
+                        continue;
+                    }
+                    for (std::size_t r = 0; r < nrhs; ++r) {
+                        const double ar = xr[cb + r];
+                        const double ai = xi[cb + r];
+                        xr[rb + r] -= ur * ar - ui * ai;
+                        xi[rb + r] -= ur * ai + ui * ar;
+                    }
+                }
+            }
+        }
+
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            T* xc = x + r * n;
+            for (std::size_t c = 0; c < n; ++c)
+                xc[qperm[c]] = T{xr[c * nrhs + r], xi[c * nrhs + r]};
+        }
+    }
+
 public:
     /// Solve A x = b with b and the solution in the same length-n buffer.
     /// Non-const (uses the instance scratch): per-worker use only.
@@ -630,6 +1498,56 @@ private:
     std::vector<double> plane_re_; ///< SIMD kernel: real lanes, grown lazily
     std::vector<double> plane_im_; ///< SIMD kernel: imaginary lanes
     double growth_ = 0.0;
+    // Supernodal mode (set_supernodal). Panels are column-major dense
+    // blocks, one per supernode: rows 0..w-1 hold the diagonal block
+    // (U upper triangle including the diagonal, L strictly lower, unit
+    // diagonal implicit), rows w..w+msub-1 the rectangular L sub-rows in
+    // the partition's shared sorted order.
+    bool snmode_ = false;
+    std::vector<T> panels_;
+    std::vector<std::size_t> panel_off_; ///< supernode -> panel start
+    std::vector<std::size_t> panel_ld_;  ///< supernode -> leading dimension
+    std::vector<std::size_t> lpanel_pos_; ///< CSC L entry -> panel row
+    std::vector<std::size_t> u_split_;    ///< column -> first in-block U entry
+    std::vector<T> sn_ubuf_;   ///< refactor: gathered run of U values
+    std::vector<T> sn_subtmp_; ///< refactor: accumulated sub-row update
+    std::vector<std::size_t> sn_idx_; ///< refactor: contributing columns of a run
+    /// One symbolic run of a column's off-diagonal U entries: the `cnt`
+    /// CSC entries falling inside one source supernode, solved as the
+    /// dense span of `m` pivot rows from `j` to the source's reach end.
+    /// Under relaxed amalgamation the span may cover structural zeros
+    /// (cnt < m); those positions hold exact 0.0 throughout — the padded
+    /// panel L is zero, so the dense solve reproduces the strict values
+    /// bit-for-bit and zero lanes skip the update passes. The source
+    /// geometry the update needs is denormalized into the record (one
+    /// cache line) so the refactor streams a flat array instead of
+    /// chasing six per-supernode arrays per run — the singleton-run walk
+    /// was lookup-bound, not flop-bound.
+    struct sn_run {
+        std::size_t j;    ///< first pivot row of the span
+        std::size_t m;    ///< span width (source columns consumed)
+        std::size_t cnt;  ///< CSC U entries in the span (== m when gapless)
+        std::size_t jrel; ///< j - first column of the source supernode
+        std::size_t loff; ///< panels_ offset of the span's first L column
+        std::size_t lds;  ///< source panel leading dimension
+        std::size_t msub; ///< source sub-row count
+        std::size_t rows; ///< offset of the source's sub-row list in sn.rows
+        std::size_t wsub; ///< sub-rows above the target column (work-vector part)
+    };
+    std::vector<sn_run> sn_runs_;         ///< refactor: flat run partition
+    std::vector<std::size_t> sn_run_ptr_; ///< column -> range in sn_runs_
+    /// Per off-block run, the target-panel slots of its sub-rows at or
+    /// below the target column (rows[wsub..msub)), laid out in run order:
+    /// those deposits land in the target's dense panel column instead of
+    /// the work vector, so the hottest scatter walks an L1-resident
+    /// column with a precomputed, streamed index list.
+    std::vector<std::uint32_t> sn_slots_;
+    std::vector<std::uint32_t> sn_pos_; ///< refactor: pivot row -> target panel slot
+    std::vector<T> sn_rdiag_;  ///< blocked solve: per-column 1/pivot
+    bool snk_ok_ = snk::available(); ///< AVX2+FMA kernel TU usable
+    std::size_t sn_max_sub_ = 0;
+    std::vector<double> sn_plane_tr_; ///< blocked solve: sub-row lanes (re)
+    std::vector<double> sn_plane_ti_; ///< blocked solve: sub-row lanes (im)
 };
 
 } // namespace acstab::numeric

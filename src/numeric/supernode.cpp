@@ -1,0 +1,164 @@
+#include "numeric/supernode.h"
+
+#include <algorithm>
+
+namespace acstab::numeric {
+
+namespace {
+
+/// Greedy left-to-right relaxed amalgamation over a strict partition.
+/// Adjacent supernodes merge while the merged panel stays within
+/// max_width and the explicit zeros the merge pads into its L area stay
+/// within the caller's bounds. The merged sub-row pattern is the union
+/// of the members' patterns restricted below the merged block (rows a
+/// member kept below its own block but above the merged end move into
+/// the diagonal block). Zeros are counted against the merged panel's
+/// full L area — dense lower triangle plus width * |union sub-rows| —
+/// versus the true structural L count, so a group stops growing once
+/// padding would outweigh the scatter savings.
+supernode_partition amalgamate(std::size_t n, const supernode_partition& strict,
+                               std::size_t max_width, std::size_t relax_zeros,
+                               double relax_fill)
+{
+    supernode_partition out;
+    out.col_super.assign(n, 0);
+    out.row_ptr.push_back(0);
+
+    const auto tri = [](std::size_t w) { return w * (w - 1) / 2; };
+    const auto true_l = [&](std::size_t s) {
+        // Structural L entries of strict supernode s: its diagonal block
+        // is fully dense below the diagonal (patterns nest), plus the
+        // shared sub-rows under every member column.
+        const std::size_t w = strict.width(s);
+        return tri(w) + w * strict.sub_rows(s);
+    };
+    const auto rows_begin = [&](std::size_t s) {
+        return strict.rows.begin() + static_cast<std::ptrdiff_t>(strict.row_ptr[s]);
+    };
+    const auto rows_end = [&](std::size_t s) {
+        return strict.rows.begin() + static_cast<std::ptrdiff_t>(strict.row_ptr[s + 1]);
+    };
+
+    // Current group: strict supernodes [a, cur_end) columns, union
+    // sub-row pattern uni (sorted, all >= cur_end), structural L count.
+    std::size_t a = 0;
+    std::size_t cur_end = strict.first[1];
+    std::vector<std::size_t> uni(rows_begin(0), rows_end(0));
+    std::vector<std::size_t> merged;
+    std::size_t group_true = true_l(0);
+
+    const auto emit = [&](std::size_t end) {
+        const std::size_t s = out.first.size();
+        out.first.push_back(a);
+        for (std::size_t k = a; k < end; ++k)
+            out.col_super[k] = s;
+        out.rows.insert(out.rows.end(), uni.begin(), uni.end());
+        out.row_ptr.push_back(out.rows.size());
+    };
+
+    for (std::size_t s = 1; s < strict.count(); ++s) {
+        const std::size_t c = strict.first[s];
+        const std::size_t d = strict.first[s + 1];
+        if (d - a <= max_width) {
+            // Candidate union: uni's rows at or past d (those in [c, d)
+            // are absorbed into the merged diagonal block) merged with
+            // the next supernode's pattern (all >= d by construction).
+            const auto keep = std::lower_bound(uni.begin(), uni.end(), d);
+            merged.clear();
+            std::set_union(keep, uni.end(), rows_begin(s), rows_end(s),
+                           std::back_inserter(merged));
+            const std::size_t w = d - a;
+            const std::size_t dense = tri(w) + w * merged.size();
+            const std::size_t truth = group_true + true_l(s);
+            const std::size_t zeros = dense - std::min(dense, truth);
+            if (zeros <= relax_zeros
+                || static_cast<double>(zeros) <= relax_fill * static_cast<double>(dense)) {
+                cur_end = d;
+                uni.swap(merged);
+                group_true = truth;
+                continue;
+            }
+        }
+        emit(cur_end);
+        a = c;
+        cur_end = d;
+        uni.assign(rows_begin(s), rows_end(s));
+        group_true = true_l(s);
+    }
+    emit(cur_end);
+    out.first.push_back(n);
+    return out;
+}
+
+} // namespace
+
+supernode_partition detect_supernodes(std::size_t n, const std::vector<std::size_t>& lcol_ptr,
+                                      const std::vector<std::size_t>& lrow,
+                                      std::size_t max_width, std::size_t relax_zeros,
+                                      double relax_fill)
+{
+    supernode_partition sn;
+    sn.col_super.assign(n, 0);
+    sn.row_ptr.push_back(0);
+    if (n == 0) {
+        sn.first.push_back(0);
+        return sn;
+    }
+    if (max_width == 0)
+        max_width = 1;
+
+    // Stamp array over pivot rows: stamp[r] == clock while r is in the
+    // pattern of the current supernode's last accepted column. lrow is
+    // unsorted within a column, so membership tests go through stamps
+    // rather than ordered comparison.
+    std::vector<std::size_t> stamp(n, 0);
+    std::size_t clock = 0;
+
+    const auto stamp_column = [&](std::size_t k) {
+        ++clock;
+        for (std::size_t p = lcol_ptr[k]; p < lcol_ptr[k + 1]; ++p)
+            stamp[lrow[p]] = clock;
+    };
+
+    std::size_t start = 0;
+    stamp_column(0);
+    const auto close_run = [&](std::size_t end) {
+        // end is one past the last column of the finished supernode.
+        const std::size_t s = sn.first.size();
+        sn.first.push_back(start);
+        for (std::size_t k = start; k < end; ++k)
+            sn.col_super[k] = s;
+        // The shared sub-diagonal pattern is the LAST column's, sorted
+        // ascending so panel rows have one canonical order.
+        const std::size_t last = end - 1;
+        sn.rows.insert(sn.rows.end(), lrow.begin() + static_cast<std::ptrdiff_t>(lcol_ptr[last]),
+                       lrow.begin() + static_cast<std::ptrdiff_t>(lcol_ptr[last + 1]));
+        std::sort(sn.rows.begin() + static_cast<std::ptrdiff_t>(sn.row_ptr.back()),
+                  sn.rows.end());
+        sn.row_ptr.push_back(sn.rows.size());
+        start = end;
+    };
+
+    for (std::size_t k = 1; k < n; ++k) {
+        const std::size_t prev_nnz = lcol_ptr[k] - lcol_ptr[k - 1];
+        const std::size_t cur_nnz = lcol_ptr[k + 1] - lcol_ptr[k];
+        bool extends = k - start < max_width && cur_nnz + 1 == prev_nnz
+            && stamp[k] == clock;
+        if (extends) {
+            // P(k) must be P(k-1) \ {k}; sizes already match, so subset
+            // suffices.
+            for (std::size_t p = lcol_ptr[k]; extends && p < lcol_ptr[k + 1]; ++p)
+                extends = stamp[lrow[p]] == clock;
+        }
+        if (!extends)
+            close_run(k);
+        stamp_column(k);
+    }
+    close_run(n);
+    sn.first.push_back(n); // sentinel: first[count()] == n
+    if ((relax_zeros == 0 && relax_fill <= 0.0) || sn.count() < 2)
+        return sn;
+    return amalgamate(n, sn, max_width, relax_zeros, relax_fill);
+}
+
+} // namespace acstab::numeric

@@ -1,0 +1,76 @@
+// Supernode detection for the blocked numeric LU path.
+//
+// A supernode is a maximal run of consecutive pivot columns whose L
+// patterns nest one into the next: P(k+1) == P(k) \ {k+1}. Within such a
+// run the factor columns share one sub-diagonal row structure, so the
+// run's L/U entries can be stored as a dense column-major panel and the
+// left-looking update consumed per *supernode* instead of per column —
+// one dense triangular solve plus one dense rank-run update plus a
+// single indirect scatter, where the column-at-a-time path pays one
+// indirect scatter per source column. numeric_lu's supernodal mode
+// (sparse_factor.h) is built on this partition.
+//
+// Detection reads only the symbolic L pattern (pivot-renumbered rows as
+// symbolic_lu stores them, unsorted within a column), so the partition
+// is computed once per symbolic analysis and shared read-only by every
+// worker alongside the patterns themselves.
+#ifndef ACSTAB_NUMERIC_SUPERNODE_H
+#define ACSTAB_NUMERIC_SUPERNODE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace acstab::numeric {
+
+/// Partition of the pivot columns 0..n-1 into supernodes of consecutive
+/// columns with nested L patterns. Plain index data, value-type
+/// independent; immutable once built.
+struct supernode_partition {
+    /// First pivot column of each supernode; first[count()] == n.
+    std::vector<std::size_t> first;
+    /// Pivot column -> supernode id (size n).
+    std::vector<std::size_t> col_super;
+    /// Per supernode, the shared sub-diagonal row pattern (the L pattern
+    /// of the supernode's LAST column), sorted ascending in pivot space:
+    /// rows[row_ptr[s] .. row_ptr[s+1]).
+    std::vector<std::size_t> row_ptr;
+    std::vector<std::size_t> rows;
+
+    [[nodiscard]] std::size_t count() const noexcept
+    {
+        return first.empty() ? 0 : first.size() - 1;
+    }
+    [[nodiscard]] std::size_t width(std::size_t s) const noexcept
+    {
+        return first[s + 1] - first[s];
+    }
+    [[nodiscard]] std::size_t sub_rows(std::size_t s) const noexcept
+    {
+        return row_ptr[s + 1] - row_ptr[s];
+    }
+};
+
+/// Detect supernodes in a symbolic L pattern given as CSC-style arrays
+/// (lcol_ptr of size n+1; lrow holds each column's sub-diagonal rows in
+/// pivot space, in any order). Column k+1 extends the current supernode
+/// iff its pattern is the current column's minus the pivot row k+1
+/// itself; max_width caps a run so the dense panels stay cache-sized.
+///
+/// Circuit matrices under fill-reducing orderings leave most strict
+/// supernodes at width 1, so the strict pass is followed by relaxed
+/// amalgamation: adjacent supernodes are greedily merged when the
+/// explicit zeros this pads into the merged panel stay small — at most
+/// relax_zeros entries, or at most a relax_fill fraction of the merged
+/// panel's L area. Padded positions hold exact 0.0 and every structural
+/// value is reproduced bit-for-bit (0.0 * x == 0.0 contributes nothing),
+/// so relaxation trades a few wasted flops for far fewer, longer panel
+/// updates. Pass relax_zeros == 0 and relax_fill == 0.0 for the strict
+/// partition.
+[[nodiscard]] supernode_partition
+detect_supernodes(std::size_t n, const std::vector<std::size_t>& lcol_ptr,
+                  const std::vector<std::size_t>& lrow, std::size_t max_width = 32,
+                  std::size_t relax_zeros = 12, double relax_fill = 0.25);
+
+} // namespace acstab::numeric
+
+#endif // ACSTAB_NUMERIC_SUPERNODE_H

@@ -55,21 +55,27 @@ namespace {
 using namespace acstab;
 using namespace acstab::tool;
 
-/// --order/--no-simd/--warm -> the sparse-solver tuning every
-/// frequency-domain command threads down to the sweep engine.
+/// --order/--no-simd/--warm/--no-supernodal/--warm-pipeline -> the
+/// sparse-solver tuning every frequency-domain command threads down to
+/// the sweep engine.
 [[nodiscard]] engine::solver_tuning tuning_from_cli(const cli_options& opt)
 {
     engine::solver_tuning tuning;
-    if (opt.order == "amd" || opt.order.empty())
+    if (opt.order == "amd-approx" || opt.order.empty())
+        tuning.ordering = numeric::column_ordering::amd_approx;
+    else if (opt.order == "amd")
         tuning.ordering = numeric::column_ordering::amd;
     else if (opt.order == "count")
         tuning.ordering = numeric::column_ordering::count;
     else if (opt.order == "none")
         tuning.ordering = numeric::column_ordering::none;
     else
-        throw analysis_error("--order must be amd, count or none, got '" + opt.order + "'");
+        throw analysis_error("--order must be amd-approx, amd, count or none, got '"
+                             + opt.order + "'");
     tuning.simd = !opt.no_simd;
     tuning.warm_start = opt.warm;
+    tuning.supernodal = !opt.no_supernodal;
+    tuning.warm_pipeline = opt.warm_pipeline;
     return tuning;
 }
 
@@ -785,8 +791,10 @@ void print_usage()
     std::puts("  --tstop S --dt S --threads N (0 = all cores) --csv --annotate");
     std::puts("  --adaptive (rational-fit adaptive grid: factor 5-10x fewer points)");
     std::puts("  --fit-tol TOL --anchors-per-decade N (adaptive sweep tuning)");
-    std::puts("  --order amd|count|none (sparse column pre-ordering; default amd)");
+    std::puts("  --order amd-approx|amd|count|none (column pre-ordering; default amd-approx)");
     std::puts("  --no-simd (scalar batched solves) --warm (warm-started refactorization)");
+    std::puts("  --no-supernodal (column-at-a-time numeric path; supernodal is default)");
+    std::puts("  --warm-pipeline (overlap next-point refactorization with batched solves)");
     std::puts("  --temps/--corner/--param (campaign grid) --shard k/N --out FILE --table");
 }
 

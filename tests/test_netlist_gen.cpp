@@ -61,6 +61,32 @@ TEST(netlist_gen, rcmesh_parses_with_expected_topology)
     EXPECT_EQ(tiny.ckt.node_count(), 5u);
 }
 
+TEST(netlist_gen, rcmesh_accepts_hundred_thousand_nodes)
+{
+    // The size -> k mapping used to round-trip through double sqrt and
+    // long; verify the integer path realizes the exact k*k grid at the
+    // 100k-node scale the scaling bench sweeps (emit + count only, no
+    // parse: the text is ~30 MB).
+    gen::gen_options opt;
+    opt.size = 100000; // k = 316 (316^2 = 99856, 317^2 = 100489)
+    const std::string text = gen::rcmesh_netlist(opt);
+    EXPECT_NE(text.find("* generated 316x316 RC mesh"), std::string::npos);
+    EXPECT_NE(text.find("n315_315 0 "), std::string::npos); // last grid cap
+    EXPECT_EQ(text.find("n316_"), std::string::npos);
+    EXPECT_NE(text.find(".stability n158_158 "), std::string::npos);
+
+    // Sizes just below/above a square boundary round to nearest, not down.
+    opt.size = 99856;
+    EXPECT_NE(gen::rcmesh_netlist(opt).find("316x316"), std::string::npos);
+    opt.size = 100489;
+    EXPECT_NE(gen::rcmesh_netlist(opt).find("317x317"), std::string::npos);
+
+    // Absurd sizes fail loudly instead of overflowing index arithmetic.
+    opt.size = std::size_t{1} << 40;
+    EXPECT_THROW((void)gen::rcmesh_netlist(opt), analysis_error);
+    EXPECT_THROW((void)gen::ladder_netlist(opt), analysis_error);
+}
+
 TEST(netlist_gen, generate_dispatches_and_is_deterministic)
 {
     gen::gen_options opt;

@@ -1,9 +1,11 @@
-// Solver-mode equivalence: the ordering / SIMD-kernel / warm-start axes
-// of engine::solver_tuning are performance knobs, never answer knobs.
-// Every shipped netlist must produce the same verdicts (margins within
-// tolerance, farm reports byte-identical) under amd/count/none ordering
-// and SIMD/scalar kernels at 1 and 4 threads, and warm-started sweeps
-// must honor the same backward-error contract as cold factorization.
+// Solver-mode equivalence: the ordering / SIMD-kernel / supernodal /
+// warm-start axes of engine::solver_tuning are performance knobs, never
+// answer knobs. Every shipped netlist must produce the same verdicts
+// (margins within tolerance, farm reports byte-identical) under
+// amd-approx/amd/count/none ordering, SIMD/scalar kernels and
+// blocked/column numeric paths at 1 and 4 threads; classic warm-started
+// sweeps must honor the cold path's backward-error contract and
+// pipelined (lookahead) sweeps must be bit-identical to cold.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -89,12 +91,15 @@ TEST(solver_modes, ordering_and_kernel_equivalence_on_shipped_netlists)
         const char* name;
         numeric::column_ordering ordering;
         bool simd;
+        bool supernodal;
     };
     const mode modes[] = {
-        {"amd", numeric::column_ordering::amd, true},
-        {"count", numeric::column_ordering::count, true},
-        {"none", numeric::column_ordering::none, true},
-        {"amd-scalar", numeric::column_ordering::amd, false},
+        {"amd", numeric::column_ordering::amd, true, true},
+        {"count", numeric::column_ordering::count, true, true},
+        {"none", numeric::column_ordering::none, true, true},
+        {"amd-scalar", numeric::column_ordering::amd, false, true},
+        {"amd-approx-column", numeric::column_ordering::amd_approx, true, false},
+        {"amd-column-scalar", numeric::column_ordering::amd, false, false},
     };
 
     for (const char* name : shipped) {
@@ -104,6 +109,7 @@ TEST(solver_modes, ordering_and_kernel_equivalence_on_shipped_netlists)
                 engine::solver_tuning tuning;
                 tuning.ordering = m.ordering;
                 tuning.simd = m.simd;
+                tuning.supernodal = m.supernodal;
                 expect_equivalent(ref, report_for(name, tuning, threads),
                                   std::string(name) + " " + m.name + " threads="
                                       + std::to_string(threads));
@@ -185,6 +191,28 @@ TEST(solver_modes, simd_and_scalar_kernels_agree_on_generated_mesh)
     }
 }
 
+/// The supernodal/blocked numeric path against the column-at-a-time
+/// reference on a generated mesh (the fill-heavy case where supernodes
+/// actually get wide), at 1 and 4 threads: answers agree to 1e-12.
+TEST(solver_modes, supernodal_and_column_paths_agree_on_generated_mesh)
+{
+    spice::parsed_netlist net;
+    const engine::linearized_snapshot snap = mesh_snapshot(net, 144);
+    const std::vector<real> freqs = numeric::log_grid(1e4, 1e7, 12);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < snap.size(); k += 5)
+        injections.push_back({k, cplx{1.0, 0.0}});
+
+    engine::solver_tuning column;
+    column.supernodal = false;
+    engine::solver_tuning blocked; // default: supernodal on
+    const sweep_capture ref = run_engine(snap, freqs, injections, column, 1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        const sweep_capture blk = run_engine(snap, freqs, injections, blocked, threads);
+        EXPECT_LE(max_rel_diff(ref, blk), 1e-12) << "threads=" << threads;
+    }
+}
+
 /// Warm-started sweeps on a frequency grid inside the eligibility window
 /// must (a) actually adopt stale factors, (b) agree with the cold sweep,
 /// and (c) leave every solution inside the cold path's backward-error
@@ -236,6 +264,57 @@ TEST(solver_modes, warm_start_agrees_with_cold_and_honors_backward_error_contrac
                 << "f=" << freqs[fi] << " rhs=" << ri;
         }
     }
+}
+
+/// The pipelined warm start refactors the NEXT grid point concurrently
+/// with this point's batched solves and adopts the finished factors when
+/// it gets there. The adopted factors are computed from identically
+/// assembled values and pass the cold guard, so — unlike the stale-
+/// serving warm_start — the sweep must be BIT-IDENTICAL to cold, every
+/// interior point must adopt, and no refinement is ever involved.
+TEST(solver_modes, pipelined_warm_start_is_bit_identical_to_cold)
+{
+    spice::parsed_netlist net;
+    const engine::linearized_snapshot snap = mesh_snapshot(net, 100);
+    const std::vector<real> freqs = numeric::log_grid(1e5, 1e6, 40);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < snap.size(); k += 13)
+        injections.push_back({k, cplx{1.0, 0.0}});
+
+    engine::solver_tuning cold;
+    engine::solver_tuning piped;
+    piped.warm_pipeline = true;
+    engine::sweep_stats stats;
+    const sweep_capture cref = run_engine(snap, freqs, injections, cold, 1);
+    const sweep_capture pres = run_engine(snap, freqs, injections, piped, 1, &stats);
+
+    // Serial sweep, one chunk: every point past the first adopts its
+    // lookahead factors; every point still pays exactly one
+    // refactorization (just off the critical path when a worker is free).
+    EXPECT_EQ(stats.warm_accepts.load(), freqs.size() - 1);
+    EXPECT_EQ(stats.warm_refinements.load(), 0u);
+    EXPECT_EQ(stats.cold_factors.load(), freqs.size());
+    EXPECT_EQ(max_rel_diff(cref, pres), 0.0);
+}
+
+/// Pipelined warm sweeps must also be safe (and still bit-identical)
+/// when the shared pool actually has workers, several chunks pipeline at
+/// once, and the lookahead tasks genuinely race the foreground solves.
+TEST(solver_modes, pipelined_warm_start_is_bit_identical_at_four_threads)
+{
+    spice::parsed_netlist net;
+    const engine::linearized_snapshot snap = mesh_snapshot(net, 100);
+    const std::vector<real> freqs = numeric::log_grid(1e5, 1e6, 40);
+    std::vector<engine::sweep_engine::injection> injections;
+    for (std::size_t k = 0; k < snap.size(); k += 17)
+        injections.push_back({k, cplx{1.0, 0.0}});
+
+    engine::solver_tuning cold;
+    engine::solver_tuning piped;
+    piped.warm_pipeline = true;
+    const sweep_capture cref = run_engine(snap, freqs, injections, cold, 1);
+    const sweep_capture pres = run_engine(snap, freqs, injections, piped, 4);
+    EXPECT_EQ(max_rel_diff(cref, pres), 0.0);
 }
 
 /// The adaptive analyzer path forwards the tuning too: warm-started
@@ -294,16 +373,18 @@ TEST(solver_modes, farm_reports_are_byte_identical_across_solver_modes)
 
     for (const numeric::column_ordering ordering :
          {numeric::column_ordering::none, numeric::column_ordering::count,
-          numeric::column_ordering::amd})
+          numeric::column_ordering::amd, numeric::column_ordering::amd_approx})
         for (const bool simd : {false, true})
-            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-                engine::solver_tuning tuning;
-                tuning.ordering = ordering;
-                tuning.simd = simd;
-                EXPECT_EQ(farm_table(tuning, threads), ref)
-                    << "ordering=" << static_cast<int>(ordering) << " simd=" << simd
-                    << " threads=" << threads;
-            }
+            for (const bool supernodal : {false, true})
+                for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                    engine::solver_tuning tuning;
+                    tuning.ordering = ordering;
+                    tuning.simd = simd;
+                    tuning.supernodal = supernodal;
+                    EXPECT_EQ(farm_table(tuning, threads), ref)
+                        << "ordering=" << static_cast<int>(ordering) << " simd=" << simd
+                        << " supernodal=" << supernodal << " threads=" << threads;
+                }
 }
 
 /// The plan file pins the tuning: non-default knobs round-trip through
@@ -316,18 +397,34 @@ TEST(solver_modes, campaign_tuning_round_trips_and_default_plan_bytes_are_stable
     EXPECT_EQ(plain_bytes.find("\"order\""), std::string::npos);
     EXPECT_EQ(plain_bytes.find("\"simd\""), std::string::npos);
     EXPECT_EQ(plain_bytes.find("\"warm\""), std::string::npos);
+    EXPECT_EQ(plain_bytes.find("\"supernodal\""), std::string::npos);
+    EXPECT_EQ(plain_bytes.find("\"warm_pipeline\""), std::string::npos);
 
     engine::solver_tuning tuning;
     tuning.ordering = numeric::column_ordering::count;
     tuning.simd = false;
     tuning.warm_start = true;
+    tuning.supernodal = false;
+    tuning.warm_pipeline = true;
     const farm::campaign_spec spec = tank_campaign(tuning);
     const farm::campaign_spec back
         = farm::campaign_from_json(farm::json_value::parse(farm::to_json(spec).dump()));
     EXPECT_EQ(back.tuning.ordering, numeric::column_ordering::count);
     EXPECT_FALSE(back.tuning.simd);
     EXPECT_TRUE(back.tuning.warm_start);
+    EXPECT_FALSE(back.tuning.supernodal);
+    EXPECT_TRUE(back.tuning.warm_pipeline);
     EXPECT_EQ(farm::to_json(back).dump(), farm::to_json(spec).dump());
+
+    // The non-default ordering name round-trips for the new variant too.
+    engine::solver_tuning exact;
+    exact.ordering = numeric::column_ordering::amd;
+    const farm::campaign_spec espec = tank_campaign(exact);
+    const std::string ebytes = farm::to_json(espec).dump();
+    EXPECT_NE(ebytes.find("\"order\":\"amd\""), std::string::npos);
+    const farm::campaign_spec eback
+        = farm::campaign_from_json(farm::json_value::parse(ebytes));
+    EXPECT_EQ(eback.tuning.ordering, numeric::column_ordering::amd);
 }
 
 } // namespace

@@ -60,6 +60,23 @@ real resonant_frequency(real zeta)
     return arg > 0.0 ? std::sqrt(arg) : 0.0;
 }
 
+real zeta_from_overshoot(real overshoot_pct)
+{
+    if (!(overshoot_pct > 0.0))
+        return 1.0;
+    if (overshoot_pct >= 100.0)
+        return 0.0;
+    const real l = std::log(100.0 / overshoot_pct);
+    return l / std::sqrt(pi * pi + l * l);
+}
+
+real zeta_from_log_decrement(real delta)
+{
+    if (!(delta > 0.0))
+        return 0.0;
+    return delta / std::sqrt(4.0 * pi * pi + delta * delta);
+}
+
 real analytic_stability_function(real zeta, real omega)
 {
     // With u = ln w and x = w^2, ln|T| = -0.5 ln D(x),

@@ -40,6 +40,21 @@ namespace acstab::core {
 /// peaks: sqrt(1 - 2 zeta^2) for zeta < 1/sqrt(2).
 [[nodiscard]] real resonant_frequency(real zeta);
 
+/// Inverse of overshoot_percent: damping ratio from a measured percent
+/// step overshoot, zeta = L / sqrt(pi^2 + L^2) with L = ln(100 / OS).
+/// Clamps to 1 for OS <= 0 and to 0 for OS >= 100. The transient
+/// cross-check uses this to map a time-domain measurement back onto the
+/// paper's Table 1 alongside the AC analyzer's peak-based estimate.
+[[nodiscard]] real zeta_from_overshoot(real overshoot_pct);
+
+/// Damping ratio from a measured logarithmic decrement delta =
+/// ln(d_k / d_{k+1}) of successive same-side peak deviations (one full
+/// ringing period apart): zeta = delta / sqrt(4 pi^2 + delta^2). Covers
+/// responses with no step swing — driving-point/bandpass responses that
+/// ring about zero — where percent overshoot is undefined. Returns 0
+/// for delta <= 0 (non-decaying envelope).
+[[nodiscard]] real zeta_from_log_decrement(real delta);
+
 /// Analytic stability-plot value P(w) = d^2 ln|T| / d(ln w)^2 of the
 /// normalized prototype at angular frequency w (closed form; used to
 /// validate the numerical differentiation).

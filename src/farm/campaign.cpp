@@ -69,6 +69,19 @@ analysis::impedance_options campaign_spec::impedance_options(std::size_t threads
     return opt;
 }
 
+core::tran_stability_options campaign_spec::transient_options() const
+{
+    core::tran_stability_options opt;
+    opt.source = tran_source;
+    opt.step_size = tran_step;
+    opt.tstop = tran_tstop;
+    opt.dt = tran_dt;
+    opt.tran.tuning.ordering = tuning.ordering;
+    opt.tran.tuning.supernodal = tuning.supernodal;
+    opt.tran.tuning.simd = tuning.simd;
+    return opt;
+}
+
 json_value to_json(const campaign_spec& spec)
 {
     json_value grid = json_value::object();
@@ -104,6 +117,15 @@ json_value to_json(const campaign_spec& spec)
         for (const std::string& name : spec.source_elements)
             sources.push_back(json_value::str(name));
         doc.set("source_elements", std::move(sources));
+    } else if (spec.analysis == campaign_analysis::transient) {
+        doc.set("analysis", json_value::str("transient"));
+        json_value tran = json_value::object();
+        tran.set("tstop", json_value::number(spec.tran_tstop));
+        tran.set("dt", json_value::number(spec.tran_dt));
+        tran.set("step", json_value::number(spec.tran_step));
+        if (!spec.tran_source.empty())
+            tran.set("source", json_value::str(spec.tran_source));
+        doc.set("transient", std::move(tran));
     }
     doc.set("grid", std::move(grid));
     doc.set("points", json_value::number(spec.grid.size()));
@@ -145,6 +167,8 @@ campaign_spec campaign_from_json(const json_value& doc)
     if (const json_value* kind = doc.find("analysis")) {
         if (kind->as_string() == "impedance")
             spec.analysis = campaign_analysis::impedance;
+        else if (kind->as_string() == "transient")
+            spec.analysis = campaign_analysis::transient;
         else if (kind->as_string() != "stability")
             throw analysis_error("farm: unknown campaign analysis kind '"
                                  + kind->as_string() + "'");
@@ -152,6 +176,14 @@ campaign_spec campaign_from_json(const json_value& doc)
     if (const json_value* sources = doc.find("source_elements"))
         for (const json_value& name : sources->items())
             spec.source_elements.push_back(name.as_string());
+    if (spec.analysis == campaign_analysis::transient) {
+        const json_value& tran = doc.at("transient");
+        spec.tran_tstop = tran.at("tstop").as_number();
+        spec.tran_dt = tran.at("dt").as_number();
+        spec.tran_step = tran.at("step").as_number();
+        if (const json_value* src = tran.find("source"))
+            spec.tran_source = src->as_string();
+    }
 
     const json_value& grid = doc.at("grid");
     spec.grid.temps = reals_from_json(grid.at("temps"));

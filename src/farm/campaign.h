@@ -18,13 +18,15 @@
 #include "analysis/impedance.h"
 #include "core/analyzer.h"
 #include "core/param_grid.h"
+#include "core/tran_stability.h"
 #include "farm/json.h"
 
 namespace acstab::farm {
 
-/// What each grid point runs: the paper's stability-plot analysis, or the
-/// Nyquist-like impedance-partition criterion at the same node.
-enum class campaign_analysis { stability, impedance };
+/// What each grid point runs: the paper's stability-plot analysis, the
+/// Nyquist-like impedance-partition criterion at the same node, or the
+/// time-domain step-response cross-check (paper Fig. 2).
+enum class campaign_analysis { stability, impedance, transient };
 
 struct campaign_spec {
     /// Netlist path as given to `farm plan`; shard processes re-read it,
@@ -39,6 +41,15 @@ struct campaign_spec {
     /// (ignored by stability campaigns).
     std::vector<std::string> source_elements;
     core::param_grid grid;
+
+    // Transient-campaign settings (serialized only for transient
+    // campaigns, so stability/impedance plan bytes are untouched).
+    real tran_tstop = 0.0;       ///< step-response record length (required)
+    real tran_dt = 0.0;          ///< nominal step; 0 selects tstop / 4000
+    real tran_step = 0.01;       ///< step amplitude (V on a source, A injected)
+    /// Element pulsed per point; empty injects a current step into the
+    /// watched node (works on netlists with no source at all).
+    std::string tran_source;
 
     // Frequency-sweep and analysis settings, mirrored from
     // core::stability_options so every shard analyzes identically.
@@ -60,6 +71,10 @@ struct campaign_spec {
     [[nodiscard]] core::stability_options stability_options(std::size_t threads) const;
     /// The impedance-campaign equivalent (same sweep/adaptive settings).
     [[nodiscard]] analysis::impedance_options impedance_options(std::size_t threads) const;
+    /// The transient-campaign equivalent (step stimulus + the plan's
+    /// solver tuning routed into the shared transient solver). Points are
+    /// single-threaded inside; the executor parallelizes across points.
+    [[nodiscard]] core::tran_stability_options transient_options() const;
 };
 
 /// Spec <-> JSON (the plan file). Round trips exactly: numbers use the

@@ -76,6 +76,38 @@ namespace {
         return imp;
     }
 
+    [[nodiscard]] json_value transient_to_json(const transient_point_summary& tr)
+    {
+        json_value obj = json_value::object();
+        obj.set("stable", json_value::boolean(tr.stable));
+        obj.set("ringing", json_value::boolean(tr.ringing));
+        obj.set("overshoot_pct", json_value::number(tr.overshoot_pct));
+        obj.set("ringing_freq_hz", json_value::number(tr.ringing_freq_hz));
+        obj.set("settling_time_s", json_value::number(tr.settling_time_s));
+        obj.set("final_value", json_value::number(tr.final_value));
+        obj.set("zeta", json_value::number(tr.zeta));
+        obj.set("equiv_pm_deg", json_value::number(tr.equiv_pm_deg));
+        obj.set("time_s", reals_to_json(tr.time_s));
+        obj.set("value", reals_to_json(tr.value));
+        return obj;
+    }
+
+    [[nodiscard]] transient_point_summary transient_from_json(const json_value& obj)
+    {
+        transient_point_summary tr;
+        tr.stable = obj.at("stable").as_bool();
+        tr.ringing = obj.at("ringing").as_bool();
+        tr.overshoot_pct = obj.at("overshoot_pct").as_number();
+        tr.ringing_freq_hz = obj.at("ringing_freq_hz").as_number();
+        tr.settling_time_s = obj.at("settling_time_s").as_number();
+        tr.final_value = obj.at("final_value").as_number();
+        tr.zeta = obj.at("zeta").as_number();
+        tr.equiv_pm_deg = obj.at("equiv_pm_deg").as_number();
+        tr.time_s = reals_from_json(obj.at("time_s"));
+        tr.value = reals_from_json(obj.at("value"));
+        return tr;
+    }
+
 } // namespace
 
 json_value point_record_to_json(const point_record& rec)
@@ -95,6 +127,10 @@ json_value point_record_to_json(const point_record& rec)
     }
     if (rec.impedance) {
         obj.set("impedance", impedance_to_json(*rec.impedance));
+        return obj;
+    }
+    if (rec.transient) {
+        obj.set("transient", transient_to_json(*rec.transient));
         return obj;
     }
     obj.set("has_peak", json_value::boolean(rec.has_peak));
@@ -128,6 +164,10 @@ point_record point_record_from_json(const json_value& obj)
     }
     if (const json_value* imp = obj.find("impedance")) {
         rec.impedance = impedance_from_json(*imp);
+        return rec;
+    }
+    if (const json_value* tr = obj.find("transient")) {
+        rec.transient = transient_from_json(*tr);
         return rec;
     }
     rec.has_peak = obj.at("has_peak").as_bool();
@@ -206,6 +246,59 @@ namespace {
         return records;
     }
 
+    /// One transient grid point, serially, every failure recorded
+    /// (convergence failures — DC operating point or a transient Newton
+    /// ladder bottoming out — report dc_failed like the other kinds).
+    [[nodiscard]] point_record run_transient_point(const campaign_spec& spec,
+                                                   const core::circuit_template& tmpl,
+                                                   std::size_t index)
+    {
+        point_record rec;
+        rec.point = spec.grid.point(index);
+        rec.index = rec.point.index;
+        try {
+            spice::circuit c = std::move(tmpl.build(rec.point).ckt);
+            const core::tran_stability_result res
+                = core::measure_tran_stability(c, spec.node, spec.transient_options());
+            transient_point_summary tr;
+            tr.stable = res.stable;
+            tr.ringing = res.ringing;
+            tr.overshoot_pct = res.overshoot_pct;
+            tr.ringing_freq_hz = res.ringing_freq_hz;
+            tr.settling_time_s = res.settling_time_s;
+            tr.final_value = res.final_value;
+            tr.zeta = res.zeta;
+            tr.equiv_pm_deg = res.equiv_pm_deg;
+            tr.time_s = res.time;
+            tr.value = res.value;
+            rec.transient = std::move(tr);
+        } catch (const convergence_error& e) {
+            rec.status = core::point_status::dc_failed;
+            rec.error = e.what();
+        } catch (const error& e) {
+            rec.status = core::point_status::analysis_failed;
+            rec.error = e.what();
+        }
+        return rec;
+    }
+
+    /// Transient-campaign shard body, mirroring the impedance shape:
+    /// per-point analysis serial, points dispatched on the shared pool.
+    [[nodiscard]] std::vector<point_record>
+    run_transient_shard(const campaign_spec& spec, const shard_range& range,
+                        std::size_t threads)
+    {
+        const core::circuit_template tmpl{spec.netlist, ""};
+        std::vector<point_record> records(range.end - range.begin);
+        engine::sweep_engine_options eopt;
+        eopt.threads = threads;
+        const engine::sweep_engine eng(eopt);
+        eng.for_each(records.size(), [&](std::size_t i) {
+            records[i] = run_transient_point(spec, tmpl, range.begin + i);
+        });
+        return records;
+    }
+
     /// One stability grid point as a point_record (shared by run_shard's
     /// bulk path and the orchestrator's point_runner).
     [[nodiscard]] point_record record_from_grid_result(const core::grid_point_result& res)
@@ -241,6 +334,8 @@ std::vector<point_record> run_shard(const campaign_spec& spec, std::size_t shard
 
     if (spec.analysis == campaign_analysis::impedance)
         return run_impedance_shard(spec, range, threads);
+    if (spec.analysis == campaign_analysis::transient)
+        return run_transient_shard(spec, range, threads);
 
     const core::circuit_template tmpl{spec.netlist, ""};
     const std::vector<core::grid_point_result> results = core::sweep_stability_grid(
@@ -268,6 +363,8 @@ point_record point_runner::run(std::size_t index) const
 {
     if (spec_.analysis == campaign_analysis::impedance)
         return run_impedance_point(spec_, tmpl_, spec_.impedance_options(1), index);
+    if (spec_.analysis == campaign_analysis::transient)
+        return run_transient_point(spec_, tmpl_, index);
 
     const std::vector<core::grid_point_result> results = core::sweep_stability_grid(
         [this](spice::circuit& c, const core::grid_point& pt) {
@@ -364,6 +461,37 @@ std::string format_report(const json_value& report)
     const std::string& node = campaign.at("node").as_string();
     const json_value* kind = campaign.find("analysis");
     const bool impedance = kind != nullptr && kind->as_string() == "impedance";
+    const bool transient = kind != nullptr && kind->as_string() == "transient";
+
+    if (transient) {
+        out += "transient-campaign report, node '" + node + "'\n";
+        out += "point  label                                     verdict   overshoot  "
+               "equiv PM   settle\n";
+        out += "----------------------------------------------------------------------------"
+               "-----\n";
+        for (const json_value& rec : report.at("records").items()) {
+            char line[220];
+            const std::size_t index = rec.at("index").as_index();
+            const std::string& label = rec.at("label").as_string();
+            const std::string& status = rec.at("status").as_string();
+            if (status != "ok") {
+                std::snprintf(line, sizeof line, "%-6zu %-40.40s  (%s: %.80s)\n", index,
+                              label.c_str(), status.c_str(),
+                              rec.at("error").as_string().c_str());
+            } else {
+                const json_value& tr = rec.at("transient");
+                std::snprintf(line, sizeof line,
+                              "%-6zu %-40.40s  %-8s %7.2f %%  %5.1f deg  %9.3g s\n", index,
+                              label.c_str(),
+                              tr.at("stable").as_bool() ? "stable" : "UNSTABLE",
+                              tr.at("overshoot_pct").as_number(),
+                              tr.at("equiv_pm_deg").as_number(),
+                              tr.at("settling_time_s").as_number());
+            }
+            out += line;
+        }
+        return out;
+    }
 
     if (impedance) {
         out += "impedance-campaign report, partition node '" + node + "'\n";

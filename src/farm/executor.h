@@ -46,6 +46,25 @@ struct impedance_point_summary {
     std::vector<real> lm_im;
 };
 
+/// Transient-campaign summary of one grid point (present when the
+/// campaign's analysis kind is transient and the point is ok): the
+/// step-response verdict, the second-order read-back (damping +
+/// equivalent phase margin, the paper's Fig. 2 cross-check against the
+/// AC verdict) and a decimated waveform so record size stays bounded
+/// regardless of the timestep.
+struct transient_point_summary {
+    bool stable = false;
+    bool ringing = false;
+    real overshoot_pct = 0.0;
+    real ringing_freq_hz = 0.0;
+    real settling_time_s = 0.0;
+    real final_value = 0.0;
+    real zeta = 0.0;        ///< from overshoot inversion / log decrement
+    real equiv_pm_deg = 0.0; ///< min(100 * zeta, 90), the AC analyzer's mapping
+    std::vector<real> time_s; ///< decimated step response
+    std::vector<real> value;
+};
+
 /// One grid point's serialized outcome.
 struct point_record {
     std::size_t index = 0; ///< stable global grid index
@@ -67,6 +86,9 @@ struct point_record {
 
     /// Impedance-campaign payload (replaces the stability summary).
     std::optional<impedance_point_summary> impedance;
+
+    /// Transient-campaign payload (replaces the stability summary).
+    std::optional<transient_point_summary> transient;
 };
 
 /// Execute shard `shard` of `shard_count` (points from shard_slice) with

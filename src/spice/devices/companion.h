@@ -2,6 +2,13 @@
 // by the transient integrator: backward Euler on demand, trapezoidal
 // otherwise. The capacitance value is re-evaluated by the owning device at
 // each Newton iterate.
+//
+// Pattern contract: for fixed (c > 0, dt > 0) the matrix stamp hits the
+// same coordinates every Newton iterate, which is what lets the shared
+// transient solver (spice/tran_solver.h) deposit into one fixed CSC
+// pattern instead of compressing a fresh matrix per solve. A capacitance
+// crossing zero changes the emitted stamp sequence; the solver detects
+// that as a pattern-breaking event and re-runs the symbolic analysis.
 #ifndef ACSTAB_SPICE_DEVICES_COMPANION_H
 #define ACSTAB_SPICE_DEVICES_COMPANION_H
 

@@ -1,5 +1,11 @@
 // Solve dispatch for assembled MNA systems: dense reference LU or sparse
 // Gilbert–Peierls (the default). Shared by every analysis.
+//
+// These one-shot helpers compress and factor from scratch per call. Loops
+// that solve the same pattern repeatedly should not use them: frequency
+// sweeps go through engine::sweep_engine and transient Newton solves
+// through spice::tran_solver, both of which share one symbolic
+// factorization and refactor numerically in place.
 #ifndef ACSTAB_SPICE_MNA_H
 #define ACSTAB_SPICE_MNA_H
 

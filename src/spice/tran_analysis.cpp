@@ -1,51 +1,113 @@
 #include "spice/tran_analysis.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <memory>
 
 namespace acstab::spice {
 
 namespace {
 
-    /// Newton iteration for one candidate time step. Returns true on
-    /// convergence and leaves the solution in x.
-    bool solve_step(circuit& c, std::vector<real>& x, const tran_params& p,
-                    const tran_options& opt)
+    struct step_outcome {
+        bool converged = false;
+        int iterations = 0;
+        real worst_delta = 0.0; ///< largest unknown update of the last iteration
+        bool singular = false;  ///< the companion system could not be factored
+    };
+
+    /// Shortest round-trip number text for the non-convergence ladder
+    /// diagnostics (std::to_chars: locale-independent, unlike %g).
+    [[nodiscard]] std::string format_value(real v)
+    {
+        char buf[40];
+        const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+        return ec == std::errc() ? std::string(buf, ptr) : std::string("?");
+    }
+
+    /// One ladder rung's verdict: what the Newton loop did at the step
+    /// size it gave up on.
+    [[nodiscard]] std::string describe_outcome(const step_outcome& out)
+    {
+        if (out.singular)
+            return "singular matrix after " + std::to_string(out.iterations)
+                + " iteration(s)";
+        return "no convergence in " + std::to_string(out.iterations)
+            + " iteration(s) (last max update " + format_value(out.worst_delta) + ")";
+    }
+
+    /// Append one attempted-step clause to the ladder diagnostic that a
+    /// final convergence_error carries.
+    void log_rung(std::string& ladder, const std::string& clause)
+    {
+        if (!ladder.empty())
+            ladder += "; ";
+        ladder += clause;
+    }
+
+    /// Companion-model stamps for one Newton iterate.
+    void stamp_system(circuit& c, const std::vector<real>& x, const tran_params& p,
+                      real gshunt, system_builder<real>& b)
+    {
+        for (const auto& dev : c.devices())
+            dev->stamp_tran(x, p, b);
+        if (gshunt > 0.0) {
+            const std::size_t nodes = c.node_count();
+            for (std::size_t i = 0; i < nodes; ++i)
+                b.add(static_cast<node_id>(i), static_cast<node_id>(i), gshunt);
+        }
+    }
+
+    /// Newton iteration for one candidate time step. Updates x in place
+    /// and reports how the loop ended so the halving ladder can react.
+    /// `shared` selects the shared-symbolic solver; null runs the seed
+    /// one-shot path. Both run the identical iteration and convergence
+    /// test — only the linear-solve plumbing differs.
+    step_outcome solve_step(circuit& c, std::vector<real>& x, const tran_params& p,
+                            const tran_options& opt, tran_solver* shared)
     {
         const std::size_t n = c.unknown_count();
         const std::size_t nodes = c.node_count();
+        step_outcome out;
 
         for (int it = 0; it < opt.max_newton; ++it) {
-            system_builder<real> b(n);
-            for (const auto& dev : c.devices())
-                dev->stamp_tran(x, p, b);
-            if (opt.dc.gshunt > 0.0)
-                for (std::size_t i = 0; i < nodes; ++i)
-                    b.add(static_cast<node_id>(i), static_cast<node_id>(i), opt.dc.gshunt);
-
             std::vector<real> x_new;
             try {
-                x_new = solve_system(b, opt.solver);
+                if (shared) {
+                    system_builder<real>& b = shared->begin_stamp();
+                    stamp_system(c, x, p, opt.dc.gshunt, b);
+                    x_new = shared->solve();
+                } else {
+                    system_builder<real> b(n);
+                    stamp_system(c, x, p, opt.dc.gshunt, b);
+                    x_new = solve_system(b, opt.solver);
+                }
             } catch (const numeric_error&) {
-                return false;
+                out.singular = true;
+                out.iterations = it + 1;
+                return out;
             }
 
             bool converged = true;
+            real worst = 0.0;
             for (std::size_t i = 0; i < n; ++i) {
                 const real delta = std::fabs(x_new[i] - x[i]);
                 const real floor_tol = i < nodes ? opt.vntol : opt.abstol;
                 const real tol = opt.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i]))
                     + floor_tol;
-                if (delta > tol) {
+                if (delta > tol)
                     converged = false;
-                    break;
-                }
+                worst = std::max(worst, delta);
             }
+            out.worst_delta = worst;
+            out.iterations = it + 1;
             x = std::move(x_new);
-            if (converged)
-                return true;
+            if (converged) {
+                out.converged = true;
+                return out;
+            }
         }
-        return false;
+        return out;
     }
 
 } // namespace
@@ -78,6 +140,12 @@ tran_result transient(circuit& c, const tran_options& opt)
     std::sort(breakpoints.begin(), breakpoints.end());
     breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()), breakpoints.end());
 
+    // One shared symbolic factorization serves every Newton solve of the
+    // run; the one-shot path re-factors from scratch per solve.
+    std::unique_ptr<tran_solver> shared;
+    if (opt.shared_solver && opt.solver == solver_kind::sparse)
+        shared = std::make_unique<tran_solver>(c.unknown_count(), opt.tuning);
+
     tran_result res;
     res.time.push_back(0.0);
     res.solution.push_back(op.solution);
@@ -103,6 +171,8 @@ tran_result transient(circuit& c, const tran_options& opt)
         }
 
         bool accepted = false;
+        const real dt_first = dt;
+        std::string ladder;
         while (!accepted) {
             tran_params p;
             p.t0 = t;
@@ -112,7 +182,8 @@ tran_result transient(circuit& c, const tran_options& opt)
             p.dc = dc_params;
 
             std::vector<real> x_try = x;
-            if (solve_step(c, x_try, p, opt)) {
+            const step_outcome out = solve_step(c, x_try, p, opt, shared.get());
+            if (out.converged) {
                 for (const auto& dev : c.devices())
                     dev->tran_accept(x_try, p);
                 x = std::move(x_try);
@@ -122,11 +193,15 @@ tran_result transient(circuit& c, const tran_options& opt)
                 accepted = true;
                 force_be = false;
             } else {
+                log_rung(ladder, "dt=" + format_value(dt) + ": " + describe_outcome(out));
                 dt *= 0.5;
                 hits_bp = false;
                 if (dt < dt_min)
-                    throw convergence_error("transient: Newton failed at t = "
-                                            + std::to_string(t) + " even at minimum step");
+                    throw convergence_error(
+                        "transient: Newton failed at t = " + format_value(t)
+                        + " s advancing toward t = " + format_value(t + dt_first)
+                        + " s; attempted: " + ladder + "; minimum step "
+                        + format_value(dt_min) + " s (dt * dtmin_factor) reached");
             }
         }
         if (hits_bp) {
@@ -134,6 +209,8 @@ tran_result transient(circuit& c, const tran_options& opt)
             force_be = true; // restart the integrator across the corner
         }
     }
+    if (shared)
+        res.solver = shared->stats();
     return res;
 }
 

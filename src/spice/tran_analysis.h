@@ -1,6 +1,12 @@
 // Transient analysis: trapezoidal integration with a backward-Euler kick
 // at t=0 and after every source breakpoint, Newton iteration per step, and
 // automatic step halving when Newton stalls.
+//
+// Newton solves run on the shared-symbolic path by default (one symbolic
+// factorization for the whole run, numeric-only refactorization per
+// solve — see tran_solver.h); the seed's one-shot factor-per-solve path
+// is kept behind shared_solver=false as the ablation and equivalence
+// baseline.
 #ifndef ACSTAB_SPICE_TRAN_ANALYSIS_H
 #define ACSTAB_SPICE_TRAN_ANALYSIS_H
 
@@ -10,6 +16,7 @@
 #include "spice/circuit.h"
 #include "spice/dc_analysis.h"
 #include "spice/mna.h"
+#include "spice/tran_solver.h"
 
 namespace acstab::spice {
 
@@ -24,12 +31,26 @@ struct tran_options {
     real vntol = 1e-6;
     real abstol = 1e-12;
     solver_kind solver = solver_kind::sparse;
+    /// Route every Newton solve through one shared symbolic factorization
+    /// with numeric-only refactorization (tran_solver). OFF selects the
+    /// seed one-shot path — fresh compression + symbolic analysis +
+    /// factorization per Newton iteration. Sparse-only; the dense
+    /// reference solver ignores it. Both paths run the identical Newton
+    /// iteration, so waveforms agree to solver rounding (<= 1e-12,
+    /// CI-guarded).
+    bool shared_solver = true;
+    /// Ordering / supernodal tuning of the shared path. The sweep
+    /// engine's warm-start knobs have no transient analog: a Newton
+    /// solve always refactors, which IS the warm path here.
+    tran_solver_options tuning;
     dc_options dc; ///< options for the initial operating point
 };
 
 struct tran_result {
     std::vector<real> time;
     std::vector<std::vector<real>> solution; ///< [step][unknown]
+    /// Shared-path solver counters (all zero on the one-shot/dense path).
+    tran_solver_stats solver;
 
     [[nodiscard]] std::size_t step_count() const noexcept { return time.size(); }
 

@@ -44,6 +44,7 @@
 #include "numeric/interpolation.h"
 #include "spice/ac_analysis.h"
 #include "spice/dc_analysis.h"
+#include "spice/devices/sources.h"
 #include "spice/measure.h"
 #include "spice/parser/netlist_parser.h"
 #include "spice/tran_analysis.h"
@@ -135,8 +136,20 @@ int cmd_tran(spice::circuit& c, const cli_options& opt)
     spice::tran_options topt;
     topt.tstop = opt.tstop;
     topt.dt = opt.dt;
+    topt.shared_solver = !opt.oneshot;
+    const engine::solver_tuning tuning = tuning_from_cli(opt);
+    topt.tuning.ordering = tuning.ordering;
+    topt.tuning.supernodal = tuning.supernodal;
+    topt.tuning.simd = tuning.simd;
     const spice::tran_result res = spice::transient(c, topt);
     const std::vector<real> v = spice::node_waveform(c, res, opt.node);
+    if (opt.solver_stats)
+        std::fprintf(stderr,
+                     "solver: %zu solves, %zu symbolic builds, %zu pattern rebuilds, "
+                     "%zu guard probes, %zu guard rebuilds\n",
+                     res.solver.solves, res.solver.symbolic_builds,
+                     res.solver.pattern_rebuilds, res.solver.guard_probes,
+                     res.solver.guard_rebuilds);
     if (opt.csv) {
         std::puts("time_s,volts");
         for (std::size_t i = 0; i < res.time.size(); ++i)
@@ -444,14 +457,26 @@ int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
     spec.tuning = tuning_from_cli(opt);
     if (opt.analysis == "impedance")
         spec.analysis = farm::campaign_analysis::impedance;
+    else if (opt.analysis == "transient")
+        spec.analysis = farm::campaign_analysis::transient;
     else if (!opt.analysis.empty() && opt.analysis != "stability")
-        throw analysis_error("farm plan: --analysis must be stability or impedance, got '"
-                             + opt.analysis + "'");
+        throw analysis_error("farm plan: --analysis must be stability, impedance or "
+                             "transient, got '" + opt.analysis + "'");
     if (!opt.source.empty()) {
-        if (spec.analysis != farm::campaign_analysis::impedance)
+        if (spec.analysis == farm::campaign_analysis::impedance) {
+            spec.source_elements = parse_name_list(opt.source);
+        } else if (spec.analysis == farm::campaign_analysis::transient) {
+            // Transient campaigns step exactly one source; with no
+            // --source, the executor injects a current step at the node.
+            const std::vector<std::string> names = parse_name_list(opt.source);
+            if (names.size() != 1)
+                throw analysis_error("farm plan: transient campaigns step one source, "
+                                     "got " + std::to_string(names.size()));
+            spec.tran_source = names.front();
+        } else {
             throw analysis_error("farm plan: --source only applies to "
-                                 "--analysis impedance campaigns");
-        spec.source_elements = parse_name_list(opt.source);
+                                 "--analysis impedance or transient campaigns");
+        }
     }
 
     // Node and band default from the netlist's .stability card (if any);
@@ -483,6 +508,36 @@ int cmd_farm_plan(const std::string& netlist_path, const cli_options& opt)
         // Fail ambiguous partitions at plan time, on the nominal circuit,
         // instead of at every grid point of every shard.
         (void)analysis::partition_at_node(net.ckt, spec.node, spec.source_elements);
+    }
+    if (spec.analysis == farm::campaign_analysis::transient) {
+        // Time window: explicit flags win, the netlist's .tran card is the
+        // fallback — same precedence as the stability band above.
+        spec.tran_step = opt.step;
+        spec.tran_tstop = opt.tstop;
+        spec.tran_dt = opt.dt;
+        for (const spice::analysis_card& card : net.analyses) {
+            if (card.kind != spice::analysis_kind::tran)
+                continue;
+            if (!(spec.tran_tstop > 0.0))
+                spec.tran_tstop = card.tstop;
+            if (!(spec.tran_dt > 0.0))
+                spec.tran_dt = card.dt;
+            break;
+        }
+        if (!(spec.tran_tstop > 0.0))
+            throw analysis_error("farm plan: transient campaigns need a time window "
+                                 "(pass --tstop or add a '.tran <dt> <tstop>' card)");
+        if (!spec.tran_source.empty()) {
+            // Fail a bad source name at plan time, on the nominal circuit.
+            spice::device* dev = net.ckt.find_device(spec.tran_source);
+            if (dev == nullptr)
+                throw analysis_error("farm plan: unknown source element '"
+                                     + spec.tran_source + "'");
+            if (dynamic_cast<spice::vsource*>(dev) == nullptr
+                && dynamic_cast<spice::isource*>(dev) == nullptr)
+                throw analysis_error("farm plan: '" + spec.tran_source
+                                     + "' is not a voltage or current source");
+        }
     }
 
     // Grid: netlist .temp/.corner campaign cards seed the axes; explicit
@@ -746,7 +801,9 @@ void print_usage()
     std::puts("commands:");
     std::puts("  op          DC operating point");
     std::puts("  ac          AC sweep          (--node N)");
-    std::puts("  tran        transient         (--node N --tstop T [--dt D])");
+    std::puts("  tran        transient         (--node N --tstop T [--dt D]");
+    std::puts("              [--solver-stats] [--oneshot: per-iteration refactorization,");
+    std::puts("              the pre-shared-solver baseline])");
     std::puts("  stability   stability plots   (--node N | --all)");
     std::puts("  impedance   source/load impedance-ratio (Nyquist-like) criterion at a");
     std::puts("              partition node    (--node N [--source e1,e2,..]); reports");
@@ -764,8 +821,9 @@ void print_usage()
     std::puts("  farm        corner/TEMP campaigns, shardable across processes:");
     std::puts("              plan  <netlist> --node N [--temps T,..] [--corner n:p=v,..]*");
     std::puts("                    [--param p=v1,v2,..]* [sweep opts] [--out plan.json]");
-    std::puts("                    [--analysis stability|impedance [--source e1,..]]");
-    std::puts("                    (.temp / .corner netlist cards seed the grid)");
+    std::puts("                    [--analysis stability|impedance [--source e1,..]");
+    std::puts("                     |transient [--source ELEM] [--tstop/--dt] [--step A]]");
+    std::puts("                    (.temp / .corner / .tran netlist cards seed the grid)");
     std::puts("              run   <plan.json> [--shard k/N] [--threads N] [--out f.json]");
     std::puts("              exec  <plan.json> [--workers N] [--dir D] [--out f.json]");
     std::puts("                    [--point-timeout S] [--retries N] [--resume] [--quiet]");

@@ -46,6 +46,16 @@ struct cli_options {
     bool warm_pipeline = false;
     /// Target circuit node count for `acstab gen` (--size).
     std::size_t size = 0;
+    /// `acstab tran`: print the shared transient solver's counters
+    /// (solves, symbolic builds, pattern rebuilds, guard activity).
+    bool solver_stats = false;
+    /// `acstab tran`: run the seed one-shot solve path (fresh
+    /// factorization per Newton iteration) instead of the shared
+    /// symbolic path — the ablation/equivalence baseline.
+    bool oneshot = false;
+    /// Step amplitude for transient campaigns (--step; volts on a pulsed
+    /// source, amps for nodal injection).
+    real step = 0.01;
     /// Whether the band/density flags were given explicitly (campaign
     /// planning falls back to the netlist's .stability card otherwise).
     bool fstart_set = false;
@@ -58,7 +68,7 @@ struct cli_options {
     std::string source;
 
     // Corner-farm campaign flags (`acstab farm ...`).
-    std::string analysis;              ///< --analysis stability|impedance
+    std::string analysis;              ///< --analysis stability|impedance|transient
     std::string temps;                 ///< --temps -40,27,125
     std::vector<std::string> corners;  ///< --corner name:p=v,... (repeatable)
     std::vector<std::string> params;   ///< --param name=v1,v2,... (repeatable)

@@ -309,4 +309,67 @@ TEST(parser, file_not_found)
     EXPECT_THROW((void)parse_netlist_file("/nonexistent/netlist.sp"), parse_error);
 }
 
+TEST(parser, subcircuit_port_count_mismatch_is_actionable)
+{
+    // The diagnostic names the subcircuit and both counts, so a miswired
+    // X line is fixable from the message alone.
+    try {
+        (void)parse_netlist(R"(t
+.subckt divider top bottom mid
+R1 top mid 1k
+R2 mid bottom 1k
+.ends
+X1 in 0 divider
+.end
+)");
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("subcircuit 'divider' expects 3 nodes, got 2"),
+                  std::string::npos)
+            << msg;
+        EXPECT_EQ(e.line(), 6);
+    }
+}
+
+TEST(parser, subcircuit_instantiation_cycle_is_rejected)
+{
+    // A subcircuit that instantiates itself recurses through expand_subckt;
+    // the depth cap turns the infinite recursion into a parse error.
+    try {
+        (void)parse_netlist(R"(t
+.subckt loop a
+R1 a b 1k
+X1 b loop
+.ends
+X1 top loop
+.end
+)");
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("nesting too deep"), std::string::npos) << msg;
+    }
+}
+
+TEST(parser, hierarchical_node_names_survive_flattening)
+{
+    // Inner nodes keep their instance-qualified names ("x1.mid"), so
+    // stability reports and farm records over subcircuit internals stay
+    // addressable; ports alias the caller's nodes and get no copy.
+    const parsed_netlist net = parse_netlist(R"(t
+.subckt divider top bottom
+R1 top mid 1k
+R2 mid bottom 1k
+.ends
+V1 in 0 1
+X1 in 0 divider
+X2 in 0 divider
+.end
+)");
+    EXPECT_TRUE(net.ckt.find_node("x1.mid").has_value());
+    EXPECT_TRUE(net.ckt.find_node("x2.mid").has_value());
+    EXPECT_FALSE(net.ckt.find_node("x1.top").has_value()); // port, not a copy
+}
+
 } // namespace
